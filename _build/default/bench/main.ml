@@ -1,0 +1,662 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 4) and then times the analysis pipeline with
+   bechamel.  See DESIGN.md §4 for the experiment index and EXPERIMENTS.md
+   for recorded paper-vs-measured values.
+
+   Usage:  dune exec bench/main.exe            (full: paper parameters)
+           dune exec bench/main.exe -- --quick (reduced sizes)
+           BENCH_QUICK=1 dune exec bench/main.exe *)
+
+module Iset = Presburger.Iset
+module Enum = Presburger.Enum
+module Rel = Presburger.Rel
+module Solve = Depend.Solve
+module Partition = Core.Partition
+module Threeset = Core.Threeset
+module Dataflow = Core.Dataflow
+module Sched = Runtime.Sched
+module Sim = Runtime.Sim
+
+let quick =
+  Sys.getenv_opt "BENCH_QUICK" <> None
+  || Array.exists (fun a -> a = "--quick") Sys.argv
+
+let section name =
+  Printf.printf "\n%s\n== %s\n%s\n" (String.make 64 '=') name (String.make 64 '=')
+
+(* Calibrated per-scheme code factors (single-thread code-quality ratios the
+   paper attributes to each scheme's generated code; the curve shapes and
+   crossovers then follow from schedule structure).  Region overheads are
+   expressed relative to the average per-phase work so the shapes are
+   invariant under --quick scaling.  See DESIGN.md §5. *)
+let rel_cost ~factor ~n_seq ~phases ~fork_f ~bound_f ~barrier_f =
+  let w_phase = factor *. float_of_int n_seq /. float_of_int (max phases 1) in
+  {
+    Sim.w_iter = 1.0;
+    code_factor = factor;
+    fork = fork_f *. w_phase;
+    barrier = barrier_f *. w_phase;
+    bound_eval = bound_f *. w_phase;
+  }
+
+(* Example 1: REC's complex generated bounds cost ~3.9% of a phase's work
+   per thread (the paper's 4-thread droop); PDM/PL pay their uniformized
+   per-iteration code factors. *)
+let rec_ex1_cost ~n_seq ~phases =
+  rel_cost ~factor:0.75 ~n_seq ~phases ~fork_f:0.0003 ~bound_f:0.0387
+    ~barrier_f:0.0004
+
+let pdm_ex1_cost = Sim.with_factor 1.35
+let pl_ex1_cost = Sim.with_factor 1.6
+let rec_ex2_cost = Sim.with_factor 0.8
+let unique_ex2_cost = Sim.with_factor 0.8
+
+(* Cholesky: 318 dataflow fronts each pay fork/bounds/barrier ≈ 5% of their
+   average work at 4 threads — REC wins below 3 threads on its cheaper
+   Omega-optimized code, PDM's single DOALL-over-L region wins at 4. *)
+let rec_ex4_cost ~n_seq ~phases =
+  rel_cost ~factor:0.8 ~n_seq ~phases ~fork_f:0.0146 ~bound_f:0.016
+    ~barrier_f:0.0218
+
+let pdm_ex4_cost = Sim.base
+
+let threads_range = [ 1; 2; 3; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* E1 — Figure 1                                                        *)
+
+let fig1 () =
+  section "E1 / Figure 1: non-uniform dependences of Example 1 (10×10)";
+  let a = Solve.analyze_simple Loopir.Builtin.example1 in
+  let pairs =
+    Enum.points (Iset.bind_params (Rel.to_set a.Solve.rd) [| 10; 10 |])
+  in
+  let by_d = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      let d = p.(2) - p.(0) in
+      Hashtbl.replace by_d d (1 + try Hashtbl.find by_d d with Not_found -> 0))
+    pairs;
+  Printf.printf "distance   arrows   paper\n";
+  List.iter
+    (fun (d, expect) ->
+      Printf.printf "  (%d,%d)      %2d       %d\n" d d
+        (try Hashtbl.find by_d d with Not_found -> 0)
+        expect)
+    [ (2, 8); (4, 6); (6, 4) ];
+  Printf.printf "total       %2d      18\n" (List.length pairs)
+
+(* ------------------------------------------------------------------ *)
+(* E2 — Figure 2                                                        *)
+
+let fig2 () =
+  section "E2 / Figure 2: 1-D chains, DO I=1,20: a(2I)=a(21-I)";
+  let a = Solve.analyze_simple Loopir.Builtin.fig2 in
+  let three = Threeset.compute ~phi:a.Solve.phi ~rd:a.Solve.rd in
+  let ints set =
+    List.map (fun p -> string_of_int p.(0)) (Enum.points set)
+  in
+  Printf.printf "P1 = %s\n" (String.concat " " (ints three.Threeset.p1));
+  Printf.printf "     (paper: 1 2 3 4 5 6 7 12 14 16 18 20)\n";
+  Printf.printf "P2 = {%s}   (paper: empty)\n"
+    (String.concat " " (ints three.Threeset.p2));
+  Printf.printf "P3 = %s\n" (String.concat " " (ints three.Threeset.p3));
+  Printf.printf "     (paper: 8 9 10 11 13 15 17 19)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E3 — Example 1 partition + Theorem 1                                 *)
+
+let ex1_plan =
+  lazy
+    (match Partition.choose Loopir.Builtin.example1 with
+    | Partition.Rec_chains rp -> rp
+    | _ -> failwith "example1 must take the REC branch")
+
+let ex1 () =
+  section "E3 / Example 1: REC partitioning";
+  let rp = Lazy.force ex1_plan in
+  let show (n1, n2) =
+    let c = Partition.materialize_rec_scan rp ~params:[| n1; n2 |] in
+    Printf.printf
+      "N1=%-4d N2=%-5d |P1|=%-7d chains=%-6d |P2|=%-6d longest=%d bound=%s \
+       |P3|=%d\n"
+      n1 n2
+      (List.length c.Partition.p1_pts)
+      (List.length c.Partition.chains.Core.Chain.chains)
+      (Core.Chain.total_points c.Partition.chains)
+      c.Partition.chains.Core.Chain.longest
+      (match c.Partition.theorem_bound with
+      | Some b -> string_of_int b
+      | None -> "-")
+      (List.length c.Partition.p3_pts)
+  in
+  List.iter show [ (10, 10); (30, 100); (300, 1000) ];
+  print_endline "\ngenerated code (REC listing, cf. paper Example 1):";
+  print_string (Codegen.Emit.rec_partitioning rp)
+
+(* ------------------------------------------------------------------ *)
+(* E4 — Example 2                                                       *)
+
+let ex2 () =
+  section "E4 / Example 2 (Ju et al): REC vs UNIQUE";
+  match Partition.choose Loopir.Builtin.example2 with
+  | Partition.Rec_chains rp ->
+      let p2 =
+        Enum.points (Iset.bind_params rp.Partition.three.Threeset.p2 [| 12 |])
+      in
+      Printf.printf "intermediate set at N=12: {%s}   (paper: {(2,6)})\n"
+        (String.concat "; "
+           (List.map (fun p -> Printf.sprintf "(%d,%d)" p.(0) p.(1)) p2));
+      let c = Partition.materialize_rec rp ~params:[| 12 |] in
+      Printf.printf "REC regions: 3 (P1 %d ∥ / chains %d / P3 %d ∥)\n"
+        (List.length c.Partition.p1_pts)
+        (Core.Chain.total_points c.Partition.chains)
+        (List.length c.Partition.p3_pts);
+      let u =
+        Baselines.Unique.partition rp.Partition.simple ~three:rp.Partition.three
+      in
+      Printf.printf "UNIQUE regions: %d (paper: 5, third sequential)\n"
+        (Baselines.Unique.n_regions u ~params:[| 12 |]);
+      Printf.printf "Theorem 1: growth %g, chain bound %s\n" c.Partition.growth
+        (match c.Partition.theorem_bound with
+        | Some b -> string_of_int b
+        | None -> "-")
+  | _ -> failwith "example2 must take the REC branch"
+
+(* ------------------------------------------------------------------ *)
+(* E5 — Example 3                                                       *)
+
+let ex3 () =
+  section "E5 / Example 3 (Chen et al): statement-level REC";
+  let u = Solve.analyze_unified Loopir.Builtin.example3 in
+  let three = Threeset.compute ~phi:u.Solve.uphi ~rd:u.Solve.urd in
+  Printf.printf "intermediate set empty (symbolic n): %b   (paper: empty)\n"
+    (Iset.is_empty three.Threeset.p2);
+  let c = Dataflow.peel_concrete Loopir.Builtin.example3 ~params:[ ("n", 40) ] in
+  Printf.printf
+    "exact dataflow levels at n=40: %d   (paper: two iteration time)\n"
+    c.Dataflow.steps
+
+(* ------------------------------------------------------------------ *)
+(* E6 — Example 4 (Cholesky)                                            *)
+
+let cholesky_params =
+  if quick then [ ("nmat", 16); ("m", 4); ("n", 20); ("nrhs", 2) ]
+  else [ ("nmat", 250); ("m", 4); ("n", 40); ("nrhs", 3) ]
+
+let cholesky_data =
+  lazy
+    (let c =
+       Dataflow.peel_concrete Loopir.Builtin.cholesky ~params:cholesky_params
+     in
+     let tr = Depend.Trace.build Loopir.Builtin.cholesky ~params:cholesky_params in
+     (c, tr))
+
+let ex4 () =
+  section "E6 / Example 4: NASA Cholesky kernel, dataflow partitioning";
+  Printf.printf "parameters: %s%s\n"
+    (String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) cholesky_params))
+    (if quick then "  [--quick]" else "  (paper parameters)");
+  let c, tr = Lazy.force cholesky_data in
+  Printf.printf "statement instances : %d\n" (Array.length c.Dataflow.instances);
+  Printf.printf "dependence edges    : %d\n" (Depend.Trace.n_edges tr);
+  Printf.printf "dataflow steps      : %d   (paper: 238 at paper parameters)\n"
+    c.Dataflow.steps;
+  (* PDM keeps the L dimension (the innermost loop of every statement)
+     fully parallel. *)
+  let l_of (i : Depend.Trace.instance) =
+    i.Depend.Trace.iter.(Array.length i.Depend.Trace.iter - 1)
+  in
+  let cross = ref 0 in
+  Depend.Trace.iter_edges tr (fun a b ->
+      if l_of tr.Depend.Trace.instances.(a) <> l_of tr.Depend.Trace.instances.(b)
+      then incr cross);
+  Printf.printf "edges crossing L    : %d   (0 ⟹ the PDM L-DOALL is legal)\n"
+    !cross
+
+(* ------------------------------------------------------------------ *)
+(* E7 — Figure 3: the four speedup panels                               *)
+
+let print_panel title header rows =
+  Printf.printf "\n-- %s\n" title;
+  Printf.printf "threads  %s\n" header;
+  List.iter
+    (fun p ->
+      Printf.printf "   %d    " p;
+      List.iter (fun f -> Printf.printf " %6.2f" (f p)) rows;
+      print_newline ())
+    threads_range
+
+let fig3_panel1 () =
+  let n1, n2 = if quick then (100, 160) else (300, 1000) in
+  let rp = Lazy.force ex1_plan in
+  let c = Partition.materialize_rec_scan rp ~params:[| n1; n2 |] in
+  let rec_a = Sim.abstract (Sched.of_rec ~stmt:0 c) in
+  let points = Partition.rec_points_in_order c in
+  let n_seq = List.length points in
+  let a = rp.Partition.simple in
+  (* Distance set straight from the recurrence maps (cheap at this scale). *)
+  let in_phi x = Iset.mem a.Solve.phi (Array.append x [| n1; n2 |]) in
+  let rec_map =
+    Option.get
+      (Core.Recurrence.of_pair rp.Partition.pair
+         ~params:(function "n1" -> n1 | "n2" -> n2 | _ -> 0))
+  in
+  let dists =
+    List.concat_map
+      (fun x ->
+        List.filter_map
+          (fun y -> if in_phi y then Some (Linalg.Ivec.sub y x) else None)
+          (Core.Recurrence.neighbors rec_map x))
+      points
+    |> List.filter Linalg.Ivec.is_lex_positive
+    |> List.sort_uniq Linalg.Ivec.compare_lex
+  in
+  let pdm = Baselines.Pdm.of_distances ~dim:2 dists in
+  let pl = Baselines.Pl.of_distances ~dim:2 dists in
+  let pdm_a = Sim.abstract (Baselines.Pdm.schedule pdm ~stmt:0 points) in
+  let pl_a = Sim.abstract (Baselines.Pl.schedule pl ~stmt:0 points) in
+  print_panel
+    (Printf.sprintf "panel 1: Example 1, N1=%d N2=%d (paper: REC > PDM > PL)"
+       n1 n2)
+    "   REC    PDM     PL  linear"
+    [
+      (fun p ->
+        Sim.speedup_abstract
+          (rec_ex1_cost ~n_seq ~phases:(List.length rec_a))
+          ~threads:p ~n_seq rec_a);
+      (fun p -> Sim.speedup_abstract pdm_ex1_cost ~threads:p ~n_seq pdm_a);
+      (fun p -> Sim.speedup_abstract pl_ex1_cost ~threads:p ~n_seq pl_a);
+      (fun p -> float_of_int p);
+    ]
+
+let fig3_panel2 () =
+  let n = if quick then 100 else 300 in
+  match Partition.choose Loopir.Builtin.example2 with
+  | Partition.Rec_chains rp ->
+      let c = Partition.materialize_rec_scan rp ~params:[| n |] in
+      let rec_a = Sim.abstract (Sched.of_rec ~stmt:0 c) in
+      let n_seq = n * n in
+      let u =
+        Baselines.Unique.partition rp.Partition.simple
+          ~three:rp.Partition.three
+      in
+      let uniq_a =
+        Sim.abstract (Baselines.Unique.schedule u ~stmt:0 ~params:[| n |])
+      in
+      print_panel
+        (Printf.sprintf
+           "panel 2: Example 2, N=%d (paper: REC ≥ UNIQUE, both ≥ linear at 1)"
+           n)
+        "   REC  UNIQUE  linear"
+        [
+          (fun p -> Sim.speedup_abstract rec_ex2_cost ~threads:p ~n_seq rec_a);
+          (fun p ->
+            Sim.speedup_abstract unique_ex2_cost ~threads:p ~n_seq uniq_a);
+          (fun p -> float_of_int p);
+        ]
+  | _ -> failwith "example2 REC expected"
+
+let fig3_panel3 () =
+  let n = if quick then 80 else 150 in
+  let params = [ ("n", n) ] in
+  let tr = Depend.Trace.build Loopir.Builtin.example3 ~params in
+  let n_seq = Array.length tr.Depend.Trace.instances in
+  let rec_a =
+    Sim.abstract
+      (Sched.of_fronts (Dataflow.peel_concrete Loopir.Builtin.example3 ~params))
+  in
+  let par_a = Sim.abstract (Baselines.Innerpar.schedule tr) in
+  print_panel
+    (Printf.sprintf
+       "panel 3: Example 3, n=%d (paper: REC > PAR > DOACROSS; REC has 2 \
+        barriers)"
+       n)
+    "   REC    PAR  DOACROSS  linear"
+    [
+      (fun p -> Sim.speedup_abstract Sim.base ~threads:p ~n_seq rec_a);
+      (fun p -> Sim.speedup_abstract Sim.base ~threads:p ~n_seq par_a);
+      (fun p ->
+        let r =
+          Baselines.Doacross.pipeline tr ~threads:p ~w_iter:Sim.base.Sim.w_iter
+            ~delay_factor:0.5
+        in
+        Sim.seq_time Sim.base n_seq /. r.Baselines.Doacross.makespan);
+      (fun p -> float_of_int p);
+    ]
+
+let fig3_panel4 () =
+  let c, tr = Lazy.force cholesky_data in
+  let n_seq = Array.length c.Dataflow.instances in
+  let rec_a =
+    List.map
+      (fun front -> Sim.ADoall (List.length front))
+      (Array.to_list c.Dataflow.fronts)
+  in
+  let per_l = Hashtbl.create 64 in
+  Array.iter
+    (fun (i : Depend.Trace.instance) ->
+      let l = i.Depend.Trace.iter.(Array.length i.Depend.Trace.iter - 1) in
+      Hashtbl.replace per_l l (1 + try Hashtbl.find per_l l with Not_found -> 0))
+    tr.Depend.Trace.instances;
+  let pdm_a =
+    [ Sim.ATasks (Array.of_list (Hashtbl.fold (fun _ k acc -> k :: acc) per_l [])) ]
+  in
+  print_panel "panel 4: Cholesky (paper: REC wins ≤ 3 threads, PDM wins at 4)"
+    "   REC    PDM  linear"
+    [
+      (fun p ->
+        Sim.speedup_abstract
+          (rec_ex4_cost ~n_seq ~phases:(List.length rec_a))
+          ~threads:p ~n_seq rec_a);
+      (fun p -> Sim.speedup_abstract pdm_ex4_cost ~threads:p ~n_seq pdm_a);
+      (fun p -> float_of_int p);
+    ]
+
+let fig3 () =
+  section "E7 / Figure 3: speedups on the simulated 4-CPU SMP";
+  fig3_panel1 ();
+  fig3_panel2 ();
+  fig3_panel3 ();
+  fig3_panel4 ()
+
+(* ------------------------------------------------------------------ *)
+(* E8 — Theorem 1 sweep                                                 *)
+
+let theorem1 () =
+  section "E8 / Theorem 1: measured chain length vs bound";
+  Printf.printf "%-10s %-14s %-8s %-8s %s\n" "program" "params" "longest"
+    "bound" "within";
+  let rp1 = Lazy.force ex1_plan in
+  List.iter
+    (fun (n1, n2) ->
+      let c = Partition.materialize_rec_scan rp1 ~params:[| n1; n2 |] in
+      let b = Option.value ~default:(-1) c.Partition.theorem_bound in
+      Printf.printf "%-10s %-14s %-8d %-8d %b\n" "example1"
+        (Printf.sprintf "%dx%d" n1 n2)
+        c.Partition.chains.Core.Chain.longest b
+        (c.Partition.chains.Core.Chain.longest <= b))
+    [ (10, 10); (40, 40); (100, 100); (300, 1000) ];
+  (match Partition.choose Loopir.Builtin.example2 with
+  | Partition.Rec_chains rp2 ->
+      List.iter
+        (fun n ->
+          let c = Partition.materialize_rec_scan rp2 ~params:[| n |] in
+          let b = Option.value ~default:(-1) c.Partition.theorem_bound in
+          Printf.printf "%-10s %-14s %-8d %-8d %b\n" "example2"
+            (Printf.sprintf "n=%d" n)
+            c.Partition.chains.Core.Chain.longest b
+            (c.Partition.chains.Core.Chain.longest <= b))
+        [ 12; 32; 64; 128; 256 ]
+  | _ -> ());
+  match
+    Partition.choose
+      (Loopir.Parser.parse ~name:"q" "DO i = 1, 4000\n  a(3*i + 1) = a(2*i)\nENDDO")
+  with
+  | Partition.Rec_chains rp ->
+      let c = Partition.materialize_rec rp ~params:[||] in
+      let b = Option.value ~default:(-1) c.Partition.theorem_bound in
+      Printf.printf "%-10s %-14s %-8d %-8d %b   (growth 3/2)\n" "stretch1d"
+        "n=4000" c.Partition.chains.Core.Chain.longest b
+        (c.Partition.chains.Core.Chain.longest <= b)
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* E9 — corpus survey                                                   *)
+
+let corpus () =
+  section "E9 / survey methodology: corpus classification";
+  let default_n = 10 in
+  let stats = ref (0, 0, 0) in
+  List.iter
+    (fun (name, prog) ->
+      match Solve.analyze_simple prog with
+      | a ->
+          let params = Array.map (fun _ -> default_n) a.Solve.params in
+          let cls =
+            Depend.Distance.classify a.Solve.rd ~phi:a.Solve.phi ~params
+          in
+          let coupled =
+            List.exists Depend.Distance.has_coupled_subscripts
+              (Loopir.Prog.stmts_of prog)
+          in
+          let t, nu, cp = !stats in
+          stats :=
+            ( t + 1,
+              (nu + if cls = Depend.Distance.Non_uniform then 1 else 0),
+              (cp + if coupled then 1 else 0) );
+          Printf.printf "  %-20s %-12s coupled=%b\n" name
+            (Depend.Distance.class_to_string cls)
+            coupled
+      | exception _ -> ())
+    Loopir.Builtin.corpus;
+  let t, nu, cp = !stats in
+  Printf.printf
+    "non-uniform: %d/%d (%.0f%%)  coupled: %d/%d   (paper: 46%% of SPECfp95 \
+     nests non-uniform — methodology reproduction, synthetic corpus)\n"
+    nu t
+    (100.0 *. float_of_int nu /. float_of_int t)
+    cp t
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: what the design choices buy                               *)
+
+let ablation () =
+  section "ablations (design-choice studies, DESIGN.md §5)";
+
+  (* 1. Exact (Omega) vs classical conservative dependence tests on random
+     single-dimension equations: how often exactness proves independence
+     that GCD/Banerjee miss. *)
+  let rng = Random.State.make [| 20040815 |] in
+  let n_eq = 2000 in
+  let gcd_fp = ref 0 and ban_fp = ref 0 and comb_fp = ref 0 in
+  let independent = ref 0 in
+  for _ = 1 to n_eq do
+    let m = 1 + Random.State.int rng 3 in
+    let coef () = Random.State.int rng 9 - 4 in
+    let eq =
+      {
+        Depend.Dtests.a = Array.init m (fun _ -> coef ());
+        b = Array.init m (fun _ -> coef ());
+        c = Random.State.int rng 61 - 30;
+        lo = Array.make m 1;
+        hi = Array.init m (fun _ -> 1 + Random.State.int rng 8);
+      }
+    in
+    match (try Some (Depend.Dtests.exact eq) with Presburger.Omega.Blowup _ -> None) with
+    | None | Some Depend.Dtests.Maybe_dependent -> ()
+    | Some Depend.Dtests.Independent ->
+        incr independent;
+        if Depend.Dtests.gcd_test eq <> Depend.Dtests.Independent then
+          incr gcd_fp;
+        if Depend.Dtests.banerjee_test eq <> Depend.Dtests.Independent then
+          incr ban_fp;
+        if Depend.Dtests.combined eq <> Depend.Dtests.Independent then
+          incr comb_fp
+  done;
+  Printf.printf
+    "A1 exactness: of %d random equations, %d are independent;\n\
+    \    conservative tests miss: GCD %d, Banerjee %d, GCD+Banerjee %d\n\
+    \    (the misses are where the paper's exact-solution approach finds\n\
+    \     parallelism that classical tests cannot)\n"
+    n_eq !independent !gcd_fp !ban_fp !comb_fp;
+
+  (* 2. Barrier structure per scheme on Example 2 (N=64): phases = barrier
+     count, plus the largest sequential task (critical path inside a
+     phase). *)
+  (match Partition.choose Loopir.Builtin.example2 with
+  | Partition.Rec_chains rp ->
+      let n = 64 in
+      let c = Partition.materialize_rec_scan rp ~params:[| n |] in
+      let rec_sched = Sched.of_rec ~stmt:0 c in
+      let a = rp.Partition.simple in
+      let pts =
+        Depend.Scan.iter_space a.Solve.stmt ~params:[ ("n", n) ]
+      in
+      let pdm = Baselines.Pdm.of_simple a ~params:[| n |] in
+      let pdm_sched = Baselines.Pdm.schedule pdm ~stmt:0 pts in
+      let md = Baselines.Mindist.of_simple a ~params:[| n |] in
+      let md_sched = Baselines.Mindist.schedule md ~stmt:0 pts in
+      let u = Baselines.Unique.partition a ~three:rp.Partition.three in
+      let u_sched = Baselines.Unique.schedule u ~stmt:0 ~params:[| n |] in
+      let longest_task s =
+        List.fold_left
+          (fun acc ph ->
+            match ph with
+            | Sched.Doall _ -> max acc 1
+            | Sched.Tasks { tasks; _ } ->
+                Array.fold_left (fun a t -> max a (Array.length t)) acc tasks)
+          0 s.Sched.phases
+      in
+      Printf.printf
+        "A2 schedule structure on Example 2 (N=%d, %d iterations):\n" n (n * n);
+      Printf.printf "    %-10s %8s %18s\n" "scheme" "barriers" "longest seq task";
+      List.iter
+        (fun (name, s) ->
+          Printf.printf "    %-10s %8d %18d\n" name (Sched.n_phases s)
+            (longest_task s))
+        [
+          ("REC", rec_sched);
+          ("UNIQUE", u_sched);
+          ("PDM", pdm_sched);
+          ("MINDIST", md_sched);
+        ]
+  | _ -> ());
+
+  (* 3. Redundancy elimination: disjunct counts of P1 with and without
+     simplification (raw difference vs simplified). *)
+  let a = Solve.analyze_simple Loopir.Builtin.example1 in
+  let iters = Array.sub (Iset.names a.Solve.phi) 0 (Iset.n_iters a.Solve.phi) in
+  let params = a.Solve.params in
+  let ran =
+    Iset.make ~iters ~params (Iset.polys (Rel.ran a.Solve.rd))
+  in
+  let raw = Iset.diff a.Solve.phi ran in
+  let simplified =
+    try Iset.simplify ~aggressive:true raw
+    with Presburger.Omega.Blowup _ -> Iset.simplify raw
+  in
+  let constr_count s =
+    List.fold_left
+      (fun acc p -> acc + List.length (Presburger.Poly.constraints p))
+      0 (Iset.polys s)
+  in
+  Printf.printf
+    "A3 simplification (Example 1 P1, symbolic): %d disjuncts / %d \
+     constraints raw -> %d / %d simplified\n"
+    (List.length (Iset.polys raw))
+    (constr_count raw)
+    (List.length (Iset.polys simplified))
+    (constr_count simplified)
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks (bechamel)                                          *)
+
+let micro () =
+  section "micro-benchmarks (bechamel, estimated time per run)";
+  let open Bechamel in
+  let open Toolkit in
+  let pugh_poly =
+    let ge coef const =
+      Presburger.Constr.Ge (Presburger.Linexpr.make (Array.of_list coef) const)
+    in
+    Presburger.Poly.make 2
+      [ ge [ 11; 13 ] (-27); ge [ -11; -13 ] 45; ge [ 7; -9 ] 10; ge [ -7; 9 ] 4 ]
+  in
+  let tests =
+    [
+      Test.make ~name:"E1: solve Rd (example1)"
+        (Staged.stage (fun () ->
+             ignore (Solve.analyze_simple Loopir.Builtin.example1)));
+      Test.make ~name:"omega: Pugh dark-shadow emptiness"
+        (Staged.stage (fun () -> ignore (Presburger.Omega.is_empty pugh_poly)));
+      Test.make ~name:"E2: three-set partition (fig2)"
+        (Staged.stage (fun () ->
+             let a = Solve.analyze_simple Loopir.Builtin.fig2 in
+             ignore (Threeset.compute ~phi:a.Solve.phi ~rd:a.Solve.rd)));
+      Test.make ~name:"E3: materialize REC (ex1, 30x40)"
+        (Staged.stage (fun () ->
+             let rp = Lazy.force ex1_plan in
+             ignore (Partition.materialize_rec_scan rp ~params:[| 30; 40 |])));
+      Test.make ~name:"E4: REC+chains (ex2, n=64)"
+        (Staged.stage (fun () ->
+             match Partition.choose Loopir.Builtin.example2 with
+             | Partition.Rec_chains rp ->
+                 ignore (Partition.materialize_rec_scan rp ~params:[| 64 |])
+             | _ -> ()));
+      Test.make ~name:"E5: unified Rd + three sets (ex3)"
+        (Staged.stage (fun () ->
+             let u = Solve.analyze_unified Loopir.Builtin.example3 in
+             ignore (Threeset.compute ~phi:u.Solve.uphi ~rd:u.Solve.urd)));
+      Test.make ~name:"E6: trace+levels (cholesky small)"
+        (Staged.stage (fun () ->
+             ignore
+               (Dataflow.peel_concrete Loopir.Builtin.cholesky
+                  ~params:[ ("nmat", 4); ("m", 2); ("n", 8); ("nrhs", 1) ])));
+      Test.make ~name:"E7: PDM cosets (ex1, 60x60)"
+        (Staged.stage (fun () ->
+             let rp = Lazy.force ex1_plan in
+             let a = rp.Partition.simple in
+             let pdm = Baselines.Pdm.of_simple a ~params:[| 60; 60 |] in
+             let pts =
+               Depend.Scan.iter_space a.Solve.stmt
+                 ~params:[ ("n1", 60); ("n2", 60) ]
+             in
+             ignore (Baselines.Pdm.cosets pdm pts)));
+      Test.make ~name:"codegen: REC listing (ex1)"
+        (Staged.stage (fun () ->
+             ignore (Codegen.Emit.rec_partitioning (Lazy.force ex1_plan))));
+      Test.make ~name:"parser: cholesky source"
+        (Staged.stage (fun () ->
+             ignore
+               (Loopir.Parser.parse ~name:"c"
+                  (Loopir.Pretty.program_to_string Loopir.Builtin.cholesky))));
+    ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if quick then 0.25 else 0.5))
+      ~kde:None ()
+  in
+  let raw =
+    Benchmark.all cfg
+      [ Instance.monotonic_clock ]
+      (Test.make_grouped ~name:"recpart" tests)
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name res acc ->
+        match Analyze.OLS.estimates res with
+        | Some (est :: _) -> (name, est) :: acc
+        | _ -> (name, nan) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, ns) ->
+      if ns >= 1e9 then Printf.printf "  %-44s %10.2f s\n" name (ns /. 1e9)
+      else if ns >= 1e6 then Printf.printf "  %-44s %10.2f ms\n" name (ns /. 1e6)
+      else if ns >= 1e3 then Printf.printf "  %-44s %10.2f us\n" name (ns /. 1e3)
+      else Printf.printf "  %-44s %10.0f ns\n" name ns)
+    rows
+
+let () =
+  Printf.printf "recurrence-chain partitioning — evaluation harness%s\n"
+    (if quick then " [--quick]" else " (paper parameters)");
+  fig1 ();
+  fig2 ();
+  ex1 ();
+  ex2 ();
+  ex3 ();
+  ex4 ();
+  fig3 ();
+  theorem1 ();
+  corpus ();
+  ablation ();
+  micro ();
+  print_endline "\nall sections completed."

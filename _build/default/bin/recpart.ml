@@ -1,0 +1,328 @@
+(* recpart — command-line driver for the recurrence-chain partitioner.
+
+   Programs are given either as a builtin name (see `recpart list`) or as a
+   path to a mini-Fortran source file.  Symbolic loop bounds are set with
+   repeated `-p name=value` options. *)
+
+open Cmdliner
+
+let load_program spec =
+  match List.assoc_opt spec Loopir.Builtin.all with
+  | Some p -> p
+  | None ->
+      if Sys.file_exists spec then begin
+        let ic = open_in spec in
+        let n = in_channel_length ic in
+        let src = really_input_string ic n in
+        close_in ic;
+        Loopir.Parser.parse ~name:(Filename.basename spec) src
+      end
+      else
+        failwith
+          (Printf.sprintf
+             "unknown program %S (not a builtin — see `recpart list` — and \
+              not a file)"
+             spec)
+
+let params_of_assoc prog assoc =
+  List.map
+    (fun p ->
+      match List.assoc_opt p assoc with
+      | Some v -> (p, v)
+      | None ->
+          failwith
+            (Printf.sprintf "parameter %s not set (use -p %s=<int>)" p p))
+    prog.Loopir.Ast.params
+
+let params_array prog assoc =
+  Array.of_list (List.map snd (params_of_assoc prog assoc))
+
+(* ---- common arguments ------------------------------------------------ *)
+
+let prog_arg =
+  let doc = "Builtin program name or path to a mini-Fortran file." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+
+let param_conv =
+  let parse s =
+    match String.index_opt s '=' with
+    | Some k -> (
+        let name = String.sub s 0 k
+        and v = String.sub s (k + 1) (String.length s - k - 1) in
+        match int_of_string_opt v with
+        | Some v -> Ok (String.lowercase_ascii name, v)
+        | None -> Error (`Msg "expected NAME=INT"))
+    | None -> Error (`Msg "expected NAME=INT")
+  in
+  let print ppf (n, v) = Format.fprintf ppf "%s=%d" n v in
+  Arg.conv (parse, print)
+
+let params_arg =
+  let doc = "Bind a symbolic loop bound, e.g. -p n=100 (repeatable)." in
+  Arg.(value & opt_all param_conv [] & info [ "p"; "param" ] ~docv:"NAME=INT" ~doc)
+
+let threads_arg =
+  let doc = "Number of threads/domains." in
+  Arg.(value & opt int 4 & info [ "t"; "threads" ] ~doc)
+
+(* ---- list ------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    print_endline "paper examples:";
+    List.iter
+      (fun (n, _) -> Printf.printf "  %s\n" n)
+      (List.filteri (fun i _ -> i < 6) Loopir.Builtin.all);
+    print_endline "corpus kernels:";
+    List.iter (fun (n, _) -> Printf.printf "  %s\n" n) Loopir.Builtin.corpus
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List builtin programs")
+    Term.(const run $ const ())
+
+(* ---- show ------------------------------------------------------------ *)
+
+let show_cmd =
+  let run spec =
+    let p = load_program spec in
+    print_string (Loopir.Pretty.program_to_string p);
+    Printf.printf "! parameters: %s\n" (String.concat ", " p.Loopir.Ast.params)
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Print a program")
+    Term.(const run $ prog_arg)
+
+(* ---- analyze --------------------------------------------------------- *)
+
+let analyze_cmd =
+  let run spec passoc =
+    let prog = load_program spec in
+    match Depend.Solve.analyze_simple prog with
+    | a ->
+        Printf.printf "perfect nest, depth %d, iteration space:\n  %s\n"
+          (Array.length a.Depend.Solve.iters)
+          (Format.asprintf "%a" Presburger.Iset.pp a.Depend.Solve.phi);
+        Printf.printf "forward dependence relation Rd:\n  %s\n"
+          (Format.asprintf "%a" Presburger.Rel.pp a.Depend.Solve.rd);
+        (match a.Depend.Solve.pair with
+        | Some pr ->
+            Printf.printf
+              "single coupled pair on array %s: det A = %d, det B = %d%s\n"
+              pr.Depend.Depeq.arr (Depend.Depeq.det_a pr)
+              (Depend.Depeq.det_b pr)
+              (if Depend.Depeq.full_rank pr then " (full rank: Lemma 1 applies)"
+               else "")
+        | None -> print_endline "no single coupled pair");
+        if passoc <> [] then begin
+          let params = params_array prog passoc in
+          let ds = Depend.Distance.distances a.Depend.Solve.rd ~params in
+          Printf.printf "distance set at %s: %s\n"
+            (String.concat ", "
+               (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) passoc))
+            (String.concat " " (List.map Linalg.Ivec.to_string ds));
+          Printf.printf "classification: %s\n"
+            (Depend.Distance.class_to_string
+               (Depend.Distance.classify a.Depend.Solve.rd
+                  ~phi:a.Depend.Solve.phi ~params))
+        end
+    | exception Invalid_argument _ ->
+        let u = Depend.Solve.analyze_unified prog in
+        Printf.printf
+          "imperfect nest / multiple statements: unified space depth %d, %d \
+           dependence disjuncts\n"
+          u.Depend.Solve.unified.Depend.Space.depth
+          (List.length (Presburger.Rel.polys u.Depend.Solve.urd))
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Exact dependence analysis")
+    Term.(const run $ prog_arg $ params_arg)
+
+(* ---- partition -------------------------------------------------------- *)
+
+let partition_cmd =
+  let run spec passoc =
+    let prog = load_program spec in
+    match Core.Partition.choose prog with
+    | Core.Partition.Rec_chains rp ->
+        print_endline "Algorithm 1 branch: recurrence chains (REC)";
+        let three = rp.Core.Partition.three in
+        Printf.printf "P1:\n  %s\n"
+          (Format.asprintf "%a" Presburger.Iset.pp three.Core.Threeset.p1);
+        Printf.printf "P2:\n  %s\n"
+          (Format.asprintf "%a" Presburger.Iset.pp three.Core.Threeset.p2);
+        Printf.printf "P3:\n  %s\n"
+          (Format.asprintf "%a" Presburger.Iset.pp three.Core.Threeset.p3);
+        if passoc <> [] then begin
+          let params = params_array prog passoc in
+          let c = Core.Partition.materialize_rec_scan rp ~params in
+          Printf.printf
+            "at %s: |P1| = %d, chains = %d (%d pts, longest %d), |P3| = %d\n"
+            (String.concat ", "
+               (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) passoc))
+            (List.length c.Core.Partition.p1_pts)
+            (List.length c.Core.Partition.chains.Core.Chain.chains)
+            (Core.Chain.total_points c.Core.Partition.chains)
+            c.Core.Partition.chains.Core.Chain.longest
+            (List.length c.Core.Partition.p3_pts);
+          match c.Core.Partition.theorem_bound with
+          | Some b ->
+              Printf.printf "Theorem 1: growth %g, chain bound %d\n"
+                c.Core.Partition.growth b
+          | None -> ()
+        end
+    | Core.Partition.Dataflow_const ->
+        print_endline "Algorithm 1 branch: dataflow partitioning (constant bounds)";
+        let c = Core.Dataflow.peel_concrete prog ~params:[] in
+        Printf.printf "steps: %d over %d instances\n" c.Core.Dataflow.steps
+          (Array.length c.Core.Dataflow.instances)
+    | Core.Partition.Pdm_fallback why ->
+        Printf.printf "Algorithm 1 branch: PDM fallback (%s)\n" why;
+        if passoc <> [] then begin
+          let c = Core.Dataflow.peel_concrete prog ~params:(params_of_assoc prog passoc) in
+          Printf.printf "dataflow at bound parameters: %d steps over %d instances\n"
+            c.Core.Dataflow.steps
+            (Array.length c.Core.Dataflow.instances)
+        end
+  in
+  Cmd.v (Cmd.info "partition" ~doc:"Run Algorithm 1 and show the partition")
+    Term.(const run $ prog_arg $ params_arg)
+
+(* ---- codegen ----------------------------------------------------------- *)
+
+let codegen_cmd =
+  let run spec =
+    let prog = load_program spec in
+    match Core.Partition.choose prog with
+    | Core.Partition.Rec_chains rp ->
+        print_string (Codegen.Emit.rec_partitioning rp)
+    | Core.Partition.Dataflow_const ->
+        let a = Depend.Solve.analyze_simple prog in
+        let fronts =
+          Core.Dataflow.peel_symbolic ~phi:a.Depend.Solve.phi
+            ~rd:a.Depend.Solve.rd ~max_steps:64
+        in
+        print_string
+          (Codegen.Emit.dataflow_listing fronts
+             ~names:(Presburger.Iset.names a.Depend.Solve.phi))
+    | Core.Partition.Pdm_fallback why ->
+        Printf.printf "! PDM fallback (%s): no REC listing\n" why
+  in
+  Cmd.v (Cmd.info "codegen" ~doc:"Emit the partitioned pseudo-Fortran")
+    Term.(const run $ prog_arg)
+
+(* ---- run --------------------------------------------------------------- *)
+
+let run_cmd =
+  let run spec passoc threads =
+    let prog = load_program spec in
+    let params = params_of_assoc prog passoc in
+    let env = Runtime.Interp.prepare prog ~params in
+    let sched =
+      match Core.Partition.choose prog with
+      | Core.Partition.Rec_chains rp ->
+          Runtime.Sched.of_rec ~stmt:0
+            (Core.Partition.materialize_rec_scan rp
+               ~params:(params_array prog passoc))
+      | Core.Partition.Dataflow_const | Core.Partition.Pdm_fallback _ ->
+          Runtime.Sched.of_fronts (Core.Dataflow.peel_concrete prog ~params)
+    in
+    Printf.printf "schedule: %d phases, %d instances\n"
+      (Runtime.Sched.n_phases sched)
+      (Runtime.Sched.n_instances sched);
+    let tr = Depend.Trace.build prog ~params in
+    (match Runtime.Sched.check_legal sched tr with
+    | Ok () -> print_endline "legality : OK"
+    | Error m -> Printf.printf "legality : FAILED (%s)\n" m);
+    (match Runtime.Exec.check env ~threads sched with
+    | Ok () -> Printf.printf "execution: OK on %d domain(s)\n" threads
+    | Error m -> Printf.printf "execution: FAILED (%s)\n" m);
+    Printf.printf "wall time: %.4fs (sequential interp: %.4fs)\n"
+      (Runtime.Exec.wall_time env ~threads sched)
+      (Runtime.Exec.wall_time env ~threads:1 sched)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Partition, execute on domains, and validate against sequential")
+    Term.(const run $ prog_arg $ params_arg $ threads_arg)
+
+(* ---- simulate ---------------------------------------------------------- *)
+
+let simulate_cmd =
+  let run spec passoc max_threads =
+    let prog = load_program spec in
+    let params = params_of_assoc prog passoc in
+    let sched =
+      match Core.Partition.choose prog with
+      | Core.Partition.Rec_chains rp ->
+          Runtime.Sched.of_rec ~stmt:0
+            (Core.Partition.materialize_rec_scan rp
+               ~params:(params_array prog passoc))
+      | Core.Partition.Dataflow_const | Core.Partition.Pdm_fallback _ ->
+          Runtime.Sched.of_fronts (Core.Dataflow.peel_concrete prog ~params)
+    in
+    let n = Runtime.Sched.n_instances sched in
+    Printf.printf "threads  speedup (simulated SMP, REC code factor 0.8)\n";
+    for p = 1 to max_threads do
+      Printf.printf "   %2d    %.2f\n" p
+        (Runtime.Sim.speedup (Runtime.Sim.with_factor 0.8) ~threads:p ~n_seq:n
+           sched)
+    done
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Predicted speedup on the SMP cost model")
+    Term.(const run $ prog_arg $ params_arg $ threads_arg)
+
+(* ---- viz ---------------------------------------------------------------- *)
+
+let viz_cmd =
+  let fmt_arg =
+    let doc = "Output format: dot (dependence graph), chains (DOT of \
+               recurrence chains), ascii (2-D partition grid)." in
+    Arg.(value & opt (enum [ ("dot", `Dot); ("chains", `Chains); ("ascii", `Ascii) ]) `Dot
+         & info [ "f"; "format" ] ~doc)
+  in
+  let run spec passoc fmt =
+    let prog = load_program spec in
+    match fmt with
+    | `Dot ->
+        let params = params_of_assoc prog passoc in
+        let tr = Depend.Trace.build prog ~params in
+        print_string (Codegen.Viz.dot_of_trace tr)
+    | `Chains -> (
+        match Core.Partition.choose prog with
+        | Core.Partition.Rec_chains rp ->
+            let c =
+              Core.Partition.materialize_rec_scan rp
+                ~params:(params_array prog passoc)
+            in
+            print_string (Codegen.Viz.dot_of_chains c.Core.Partition.chains)
+        | _ -> prerr_endline "chains are only available for REC plans")
+    | `Ascii -> (
+        match Core.Partition.choose prog with
+        | Core.Partition.Rec_chains rp
+          when Array.length rp.Core.Partition.simple.Depend.Solve.iters = 2 ->
+            let params = params_array prog passoc in
+            (* Use the bounding box of the scanned space. *)
+            let pts =
+              Depend.Scan.iter_space rp.Core.Partition.simple.Depend.Solve.stmt
+                ~params:(params_of_assoc prog passoc)
+            in
+            let xs = List.map (fun p -> p.(0)) pts
+            and ys = List.map (fun p -> p.(1)) pts in
+            let mn l = List.fold_left min max_int l
+            and mx l = List.fold_left max min_int l in
+            print_string
+              (Codegen.Viz.ascii_three_sets rp.Core.Partition.three ~params
+                 ~x_range:(mn xs, mx xs) ~y_range:(mn ys, mx ys))
+        | _ -> prerr_endline "ascii view needs a 2-D REC plan")
+  in
+  Cmd.v
+    (Cmd.info "viz" ~doc:"Visualize dependences, chains, or the partition")
+    Term.(const run $ prog_arg $ params_arg $ fmt_arg)
+
+let main =
+  let doc = "recurrence-chain partitioning of non-uniform dependence loops" in
+  Cmd.group
+    (Cmd.info "recpart" ~version:"1.0" ~doc)
+    [
+      list_cmd; show_cmd; analyze_cmd; partition_cmd; codegen_cmd; run_cmd;
+      simulate_cmd; viz_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

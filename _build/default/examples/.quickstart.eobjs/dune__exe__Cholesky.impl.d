@@ -1,0 +1,1 @@
+examples/cholesky.ml: Array Core Depend Hashtbl List Loopir Printf Runtime String Sys

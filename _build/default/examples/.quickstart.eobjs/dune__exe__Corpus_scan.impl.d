@@ -1,0 +1,1 @@
+examples/corpus_scan.ml: Array Depend List Loopir Printf String

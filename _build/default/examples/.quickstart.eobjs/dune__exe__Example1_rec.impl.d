@@ -1,0 +1,1 @@
+examples/example1_rec.ml: Array Codegen Core Depend Hashtbl List Loopir Presburger Printf Runtime

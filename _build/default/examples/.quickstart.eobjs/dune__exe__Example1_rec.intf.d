@@ -1,0 +1,1 @@
+examples/example1_rec.mli:

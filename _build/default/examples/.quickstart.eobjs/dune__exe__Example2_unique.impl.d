@@ -1,0 +1,1 @@
+examples/example2_unique.ml: Array Baselines Core Depend List Loopir Presburger Printf Runtime String

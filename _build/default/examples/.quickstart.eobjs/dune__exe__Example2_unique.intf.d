@@ -1,0 +1,1 @@
+examples/example2_unique.mli:

@@ -1,0 +1,1 @@
+examples/example3_imperfect.ml: Array Baselines Codegen Core Depend List Loopir Presburger Printf Runtime String

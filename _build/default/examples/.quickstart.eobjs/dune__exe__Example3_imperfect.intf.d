@@ -1,0 +1,1 @@
+examples/example3_imperfect.mli:

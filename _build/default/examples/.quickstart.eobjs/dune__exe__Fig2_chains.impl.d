@@ -1,0 +1,1 @@
+examples/fig2_chains.ml: Array Core Depend List Loopir Presburger Printf Runtime String

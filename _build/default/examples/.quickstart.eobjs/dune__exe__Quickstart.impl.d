@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Codegen Core Depend List Loopir Presburger Printf Runtime String

@@ -1,0 +1,72 @@
+(* Survey statistics (DESIGN.md E9): classify a corpus of loop kernels by
+   dependence uniformity and coupled subscripts, reproducing the
+   methodology behind the paper's introduction statistics (46% of SPECfp95
+   nests with non-uniform dependences; 12.8% of coupled subscripts causing
+   them).  The corpus here is synthetic, so the percentages are indicative
+   of the method, not of SPECfp95.
+
+   Run with:  dune exec examples/corpus_scan.exe *)
+
+let default_n = 10
+
+let classify name prog =
+  let stmt_coupled =
+    try
+      List.exists Depend.Distance.has_coupled_subscripts
+        (Loopir.Prog.stmts_of prog)
+    with _ -> false
+  in
+  match Depend.Solve.analyze_simple prog with
+  | a ->
+      let params =
+        Array.map (fun _ -> default_n) a.Depend.Solve.params
+      in
+      let cls =
+        Depend.Distance.classify a.Depend.Solve.rd ~phi:a.Depend.Solve.phi
+          ~params
+      in
+      Some (name, cls, stmt_coupled)
+  | exception Invalid_argument _ ->
+      (* imperfect nest: classify via the exact instance graph *)
+      let params =
+        List.map (fun p -> (p, default_n)) prog.Loopir.Ast.params
+      in
+      let tr = Depend.Trace.build prog ~params in
+      let cls =
+        if Depend.Trace.n_edges tr = 0 then Depend.Distance.No_dependence
+        else Depend.Distance.Non_uniform
+      in
+      Some (name, cls, stmt_coupled)
+  | exception _ -> None
+
+let () =
+  let results = List.filter_map (fun (n, p) -> classify n p) Loopir.Builtin.corpus in
+  Printf.printf "%-22s %-14s %s\n" "kernel" "dependences" "coupled subscripts";
+  Printf.printf "%s\n" (String.make 55 '-');
+  List.iter
+    (fun (name, cls, coupled) ->
+      Printf.printf "%-22s %-14s %s\n" name
+        (Depend.Distance.class_to_string cls)
+        (if coupled then "yes" else "no"))
+    results;
+  let total = List.length results in
+  let count f = List.length (List.filter f results) in
+  let nonuni = count (fun (_, c, _) -> c = Depend.Distance.Non_uniform) in
+  let coupled = count (fun (_, _, c) -> c) in
+  let coupled_nonuni =
+    count (fun (_, c, k) -> k && c = Depend.Distance.Non_uniform)
+  in
+  Printf.printf "%s\n" (String.make 55 '-');
+  Printf.printf "loops with non-uniform dependences : %d/%d (%.0f%%)\n" nonuni
+    total
+    (100.0 *. float_of_int nonuni /. float_of_int total);
+  Printf.printf "loops with coupled subscripts      : %d/%d (%.0f%%)\n" coupled
+    total
+    (100.0 *. float_of_int coupled /. float_of_int total);
+  if coupled > 0 then
+    Printf.printf "coupled subscripts → non-uniform   : %d/%d (%.0f%%)\n"
+      coupled_nonuni coupled
+      (100.0 *. float_of_int coupled_nonuni /. float_of_int coupled);
+  print_endline
+    "\n(cf. paper introduction: 46% of SPECfp95 nests non-uniform; the\n\
+     \ corpus here is synthetic — the methodology is what is reproduced)"

@@ -1,0 +1,1 @@
+lib/baselines/doacross.ml: Array Depend Float Hashtbl List

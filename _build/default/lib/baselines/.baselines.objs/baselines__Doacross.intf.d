@@ -1,0 +1,1 @@
+lib/baselines/doacross.mli: Depend

@@ -1,0 +1,1 @@
+lib/baselines/innerpar.ml: Array Depend Hashtbl List Printf Runtime

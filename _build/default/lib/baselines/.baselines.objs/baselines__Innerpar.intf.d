@@ -1,0 +1,1 @@
+lib/baselines/innerpar.mli: Depend Runtime

@@ -1,0 +1,1 @@
+lib/baselines/mindist.ml: Array Depend Hashtbl Linalg List Numeric Printf Runtime

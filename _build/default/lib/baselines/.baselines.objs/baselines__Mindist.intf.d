@@ -1,0 +1,1 @@
+lib/baselines/mindist.mli: Depend Linalg Runtime

@@ -1,0 +1,1 @@
+lib/baselines/pdm.ml: Array Depend Hashtbl Linalg List Numeric Runtime

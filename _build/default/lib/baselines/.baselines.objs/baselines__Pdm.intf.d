@@ -1,0 +1,1 @@
+lib/baselines/pdm.mli: Depend Linalg Runtime

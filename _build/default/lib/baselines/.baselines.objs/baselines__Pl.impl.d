@@ -1,0 +1,1 @@
+lib/baselines/pl.ml: Array Depend Linalg List Pdm Runtime

@@ -1,0 +1,1 @@
+lib/baselines/pl.mli: Depend Linalg Pdm Runtime

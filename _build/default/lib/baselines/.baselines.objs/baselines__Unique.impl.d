@@ -1,0 +1,1 @@
+lib/baselines/unique.ml: Array Core Depend List Loopir Presburger Runtime

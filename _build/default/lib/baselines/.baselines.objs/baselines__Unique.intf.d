@@ -1,0 +1,1 @@
+lib/baselines/unique.mli: Core Depend Presburger Runtime

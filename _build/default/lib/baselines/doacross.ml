@@ -1,0 +1,81 @@
+type result = { makespan : float; busy : float }
+
+let pipeline (tr : Depend.Trace.t) ~threads ~w_iter ~delay_factor =
+  let threads = max threads 1 in
+  (* Stage sizes: instances per outermost index, in order. *)
+  let sizes = Hashtbl.create 64 in
+  let order = ref [] in
+  Array.iter
+    (fun (i : Depend.Trace.instance) ->
+      let key =
+        if Array.length i.Depend.Trace.iter > 0 then i.Depend.Trace.iter.(0)
+        else 0
+      in
+      if not (Hashtbl.mem sizes key) then begin
+        Hashtbl.add sizes key 0;
+        order := key :: !order
+      end;
+      Hashtbl.replace sizes key (1 + Hashtbl.find sizes key))
+    tr.Depend.Trace.instances;
+  let stages =
+    List.rev_map (fun k -> float_of_int (Hashtbl.find sizes k) *. w_iter) !order
+  in
+  let proc_free = Array.make threads 0.0 in
+  let makespan = ref 0.0 in
+  let prev_start = ref neg_infinity in
+  let prev_work = ref 0.0 in
+  List.iteri
+    (fun k work ->
+      let p = k mod threads in
+      let earliest =
+        if k = 0 then 0.0 else !prev_start +. (delay_factor *. !prev_work)
+      in
+      let start = Float.max proc_free.(p) earliest in
+      let stop = start +. work in
+      proc_free.(p) <- stop;
+      prev_start := start;
+      prev_work := work;
+      if stop > !makespan then makespan := stop)
+    stages;
+  {
+    makespan = !makespan;
+    busy = List.fold_left ( +. ) 0.0 stages;
+  }
+
+let simulate (tr : Depend.Trace.t) ~threads ~w_iter ~sync =
+  let n = Array.length tr.Depend.Trace.instances in
+  let threads = max threads 1 in
+  (* Processor of an instance: round-robin on the outermost loop index so a
+     whole outer iteration stays on one processor, as in DOACROSS. *)
+  let proc_of k =
+    let inst = tr.Depend.Trace.instances.(k) in
+    let key =
+      if Array.length inst.Depend.Trace.iter > 0 then
+        inst.Depend.Trace.iter.(0)
+      else inst.Depend.Trace.inst
+    in
+    ((key mod threads) + threads) mod threads
+  in
+  (* Predecessor lists. *)
+  let preds = Array.make n [] in
+  Depend.Trace.iter_edges tr (fun src dst -> preds.(dst) <- src :: preds.(dst));
+  let finish = Array.make n 0.0 in
+  let proc_free = Array.make threads 0.0 in
+  let makespan = ref 0.0 in
+  (* Program order = topological order; same-processor instances execute in
+     program order. *)
+  for k = 0 to n - 1 do
+    let p = proc_of k in
+    let ready =
+      List.fold_left
+        (fun acc s ->
+          let t = finish.(s) +. if proc_of s = p then 0.0 else sync in
+          Float.max acc t)
+        proc_free.(p) preds.(k)
+    in
+    let stop = ready +. w_iter in
+    finish.(k) <- stop;
+    proc_free.(p) <- stop;
+    if stop > !makespan then makespan := stop
+  done;
+  { makespan = !makespan; busy = float_of_int n *. w_iter }

@@ -1,0 +1,34 @@
+(** DOACROSS execution of non-uniform loops (Tzen & Ni 1993 [23], Chen &
+    Yew 1996 [6]): outer-loop iterations are started in order on the
+    available processors and P/V synchronization enforces every
+    cross-iteration dependence.
+
+    Modeled exactly on the concrete instance dependence graph: instance
+    start = max(processor available, predecessors' finish + sync delay).
+    The makespan feeds the Figure-3 panel for Example 3. *)
+
+type result = {
+  makespan : float;  (** simulated time *)
+  busy : float;  (** total work executed (for utilization) *)
+}
+
+val simulate :
+  Depend.Trace.t ->
+  threads:int ->
+  w_iter:float ->
+  sync:float ->
+  result
+(** Exact-graph variant: instance start = max(processor free, predecessor
+    finish + sync).  This is an optimistic lower bound — real DOACROSS
+    implementations synchronize on conservative BDV delays. *)
+
+val pipeline :
+  Depend.Trace.t ->
+  threads:int ->
+  w_iter:float ->
+  delay_factor:float ->
+  result
+(** Chen & Yew-style model: each outermost-loop iteration is a sequential
+    stage on one processor (round-robin); stage [k] may start only
+    [delay_factor × work(k-1)] after stage [k-1] starts (the P/V delay of
+    the uniformized dependence). *)

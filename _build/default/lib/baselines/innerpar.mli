@@ -1,0 +1,6 @@
+(** Inner-loop-only parallelization (the POWER-test style baseline [25] of
+    Figure 3, panel 3): the outermost loop stays sequential and each of its
+    iterations becomes one DOALL phase over the enclosed instances. *)
+
+val schedule : Depend.Trace.t -> Runtime.Sched.t
+(** One DOALL phase per distinct outermost index value, in order. *)

@@ -1,0 +1,14 @@
+(** Partitioning & labeling by unimodular transformation (D'Hollander 1992
+    [9]), applied to non-uniform loops through direction-based
+    uniformization: each distance vector is replaced by its gcd-normalized
+    direction, so the covering lattice is coarser than the PDM lattice
+    (fewer, longer coset chains — the paper's Figure 3 shows PL below PDM
+    on Example 1). *)
+
+type t = Pdm.t
+
+val of_distances : dim:int -> Linalg.Ivec.t list -> t
+(** PDM machinery over the normalized directions. *)
+
+val of_simple : Depend.Solve.simple -> params:int array -> t
+val schedule : t -> stmt:int -> Linalg.Ivec.t list -> Runtime.Sched.t

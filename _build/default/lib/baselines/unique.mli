@@ -1,0 +1,29 @@
+(** Unique-set oriented partitioning (Ju & Chaudhary, 1997 [11]).
+
+    The dependence convex hull is split by lexicographic order and by the
+    flow/anti orientation of the coupled reference pair into head and tail
+    unique sets; with the intermediate set this yields the five sequential
+    regions the paper reports for Example 2 (the third — the intermediate
+    set — is sequential, the other four are fully parallel).
+
+    Legality follows from the three-set structure: [P1] and [P3] carry no
+    internal dependences, so any split of them into successive phases is
+    legal, and the intermediate set runs sequentially in lexicographic
+    order. *)
+
+type t = {
+  head_flow : Presburger.Iset.t;  (** P1 sources of flow dependences *)
+  head_rest : Presburger.Iset.t;  (** remaining P1 *)
+  mid : Presburger.Iset.t;  (** intermediate set, executed sequentially *)
+  tail_anti : Presburger.Iset.t;  (** P3 targets of anti dependences *)
+  tail_rest : Presburger.Iset.t;  (** remaining P3 *)
+}
+
+val partition : Depend.Solve.simple -> three:Core.Threeset.t -> t
+
+val schedule : t -> stmt:int -> params:int array -> Runtime.Sched.t
+(** Five phases in order: head-flow ∥, head-rest ∥, mid (one sequential
+    task), tail-anti ∥, tail-rest ∥. *)
+
+val n_regions : t -> params:int array -> int
+(** Number of non-empty phases at the given parameters. *)

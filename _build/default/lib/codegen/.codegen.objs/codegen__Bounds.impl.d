@@ -1,0 +1,1 @@
+lib/codegen/bounds.ml: Array List Numeric Presburger

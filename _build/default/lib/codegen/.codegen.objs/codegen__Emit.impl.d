@@ -1,0 +1,1 @@
+lib/codegen/emit.ml: Array Bounds Buffer Core Depend Format List Numeric Presburger Printf String

@@ -1,0 +1,1 @@
+lib/codegen/viz.ml: Array Buffer Char Core Depend Linalg List Printf String

@@ -1,0 +1,1 @@
+lib/codegen/viz.mli: Core Depend

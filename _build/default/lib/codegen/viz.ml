@@ -1,0 +1,90 @@
+let node_name (i : Depend.Trace.instance) =
+  Printf.sprintf "s%d_%s" i.Depend.Trace.stmt
+    (String.concat "_"
+       (List.map
+          (fun v -> if v < 0 then Printf.sprintf "m%d" (-v) else string_of_int v)
+          (Array.to_list i.Depend.Trace.iter)))
+
+let node_label (i : Depend.Trace.instance) =
+  Printf.sprintf "S%d%s" i.Depend.Trace.stmt
+    (Linalg.Ivec.to_string i.Depend.Trace.iter)
+
+let dot_of_trace ?(max_nodes = 400) (tr : Depend.Trace.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph dependences {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  let n = Array.length tr.Depend.Trace.instances in
+  let shown = min n max_nodes in
+  for k = 0 to shown - 1 do
+    let i = tr.Depend.Trace.instances.(k) in
+    Buffer.add_string buf
+      (Printf.sprintf "  %s [label=\"%s\"];\n" (node_name i) (node_label i))
+  done;
+  Depend.Trace.iter_edges tr (fun a b ->
+      if a < shown && b < shown then
+        Buffer.add_string buf
+          (Printf.sprintf "  %s -> %s;\n"
+             (node_name tr.Depend.Trace.instances.(a))
+             (node_name tr.Depend.Trace.instances.(b))));
+  if shown < n then
+    Buffer.add_string buf
+      (Printf.sprintf "  // %d further instances truncated\n" (n - shown));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let dot_of_chains (c : Core.Chain.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph chains {\n  node [shape=circle, fontsize=10];\n";
+  List.iteri
+    (fun k chain ->
+      let name p =
+        Printf.sprintf "c%d_%s" k
+          (String.concat "_"
+             (List.map
+                (fun v ->
+                  if v < 0 then Printf.sprintf "m%d" (-v) else string_of_int v)
+                (Array.to_list p)))
+      in
+      List.iter
+        (fun p ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s [label=\"%s\"];\n" (name p)
+               (Linalg.Ivec.to_string p)))
+        chain;
+      let rec arrows = function
+        | a :: (b :: _ as rest) ->
+            Buffer.add_string buf
+              (Printf.sprintf "  %s -> %s;\n" (name a) (name b));
+            arrows rest
+        | _ -> ()
+      in
+      arrows chain)
+    c.Core.Chain.chains;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let ascii_grid ~classify ~x_range:(x0, x1) ~y_range:(y0, y1) =
+  let buf = Buffer.create 256 in
+  for y = y1 downto y0 do
+    Buffer.add_string buf (Printf.sprintf "%4d " y);
+    for x = x0 to x1 do
+      Buffer.add_char buf (classify [| x; y |])
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf "     ";
+  for x = x0 to x1 do
+    Buffer.add_char buf
+      (if x mod 10 = 0 then '0' else Char.chr (Char.code '0' + abs (x mod 10)))
+  done;
+  Buffer.add_string buf "  (x)\n";
+  Buffer.contents buf
+
+let ascii_three_sets three ~params ~x_range ~y_range =
+  ascii_grid
+    ~classify:(fun p ->
+      match Core.Threeset.classify_point three ~params p with
+      | `P1 -> '1'
+      | `P2 -> '2'
+      | `P3 -> '3'
+      | `Outside -> '.')
+    ~x_range ~y_range

@@ -1,0 +1,27 @@
+(** Visualization of dependence structure — the textual counterpart of the
+    authors' 3D iteration space visualizer (Yu & D'Hollander, JVLC 2001,
+    cited as [28] for Example 3).
+
+    Produces Graphviz DOT for instance dependence graphs and recurrence
+    chains, and ASCII grids of 2-D iteration spaces colored by partition
+    set (the rendering used in Figure 1/Figure 2-style displays). *)
+
+val dot_of_trace : ?max_nodes:int -> Depend.Trace.t -> string
+(** DOT digraph of the statement-instance dependence graph; nodes are
+    labelled [S<stmt>(iter)].  Traces larger than [max_nodes] (default 400)
+    are truncated with a comment. *)
+
+val dot_of_chains : Core.Chain.t -> string
+(** DOT digraph with one path per monotonic chain. *)
+
+val ascii_grid :
+  classify:(int array -> char) ->
+  x_range:int * int ->
+  y_range:int * int ->
+  string
+(** 2-D grid, x horizontal (left→right), y vertical (top = max). *)
+
+val ascii_three_sets :
+  Core.Threeset.t -> params:int array -> x_range:int * int -> y_range:int * int -> string
+(** Grid of `1`/`2`/`3` for P1/P2/P3 (`.` outside), as printed by
+    [examples/example1_rec.exe]. *)

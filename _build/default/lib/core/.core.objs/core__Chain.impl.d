@@ -1,0 +1,1 @@
+lib/core/chain.ml: Array Linalg List Presburger Printf Recurrence Set Threeset

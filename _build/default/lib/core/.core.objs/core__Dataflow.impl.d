@@ -1,0 +1,1 @@
+lib/core/dataflow.ml: Array Depend List Presburger

@@ -1,0 +1,1 @@
+lib/core/partition.ml: Array Chain Depend Linalg List Loopir Option Presburger Printf Recurrence Theorem Threeset

@@ -1,0 +1,1 @@
+lib/core/partition.mli: Chain Depend Linalg Loopir Threeset

@@ -1,0 +1,1 @@
+lib/core/recurrence.ml: Array Depend Float Fun Linalg List Loopir Numeric

@@ -1,0 +1,1 @@
+lib/core/recurrence.mli: Depend Linalg Numeric

@@ -1,0 +1,1 @@
+lib/core/threeset.ml: Array Presburger

@@ -1,0 +1,1 @@
+lib/core/threeset.mli: Presburger

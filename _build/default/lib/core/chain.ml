@@ -1,0 +1,46 @@
+module Iset = Presburger.Iset
+module Enum = Presburger.Enum
+module Ivec = Linalg.Ivec
+
+type t = { chains : Linalg.Ivec.t list list; longest : int }
+
+module VSet = Set.Make (struct
+  type t = int array
+
+  let compare = Ivec.compare_lex
+end)
+
+let decompose ~three ~rec_ ~phi ~params =
+  let in_phi x = Iset.mem phi (Array.append x params) in
+  let in_p2 x = Iset.mem three.Threeset.p2 (Array.append x params) in
+  let p2_points =
+    Enum.points (Iset.bind_params three.Threeset.p2 params)
+  in
+  let w_points = Enum.points (Iset.bind_params three.Threeset.w params) in
+  let seen = ref VSet.empty in
+  let chains =
+    List.map
+      (fun start ->
+        if not (in_p2 start) then
+          failwith "Chain: W start point not in P2";
+        let rec walk x acc =
+          if VSet.mem x !seen then
+            failwith "Chain: chains intersect — Lemma 1 violated";
+          seen := VSet.add x !seen;
+          match Recurrence.successor rec_ ~in_phi x with
+          | Some y when in_p2 y -> walk y (x :: acc)
+          | Some _ | None -> List.rev (x :: acc)
+        in
+        walk start [])
+      w_points
+  in
+  let covered = VSet.cardinal !seen in
+  if covered <> List.length p2_points then
+    failwith
+      (Printf.sprintf "Chain: chains cover %d of %d intermediate iterations"
+         covered (List.length p2_points));
+  let longest = List.fold_left (fun m c -> max m (List.length c)) 0 chains in
+  { chains; longest }
+
+let total_points t =
+  List.fold_left (fun acc c -> acc + List.length c) 0 t.chains

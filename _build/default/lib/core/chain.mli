@@ -1,0 +1,27 @@
+(** Monotonic recurrence chains: the decomposition of the intermediate set
+    [P2] into disjoint lexicographically increasing chains (Lemma 1), each
+    executed sequentially by a WHILE loop with irregular stride.
+
+    Chains are materialized for concrete parameter values; the symbolic
+    artifacts ([W], the WHILE condition [Φ ∩ dom Rd]) stay in
+    {!Threeset.t} / the code generator. *)
+
+type t = {
+  chains : Linalg.Ivec.t list list;
+      (** one list per chain, in lexicographic execution order; every [P2]
+          point appears in exactly one chain *)
+  longest : int;  (** length of the longest chain (0 when P2 is empty) *)
+}
+
+val decompose :
+  three:Threeset.t ->
+  rec_:Recurrence.t ->
+  phi:Presburger.Iset.t ->
+  params:int array ->
+  t
+(** [decompose ~three ~rec_ ~phi ~params] walks each start point of [W]
+    forward through {!Recurrence.successor} while it stays intermediate.
+    Raises [Failure] when the walk violates Lemma 1 (bifurcation) or fails
+    to cover [P2] — callers fall back to dataflow partitioning. *)
+
+val total_points : t -> int

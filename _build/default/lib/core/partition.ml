@@ -1,0 +1,160 @@
+module Iset = Presburger.Iset
+module Enum = Presburger.Enum
+module Solve = Depend.Solve
+module Depeq = Depend.Depeq
+
+type rec_plan = {
+  simple : Depend.Solve.simple;
+  pair : Depend.Depeq.t;
+  three : Threeset.t;
+}
+
+type concrete_rec = {
+  p1_pts : Linalg.Ivec.t list;
+  chains : Chain.t;
+  p3_pts : Linalg.Ivec.t list;
+  growth : float;
+  theorem_bound : int option;
+}
+
+type plan =
+  | Rec_chains of rec_plan
+  | Dataflow_const
+  | Pdm_fallback of string
+
+let choose prog =
+  let single_pair () =
+    match Solve.analyze_simple prog with
+    | a -> (
+        match a.Solve.pair with
+        | Some p when Depeq.full_rank p -> (
+            match Threeset.compute ~phi:a.Solve.phi ~rd:a.Solve.rd with
+            | three -> Some (Rec_chains { simple = a; pair = p; three })
+            | exception Presburger.Omega.Blowup _ ->
+                (* Set algebra too expensive symbolically: degrade to the
+                   dataflow / PDM branches rather than fail. *)
+                None)
+        | _ -> None)
+    | exception Invalid_argument _ -> None
+    | exception Depend.Space.Unsupported _ -> None
+    | exception Presburger.Omega.Blowup _ -> None
+  in
+  match single_pair () with
+  | Some plan -> plan
+  | None ->
+      if prog.Loopir.Ast.params = [] then Dataflow_const
+      else
+        Pdm_fallback
+          "multiple coupled subscripts with symbolic loop bounds"
+
+let materialize_rec rp ~params =
+  let np = Array.length rp.simple.Solve.params in
+  if Array.length params <> np then invalid_arg "materialize_rec: params";
+  let param_env name =
+    let rec find k =
+      if k = np then failwith ("unbound parameter " ^ name)
+      else if rp.simple.Solve.params.(k) = name then params.(k)
+      else find (k + 1)
+    in
+    find 0
+  in
+  let rec_ =
+    match Recurrence.of_pair rp.pair ~params:param_env with
+    | Some r -> r
+    | None -> failwith "materialize_rec: singular coefficient matrix"
+  in
+  let chains =
+    Chain.decompose ~three:rp.three ~rec_ ~phi:rp.simple.Solve.phi ~params
+  in
+  let p1_pts = Enum.points (Iset.bind_params rp.three.Threeset.p1 params) in
+  let p3_pts = Enum.points (Iset.bind_params rp.three.Threeset.p3 params) in
+  let growth = Recurrence.growth rec_ in
+  let diameter = Theorem.diameter rp.simple.Solve.phi ~params in
+  let theorem_bound = Theorem.bound ~growth ~diameter in
+  { p1_pts; chains; p3_pts; growth; theorem_bound }
+
+let materialize_rec_scan rp ~params =
+  let np = Array.length rp.simple.Solve.params in
+  if Array.length params <> np then invalid_arg "materialize_rec_scan: params";
+  let passoc =
+    Array.to_list (Array.mapi (fun k n -> (n, params.(k))) rp.simple.Solve.params)
+  in
+  let param_env name =
+    match List.assoc_opt name passoc with
+    | Some v -> v
+    | None -> failwith ("unbound parameter " ^ name)
+  in
+  let rec_ =
+    match Recurrence.of_pair rp.pair ~params:param_env with
+    | Some r -> r
+    | None -> failwith "materialize_rec_scan: singular coefficient matrix"
+  in
+  let pts = Depend.Scan.iter_space rp.simple.Solve.stmt ~params:passoc in
+  let p1 = ref [] and p3 = ref [] and w = ref [] and n_p2 = ref 0 in
+  let lo = ref None and hi = ref None in
+  List.iter
+    (fun x ->
+      (match !lo with
+      | None ->
+          lo := Some (Array.copy x);
+          hi := Some (Array.copy x)
+      | Some l ->
+          let h = Option.get !hi in
+          Array.iteri
+            (fun k v ->
+              if v < l.(k) then l.(k) <- v;
+              if v > h.(k) then h.(k) <- v)
+            x);
+      match Threeset.classify_point rp.three ~params x with
+      | `P1 -> p1 := x :: !p1
+      | `P3 -> p3 := x :: !p3
+      | `P2 ->
+          incr n_p2;
+          if Iset.mem rp.three.Threeset.w (Array.append x params) then
+            w := x :: !w
+      | `Outside -> failwith "materialize_rec_scan: point outside partition")
+    pts;
+  let in_phi x = Iset.mem rp.simple.Solve.phi (Array.append x params) in
+  let in_p2 x =
+    Iset.mem rp.three.Threeset.p2 (Array.append x params)
+  in
+  let chains =
+    List.rev_map
+      (fun start ->
+        let rec walkc x acc =
+          match Recurrence.successor rec_ ~in_phi x with
+          | Some y when in_p2 y -> walkc y (x :: acc)
+          | Some _ | None -> List.rev (x :: acc)
+        in
+        walkc start [])
+      !w
+  in
+  let covered = List.fold_left (fun acc c -> acc + List.length c) 0 chains in
+  if covered <> !n_p2 then
+    failwith
+      (Printf.sprintf "materialize_rec_scan: chains cover %d of %d" covered
+         !n_p2);
+  let longest = List.fold_left (fun m c -> max m (List.length c)) 0 chains in
+  let growth = Recurrence.growth rec_ in
+  let diameter =
+    match (!lo, !hi) with
+    | Some l, Some h ->
+        let acc = ref 0.0 in
+        Array.iteri
+          (fun k v ->
+            let d = float_of_int (h.(k) - v) in
+            acc := !acc +. (d *. d))
+          l;
+        sqrt !acc
+    | _ -> 0.0
+  in
+  {
+    p1_pts = List.rev !p1;
+    chains = { Chain.chains; longest };
+    p3_pts = List.rev !p3;
+    growth;
+    theorem_bound = Theorem.bound ~growth ~diameter;
+  }
+
+let rec_points_in_order c =
+  c.p1_pts @ List.concat c.chains.Chain.chains @ c.p3_pts

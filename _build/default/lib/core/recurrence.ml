@@ -1,0 +1,61 @@
+module Q = Numeric.Rat
+module Qmat = Linalg.Qmat
+module Ivec = Linalg.Ivec
+module Depeq = Depend.Depeq
+
+type t = {
+  m : int;
+  t_wr : Qmat.t;
+  u_wr : Q.t array;
+  t_rw : Qmat.t;
+  u_rw : Q.t array;
+  det_wr : Q.t;
+}
+
+let of_pair (p : Depeq.t) ~params =
+  let qa = Qmat.of_imat p.Depeq.a_mat and qb = Qmat.of_imat p.Depeq.b_mat in
+  match (Qmat.inv qa, Qmat.inv qb) with
+  | Some ai, Some bi ->
+      let off arr =
+        Array.map (fun a -> Q.of_int (Loopir.Affine.eval params a)) arr
+      in
+      let a_off = off p.Depeq.a_off and b_off = off p.Depeq.b_off in
+      let t_wr = Qmat.mul qa bi in
+      let u_wr = Qmat.vecmat (Qmat.qvec_sub a_off b_off) bi in
+      let t_rw = Qmat.mul qb ai in
+      let u_rw = Qmat.vecmat (Qmat.qvec_sub b_off a_off) ai in
+      Some { m = p.Depeq.m; t_wr; u_wr; t_rw; u_rw; det_wr = Qmat.det t_wr }
+  | _ -> None
+
+let image t_mat u x =
+  Qmat.qvec_to_ivec (Qmat.qvec_add (Qmat.ivecmat x t_mat) u)
+
+let neighbor_as_write r x = image r.t_wr r.u_wr x
+let neighbor_as_read r x = image r.t_rw r.u_rw x
+
+let neighbors r x =
+  let cands =
+    List.filter_map Fun.id [ neighbor_as_write r x; neighbor_as_read r x ]
+  in
+  let cands = List.filter (fun y -> not (Ivec.equal y x)) cands in
+  List.sort_uniq Ivec.compare_lex cands
+
+let pick r ~in_phi ~dir x =
+  let cands =
+    List.filter
+      (fun y -> in_phi y && dir * Ivec.compare_lex y x > 0)
+      (neighbors r x)
+  in
+  match cands with
+  | [] -> None
+  | [ y ] -> Some y
+  | _ ->
+      failwith
+        "Recurrence: two distinct successors — Lemma 1 hypothesis violated"
+
+let successor r ~in_phi x = pick r ~in_phi ~dir:1 x
+let predecessor r ~in_phi x = pick r ~in_phi ~dir:(-1) x
+
+let growth r =
+  let d = abs_float (Q.to_float r.det_wr) in
+  if d = 0.0 then infinity else Float.max d (1.0 /. d)

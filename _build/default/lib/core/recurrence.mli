@@ -1,0 +1,45 @@
+(** The affine recurrence maps of §3.2.  For the single coupled pair
+    [X(I·A + a)] / [X(I·B + b)] with non-singular [A], [B]:
+
+    - as the {e write} side of the equation, iteration [x] is linked to the
+      read-side iteration [x·(A·B⁻¹) + (a−b)·B⁻¹];
+    - as the {e read} side, to [x·(B·A⁻¹) + (b−a)·A⁻¹].
+
+    Both maps are rational; a link only exists when the image is integral
+    (and inside [Φ]).  The lexicographically larger integral in-bounds
+    neighbour of an intermediate iteration is its unique successor
+    (Lemma 1). *)
+
+type t = {
+  m : int;
+  t_wr : Linalg.Qmat.t;  (** A·B⁻¹ *)
+  u_wr : Numeric.Rat.t array;  (** (a−b)·B⁻¹ *)
+  t_rw : Linalg.Qmat.t;  (** B·A⁻¹ *)
+  u_rw : Numeric.Rat.t array;  (** (b−a)·A⁻¹ *)
+  det_wr : Numeric.Rat.t;  (** det(A)/det(B) *)
+}
+
+val of_pair :
+  Depend.Depeq.t -> params:(string -> int) -> t option
+(** [of_pair pair ~params] builds the maps, evaluating parametric offsets
+    with [params]; [None] when either matrix is singular. *)
+
+val neighbor_as_write : t -> Linalg.Ivec.t -> Linalg.Ivec.t option
+(** Integral image under [x ↦ x·T_wr + u_wr], if any. *)
+
+val neighbor_as_read : t -> Linalg.Ivec.t -> Linalg.Ivec.t option
+
+val neighbors : t -> Linalg.Ivec.t -> Linalg.Ivec.t list
+(** The (at most two) distinct integral neighbours, self-links excluded. *)
+
+val successor :
+  t -> in_phi:(Linalg.Ivec.t -> bool) -> Linalg.Ivec.t -> Linalg.Ivec.t option
+(** The unique lexicographically-greater integral in-bounds neighbour;
+    raises [Failure] if two distinct candidates exist (Lemma 1 violation —
+    the caller must fall back to dataflow partitioning). *)
+
+val predecessor :
+  t -> in_phi:(Linalg.Ivec.t -> bool) -> Linalg.Ivec.t -> Linalg.Ivec.t option
+
+val growth : t -> float
+(** [a = max(|det T|, |det T⁻¹|)] of Theorem 1. *)

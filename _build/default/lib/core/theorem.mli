@@ -1,0 +1,16 @@
+(** Theorem 1: for the recurrence [i_{k+1} = i_k·T + u] with
+    [a = max(|det T|, |det T⁻¹|) > 1], a recurrence chain inside an
+    iteration space of Euclidean diameter [L] has at most
+    [⌈log_a L⌉ + 1] iterations. *)
+
+val diameter :
+  Presburger.Iset.t -> params:int array -> float
+(** Maximum Euclidean distance between two points of the (bounded) set,
+    computed from per-dimension extents. *)
+
+val bound : growth:float -> diameter:float -> int option
+(** [bound ~growth ~diameter] is [⌈log_a L⌉ + 1], or [None] when the growth
+    factor is ≤ 1 (the theorem does not apply). *)
+
+val check : Chain.t -> bound:int -> bool
+(** Longest measured chain within the bound. *)

@@ -1,0 +1,42 @@
+module Iset = Presburger.Iset
+module Rel = Presburger.Rel
+
+type t = {
+  p1 : Presburger.Iset.t;
+  p2 : Presburger.Iset.t;
+  p3 : Presburger.Iset.t;
+  w : Presburger.Iset.t;
+}
+
+let compute ~phi ~rd =
+  let ran = Rel.ran rd and dom = Rel.dom rd in
+  (* dom/ran come back with the relation's tuple names; rebase both onto the
+     iteration-space names so the set algebra type-checks. *)
+  let rebase s =
+    Iset.make
+      ~iters:(Array.sub (Iset.names phi) 0 (Iset.n_iters phi))
+      ~params:(Array.sub (Iset.names s) (Iset.n_iters s)
+                 (Array.length (Iset.names s) - Iset.n_iters s))
+      (Iset.polys s)
+  in
+  let ran = Iset.simplify (rebase ran) and dom = Iset.simplify (rebase dom) in
+  let p1 = Iset.simplify (Iset.diff phi ran) in
+  let p2 = Iset.simplify (Iset.inter ran dom) in
+  let p3 = Iset.simplify (Iset.diff ran dom) in
+  let w_rel = Rel.restrict_dom rd (Iset.inter phi p1) in
+  let w = Iset.simplify (Iset.inter (rebase (Rel.ran w_rel)) p2) in
+  { p1; p2; p3; w }
+
+let classify_point t ~params x =
+  let full = Array.append x params in
+  if Iset.mem t.p1 full then `P1
+  else if Iset.mem t.p2 full then `P2
+  else if Iset.mem t.p3 full then `P3
+  else `Outside
+
+let check_cover t ~phi =
+  let union = Iset.union t.p1 (Iset.union t.p2 t.p3) in
+  Iset.equal union phi
+  && Iset.is_empty (Iset.inter t.p1 t.p2)
+  && Iset.is_empty (Iset.inter t.p1 t.p3)
+  && Iset.is_empty (Iset.inter t.p2 t.p3)

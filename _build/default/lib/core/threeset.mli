@@ -1,0 +1,29 @@
+(** The three-set partitioning of §3.1 (eq. 5): given the iteration space
+    [Φ] and the forward dependence relation [Rd],
+
+    - [P1 = Φ \ ran Rd] — independent and initial iterations,
+    - [P2 = ran Rd ∩ dom Rd] — intermediate iterations,
+    - [P3 = ran Rd \ dom Rd] — final iterations,
+    - [W  = {j | (i→j) ∈ Rd, i ∈ P1, j ∈ P2}] — chain start points.
+
+    The sets are computed purely with [∩ ∪ \ dom ran], so each is again a
+    union of convex sets, exactly as in the paper.  [P1 → P2 → P3] is a
+    legal execution order because every dependence arrow goes from an
+    earlier set (or within [P2], handled by chains/dataflow). *)
+
+type t = {
+  p1 : Presburger.Iset.t;
+  p2 : Presburger.Iset.t;
+  p3 : Presburger.Iset.t;
+  w : Presburger.Iset.t;
+}
+
+val compute : phi:Presburger.Iset.t -> rd:Presburger.Rel.t -> t
+(** Computes and simplifies the partition. *)
+
+val classify_point :
+  t -> params:int array -> int array -> [ `P1 | `P2 | `P3 | `Outside ]
+
+val check_cover : t -> phi:Presburger.Iset.t -> bool
+(** [P1 ∪ P2 ∪ P3 = Φ] and the three sets are pairwise disjoint — a
+    structural invariant used by tests. *)

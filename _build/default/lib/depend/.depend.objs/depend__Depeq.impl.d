@@ -1,0 +1,1 @@
+lib/depend/depeq.ml: Array Linalg List Loopir Option

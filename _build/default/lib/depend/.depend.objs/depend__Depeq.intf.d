@@ -1,0 +1,1 @@
+lib/depend/depeq.mli: Linalg Loopir

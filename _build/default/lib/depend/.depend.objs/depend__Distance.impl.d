@@ -1,0 +1,1 @@
+lib/depend/distance.ml: Array Linalg List Loopir Presburger Set

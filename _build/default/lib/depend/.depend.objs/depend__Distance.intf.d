@@ -1,0 +1,1 @@
+lib/depend/distance.mli: Linalg Loopir Presburger

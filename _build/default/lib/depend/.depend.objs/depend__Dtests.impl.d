@@ -1,0 +1,1 @@
+lib/depend/dtests.ml: Array Depeq Linalg List Loopir Numeric Presburger

@@ -1,0 +1,1 @@
+lib/depend/dtests.mli: Depeq

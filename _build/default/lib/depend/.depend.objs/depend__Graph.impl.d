@@ -1,0 +1,1 @@
+lib/depend/graph.ml: Array List Trace

@@ -1,0 +1,1 @@
+lib/depend/graph.mli: Trace

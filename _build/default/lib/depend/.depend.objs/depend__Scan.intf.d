@@ -1,0 +1,1 @@
+lib/depend/scan.mli: Loopir

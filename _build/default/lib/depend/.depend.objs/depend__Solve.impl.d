@@ -1,0 +1,1 @@
+lib/depend/solve.ml: Array Depeq Hashtbl List Loopir Option Presburger Space

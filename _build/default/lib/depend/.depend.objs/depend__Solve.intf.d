@@ -1,0 +1,1 @@
+lib/depend/solve.mli: Depeq Loopir Presburger Space

@@ -1,0 +1,1 @@
+lib/depend/space.ml: Array Hashtbl List Loopir Numeric Presburger Printf

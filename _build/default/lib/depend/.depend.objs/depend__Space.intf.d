@@ -1,0 +1,1 @@
+lib/depend/space.mli: Loopir Presburger

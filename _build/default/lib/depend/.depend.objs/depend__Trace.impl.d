@@ -1,0 +1,1 @@
+lib/depend/trace.ml: Array Hashtbl List Loopir Printf

@@ -1,0 +1,1 @@
+lib/depend/trace.mli: Loopir

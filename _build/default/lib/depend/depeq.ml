@@ -1,0 +1,63 @@
+module Affine = Loopir.Affine
+module Prog = Loopir.Prog
+
+type t = {
+  arr : string;
+  m : int;
+  a_mat : Linalg.Imat.t;
+  a_off : Affine.t array;
+  b_mat : Linalg.Imat.t;
+  b_off : Affine.t array;
+}
+
+(* Split an affine subscript into loop-variable coefficients and the
+   residual (constants + parameters). *)
+let split_subscript vars (a : Affine.t) =
+  let coefs = List.map (fun v -> Affine.coeff a v) vars in
+  let residual =
+    List.fold_left
+      (fun acc v -> Affine.sub acc (Affine.scale (Affine.coeff acc v) (Affine.var v)))
+      a vars
+  in
+  (coefs, residual)
+
+let matrix_of vars subs =
+  let m = List.length vars in
+  if List.length subs <> m then None
+  else
+    let cols =
+      List.map
+        (fun e ->
+          match Affine.of_expr e with
+          | None -> None
+          | Some a -> Some (split_subscript vars a))
+        subs
+    in
+    if List.exists Option.is_none cols then None
+    else
+      let cols = List.map Option.get cols in
+      (* Column d of the matrix holds the coefficients of subscript d. *)
+      let mat =
+        Linalg.Imat.make m m (fun row col ->
+            List.nth (fst (List.nth cols col)) row)
+      in
+      let off = Array.of_list (List.map snd cols) in
+      Some (mat, off)
+
+let of_stmt (s : Prog.stmt_info) =
+  let vars = Prog.loop_vars s in
+  let m = List.length vars in
+  if m = 0 then None
+  else
+    match Prog.refs_of s with
+    | [ (arr_w, subs_w, Prog.Write); (arr_r, subs_r, Prog.Read) ]
+      when arr_w = arr_r -> (
+        match (matrix_of vars subs_w, matrix_of vars subs_r) with
+        | Some (a_mat, a_off), Some (b_mat, b_off) ->
+            Some { arr = arr_w; m; a_mat; a_off; b_mat; b_off }
+        | _ -> None)
+    | _ -> None
+
+let full_rank t = Linalg.Imat.det t.a_mat <> 0 && Linalg.Imat.det t.b_mat <> 0
+let det_a t = Linalg.Imat.det t.a_mat
+let det_b t = Linalg.Imat.det t.b_mat

@@ -1,0 +1,27 @@
+(** Dependence equations for a single pair of coupled array references
+    [X(I·A + a)] = … [X(I·B + b)] … in a perfectly nested single-statement
+    loop — the setting of Lemma 1 and the recurrence-chain fast path.
+
+    Row-vector convention as in the paper: iteration [i] is a row vector and
+    subscript [d] of the write is [(i·A)_d + a_d]. *)
+
+type t = {
+  arr : string;
+  m : int;  (** loop depth = subscript rank *)
+  a_mat : Linalg.Imat.t;  (** m×m coefficients of the write reference *)
+  a_off : Loopir.Affine.t array;  (** constant (possibly parametric) parts *)
+  b_mat : Linalg.Imat.t;  (** m×m coefficients of the read reference *)
+  b_off : Loopir.Affine.t array;
+}
+
+val of_stmt : Loopir.Prog.stmt_info -> t option
+(** [of_stmt s] extracts the single coupled pair when [s] has exactly two
+    references, both to the same array, one write and one read, with affine
+    subscripts of rank equal to the loop depth (offsets may involve symbolic
+    parameters but not loop indices beyond the linear part). *)
+
+val full_rank : t -> bool
+(** Both coefficient matrices are non-singular (the Lemma 1 hypothesis). *)
+
+val det_a : t -> int
+val det_b : t -> int

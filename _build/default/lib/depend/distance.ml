@@ -1,0 +1,78 @@
+module Rel = Presburger.Rel
+module Iset = Presburger.Iset
+module Enum = Presburger.Enum
+module Ivec = Linalg.Ivec
+
+type class_ = No_dependence | Uniform | Non_uniform
+
+let concrete_pairs rd ~params =
+  let set = Rel.to_set rd in
+  let bound = Iset.bind_params set params in
+  let n2 = Iset.dim bound in
+  let m = n2 / 2 in
+  List.map
+    (fun xy -> (Array.sub xy 0 m, Array.sub xy m m))
+    (Enum.points bound)
+
+let distances rd ~params =
+  concrete_pairs rd ~params
+  |> List.map (fun (i, j) -> Ivec.sub j i)
+  |> List.sort_uniq Ivec.compare_lex
+
+let classify rd ~phi ~params =
+  let pairs = concrete_pairs rd ~params in
+  if pairs = [] then No_dependence
+  else
+    let module PS = Set.Make (struct
+      type t = int array * int array
+
+      let compare (a1, b1) (a2, b2) =
+        match Ivec.compare_lex a1 a2 with
+        | 0 -> Ivec.compare_lex b1 b2
+        | c -> c
+    end) in
+    let pair_set = PS.of_list pairs in
+    let ds = distances rd ~params in
+    let phi_pts = Enum.points (Iset.bind_params phi params) in
+    let module VS = Set.Make (struct
+      type t = int array
+
+      let compare = Ivec.compare_lex
+    end) in
+    let phi_set = VS.of_list phi_pts in
+    let uniform =
+      List.for_all
+        (fun d ->
+          List.for_all
+            (fun i ->
+              let j = Ivec.add i d in
+              (not (VS.mem j phi_set)) || PS.mem (i, j) pair_set)
+            phi_pts)
+        ds
+    in
+    if uniform then Uniform else Non_uniform
+
+let has_coupled_subscripts (s : Loopir.Prog.stmt_info) =
+  let vars = Loopir.Prog.loop_vars s in
+  List.exists
+    (fun (_, subs, _) ->
+      let occurring =
+        List.map
+          (fun e ->
+            match Loopir.Affine.of_expr e with
+            | None -> []
+            | Some a ->
+                List.filter (fun v -> List.mem v vars) (Loopir.Affine.names a))
+          subs
+      in
+      List.exists
+        (fun v ->
+          List.length (List.filter (fun names -> List.mem v names) occurring)
+          >= 2)
+        vars)
+    (Loopir.Prog.refs_of s)
+
+let class_to_string = function
+  | No_dependence -> "none"
+  | Uniform -> "uniform"
+  | Non_uniform -> "non-uniform"

@@ -1,0 +1,74 @@
+module S = Numeric.Safeint
+module L = Presburger.Linexpr
+module C = Presburger.Constr
+module P = Presburger.Poly
+
+type verdict = Independent | Maybe_dependent
+
+type equation = {
+  a : int array;
+  b : int array;
+  c : int;
+  lo : int array;
+  hi : int array;
+}
+
+let gcd_test eq =
+  let g =
+    Array.fold_left S.gcd (Array.fold_left S.gcd 0 eq.a) eq.b
+  in
+  if g = 0 then if eq.c = 0 then Maybe_dependent else Independent
+  else if eq.c mod g <> 0 then Independent
+  else Maybe_dependent
+
+(* Banerjee: the value Σ aᵢ·iᵢ − Σ bⱼ·jⱼ over the bounds spans
+   [Σ min(coef·range), Σ max(coef·range)]; no solution when -c is outside. *)
+let banerjee_test eq =
+  let add_range (mn, mx) coef lo hi =
+    if coef >= 0 then (S.add mn (S.mul coef lo), S.add mx (S.mul coef hi))
+    else (S.add mn (S.mul coef hi), S.add mx (S.mul coef lo))
+  in
+  let range = ref (0, 0) in
+  Array.iteri (fun k c -> range := add_range !range c eq.lo.(k) eq.hi.(k)) eq.a;
+  Array.iteri
+    (fun k c -> range := add_range !range (-c) eq.lo.(k) eq.hi.(k))
+    eq.b;
+  let mn, mx = !range in
+  if -eq.c < mn || -eq.c > mx then Independent else Maybe_dependent
+
+let combined eq =
+  match gcd_test eq with
+  | Independent -> Independent
+  | Maybe_dependent -> banerjee_test eq
+
+let equations_of_pair (p : Depeq.t) ~params ~lo ~hi =
+  let m = p.Depeq.m in
+  if Array.length lo <> m || Array.length hi <> m then
+    invalid_arg "Dtests.equations_of_pair: bounds arity";
+  List.init m (fun d ->
+      let a = Array.init m (fun k -> Linalg.Imat.get p.Depeq.a_mat k d) in
+      let b = Array.init m (fun k -> Linalg.Imat.get p.Depeq.b_mat k d) in
+      let c =
+        S.sub
+          (Loopir.Affine.eval params p.Depeq.a_off.(d))
+          (Loopir.Affine.eval params p.Depeq.b_off.(d))
+      in
+      { a; b; c; lo; hi })
+
+let exact eq =
+  let m = Array.length eq.a in
+  let n = 2 * m in
+  let coef = Array.make n 0 in
+  Array.iteri (fun k v -> coef.(k) <- v) eq.a;
+  Array.iteri (fun k v -> coef.(m + k) <- S.neg v) eq.b;
+  let bounds =
+    List.concat
+      (List.init n (fun k ->
+           let kk = k mod m in
+           [
+             C.Ge (L.add_const (L.var n k) (-eq.lo.(kk)));
+             C.Ge (L.add_const (L.neg (L.var n k)) eq.hi.(kk));
+           ]))
+  in
+  let p = P.make n (C.Eq (L.make coef eq.c) :: bounds) in
+  if Presburger.Omega.is_empty p then Independent else Maybe_dependent

@@ -1,0 +1,39 @@
+(** Classical conservative dependence tests — the GCD test and Banerjee's
+    inequality test — for single-subscript-pair dependence equations over a
+    rectangular iteration space.
+
+    These are the fast pre-filters parallelizing compilers run before an
+    exact method (cf. the paper's §5 discussion of dependence tests
+    [14,18,22]).  Both are {e conservative}: [Independent] is definitive,
+    [Maybe_dependent] may be a false positive.  The property tests check
+    conservativeness against the exact Omega solver, and the ablation bench
+    measures how often exactness pays off. *)
+
+type verdict = Independent | Maybe_dependent
+
+type equation = {
+  a : int array;  (** coefficients of the write iteration vector *)
+  b : int array;  (** coefficients of the read iteration vector *)
+  c : int;  (** constant: the equation is [Σ aᵢ·iᵢ − Σ bⱼ·jⱼ + c = 0] *)
+  lo : int array;  (** common rectangular lower bounds *)
+  hi : int array;  (** upper bounds *)
+}
+
+val gcd_test : equation -> verdict
+(** Independent iff [gcd(a ⧺ b) ∤ c] (with the usual zero-gcd special
+    case). *)
+
+val banerjee_test : equation -> verdict
+(** Independent iff [-c] lies outside [[Σ min terms, Σ max terms]] over the
+    bounds. *)
+
+val combined : equation -> verdict
+(** GCD then Banerjee. *)
+
+val equations_of_pair :
+  Depeq.t -> params:(string -> int) -> lo:int array -> hi:int array -> equation list
+(** One equation per subscript dimension of a coupled pair, with offsets
+    evaluated. *)
+
+val exact : equation -> verdict
+(** Ground truth via the Omega engine (used by tests/ablation). *)

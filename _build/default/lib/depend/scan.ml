@@ -1,0 +1,31 @@
+module Prog = Loopir.Prog
+
+let walk (s : Prog.stmt_info) ~params visit =
+  let rec go bindings = function
+    | [] -> visit (Array.of_list (List.rev_map snd bindings))
+    | (ctx : Prog.loop_ctx) :: rest ->
+        let env name =
+          match List.assoc_opt name bindings with
+          | Some v -> v
+          | None -> (
+              match List.assoc_opt name params with
+              | Some v -> v
+              | None -> failwith ("Scan: unbound variable " ^ name))
+        in
+        let lo = Loopir.Eval_int.eval env ctx.Prog.lo
+        and hi = Loopir.Eval_int.eval env ctx.Prog.hi in
+        for v = lo to hi do
+          go ((ctx.Prog.index, v) :: bindings) rest
+        done
+  in
+  go [] s.Prog.loops
+
+let iter_space s ~params =
+  let acc = ref [] in
+  walk s ~params (fun iter -> acc := iter :: !acc);
+  List.rev !acc
+
+let count s ~params =
+  let n = ref 0 in
+  walk s ~params (fun _ -> incr n);
+  !n

@@ -1,0 +1,10 @@
+(** Direct enumeration of a statement's iteration space by evaluating its
+    loop bounds — linear in the number of iterations, used to materialize
+    paper-scale experiments (e.g. 300×1000) where projection-based
+    enumeration would be wasteful. *)
+
+val iter_space :
+  Loopir.Prog.stmt_info -> params:(string * int) list -> int array list
+(** Iteration vectors in lexicographic (execution) order. *)
+
+val count : Loopir.Prog.stmt_info -> params:(string * int) list -> int

@@ -1,0 +1,165 @@
+module L = Presburger.Linexpr
+module C = Presburger.Constr
+module P = Presburger.Poly
+module Iset = Presburger.Iset
+module Rel = Presburger.Rel
+module Lex = Presburger.Lex
+module Affine = Loopir.Affine
+module Prog = Loopir.Prog
+
+type simple = {
+  prog : Loopir.Ast.program;
+  stmt : Prog.stmt_info;
+  iters : string array;
+  params : string array;
+  phi : Iset.t;
+  rd : Presburger.Rel.t;
+  pair : Depeq.t option;
+}
+
+(* Ordered reference pairs with at least one write. *)
+let dep_ref_pairs refs1 refs2 =
+  List.concat_map
+    (fun (a1, s1, k1) ->
+      List.filter_map
+        (fun (a2, s2, k2) ->
+          if a1 = a2 && (k1 = Prog.Write || k2 = Prog.Write) then
+            Some ((a1, s1, k1), (a2, s2, k2))
+          else None)
+        refs2)
+    refs1
+
+let analyze_simple prog0 =
+  let prog = Loopir.Normalize.unit_strides prog0 in
+  let stmt =
+    match Prog.stmts_of prog with
+    | [ s ] -> s
+    | _ -> invalid_arg "Solve.analyze_simple: single statement required"
+  in
+  let m = Prog.depth stmt in
+  if m = 0 then invalid_arg "Solve.analyze_simple: statement not in a loop";
+  let params = Array.of_list prog.Loopir.Ast.params in
+  let np = Array.length params in
+  let iters = Array.of_list (Prog.loop_vars stmt) in
+  let phi = Space.stmt_space ~params stmt in
+  let out_names = Array.map (fun v -> v ^ "'") iters in
+  let n = (2 * m) + np in
+  (* Dimension maps for the relation space: in 0..m-1, out m..2m-1,
+     params 2m… *)
+  let index_in =
+    let tbl = Hashtbl.create 8 in
+    Array.iteri (fun k v -> Hashtbl.replace tbl v ((2 * m) + k)) params;
+    Array.iteri (fun k v -> Hashtbl.replace tbl v k) iters;
+    fun v ->
+      match Hashtbl.find_opt tbl v with Some k -> k | None -> raise Not_found
+  in
+  let index_out =
+    let tbl = Hashtbl.create 8 in
+    Array.iteri (fun k v -> Hashtbl.replace tbl v ((2 * m) + k)) params;
+    Array.iteri (fun k v -> Hashtbl.replace tbl v (m + k)) iters;
+    fun v ->
+      match Hashtbl.find_opt tbl v with Some k -> k | None -> raise Not_found
+  in
+  let dom_cons index_of base_var =
+    List.concat
+      (List.mapi
+         (fun k ctx ->
+           Space.bound_constraints ~n ~index_of ~var:(base_var + k) ctx)
+         stmt.Prog.loops)
+  in
+  let lex = Lex.lt ~n_total:n ~fst_off:0 ~snd_off:m ~len:m in
+  let polys =
+    List.concat_map
+      (fun (((_, subs1, _), (_, subs2, _)) : _ * _) ->
+        let affs subs index_of =
+          List.map
+            (fun e ->
+              match Affine.of_expr e with
+              | None -> None
+              | Some a -> Some (Space.linexpr_of_affine ~n ~index_of a))
+            subs
+          |> fun l ->
+          if List.exists Option.is_none l then None
+          else Some (List.map Option.get l)
+        in
+        match (affs subs1 index_in, affs subs2 index_out) with
+        | Some e1, Some e2 ->
+            let eqs = List.map2 (fun a b -> C.Eq (L.sub a b)) e1 e2 in
+            let base =
+              P.make n (eqs @ dom_cons index_in 0 @ dom_cons index_out m)
+            in
+            Presburger.Dnf.inter [ base ] lex
+        | _ -> [])
+      (dep_ref_pairs (Prog.refs_of stmt) (Prog.refs_of stmt))
+  in
+  let rd =
+    Rel.make ~inn:iters ~out:out_names ~params polys
+    |> Rel.simplify
+  in
+  { prog; stmt; iters; params; phi; rd; pair = Depeq.of_stmt stmt }
+
+(* ------------------------------------------------------------------ *)
+(* Unified statement-level analysis                                    *)
+
+type unified = {
+  uprog : Loopir.Ast.program;
+  unified : Space.unified;
+  uparams : string array;
+  uphi : Iset.t;
+  urd : Presburger.Rel.t;
+}
+
+let pair_relation u (s1 : Prog.stmt_info) subs1 (s2 : Prog.stmt_info) subs2 =
+  let d = Space.unified_dim u in
+  let np = Array.length u.Space.params in
+  let n = (2 * d) + np in
+  let params_off = 2 * d in
+  let idx1 = Space.stmt_index_fn u ~off:0 ~params_off s1 in
+  let idx2 = Space.stmt_index_fn u ~off:d ~params_off s2 in
+  let affs subs index_of =
+    let l =
+      List.map
+        (fun e ->
+          match Affine.of_expr e with
+          | None -> None
+          | Some a -> Some (Space.linexpr_of_affine ~n ~index_of a))
+        subs
+    in
+    if List.exists Option.is_none l then None
+    else Some (List.map Option.get l)
+  in
+  match (affs subs1 idx1, affs subs2 idx2) with
+  | Some e1, Some e2 ->
+      let eqs = List.map2 (fun a b -> C.Eq (L.sub a b)) e1 e2 in
+      let dom1 = Space.stmt_poly u ~n ~off:0 ~params_off s1 in
+      let dom2 = Space.stmt_poly u ~n ~off:d ~params_off s2 in
+      let base = P.add_constrs (P.inter dom1 dom2) eqs in
+      let lex = Lex.lt ~n_total:n ~fst_off:0 ~snd_off:d ~len:d in
+      let polys = Presburger.Dnf.inter [ base ] lex in
+      let out_names = Array.map (fun v -> v ^ "'") u.Space.dims in
+      Some (Rel.make ~inn:u.Space.dims ~out:out_names ~params:u.Space.params polys)
+  | _ -> None
+
+let analyze_unified prog0 =
+  let prog = Loopir.Normalize.unit_strides prog0 in
+  let u, phi = Space.unified_space prog in
+  let stmts = Prog.stmts_of prog in
+  let out_names = Array.map (fun v -> v ^ "'") u.Space.dims in
+  let params = u.Space.params in
+  let empty = Rel.empty ~inn:u.Space.dims ~out:out_names ~params in
+  let rd =
+    List.fold_left
+      (fun acc s1 ->
+        List.fold_left
+          (fun acc s2 ->
+            List.fold_left
+              (fun acc ((_, subs1, _), (_, subs2, _)) ->
+                match pair_relation u s1 subs1 s2 subs2 with
+                | Some r -> Rel.union acc r
+                | None -> acc)
+              acc
+              (dep_ref_pairs (Prog.refs_of s1) (Prog.refs_of s2)))
+          acc stmts)
+      empty stmts
+  in
+  { uprog = prog; unified = u; uparams = params; uphi = phi; urd = Rel.simplify rd }

@@ -1,0 +1,44 @@
+(** Exact dependence relations [Rd] (eq. 4 / eq. 7 of the paper), solved with
+    the Presburger engine.
+
+    Two granularities are provided: the plain loop-index relation for
+    single-statement perfect nests (the recurrence-chain fast path), and the
+    unified statement-instance relation of §3.3 for general programs.  In
+    both, every arrow points from the lexicographically earlier instance to
+    the later one, and flow, anti and output dependences are all covered by
+    enumerating ordered reference pairs with at least one write. *)
+
+type simple = {
+  prog : Loopir.Ast.program;  (** normalized *)
+  stmt : Loopir.Prog.stmt_info;
+  iters : string array;
+  params : string array;
+  phi : Presburger.Iset.t;  (** iteration space Φ *)
+  rd : Presburger.Rel.t;  (** forward dependence relation *)
+  pair : Depeq.t option;  (** the single coupled pair, when applicable *)
+}
+
+val analyze_simple : Loopir.Ast.program -> simple
+(** Raises [Invalid_argument] unless the program is a single perfectly
+    nested statement; {!Space.Unsupported} on unsupported bounds. *)
+
+type unified = {
+  uprog : Loopir.Ast.program;  (** normalized *)
+  unified : Space.unified;
+  uparams : string array;
+  uphi : Presburger.Iset.t;  (** unified iteration space *)
+  urd : Presburger.Rel.t;  (** statement-level forward dependences (eq. 7) *)
+}
+
+val analyze_unified : Loopir.Ast.program -> unified
+
+val pair_relation :
+  Space.unified ->
+  Loopir.Prog.stmt_info ->
+  Loopir.Ast.expr list ->
+  Loopir.Prog.stmt_info ->
+  Loopir.Ast.expr list ->
+  Presburger.Rel.t option
+(** [pair_relation u s1 subs1 s2 subs2] is the forward dependence relation
+    contributed by one ordered reference pair over the unified space, or
+    [None] when a subscript is not affine. *)

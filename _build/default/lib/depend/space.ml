@@ -1,0 +1,137 @@
+module L = Presburger.Linexpr
+module C = Presburger.Constr
+module P = Presburger.Poly
+module Affine = Loopir.Affine
+module Prog = Loopir.Prog
+
+exception Unsupported of string
+
+let linexpr_of_affine ~n ~index_of (a : Affine.t) =
+  let coef = Array.make n 0 in
+  List.iter
+    (fun v ->
+      let k =
+        try index_of v
+        with Not_found ->
+          raise (Unsupported (Printf.sprintf "unbound variable %s" v))
+      in
+      coef.(k) <- Numeric.Safeint.add coef.(k) (Affine.coeff a v))
+    (Affine.names a);
+  L.make coef a.Affine.const
+
+let bound_constraints ~n ~index_of ~var (ctx : Prog.loop_ctx) =
+  let wrap f x = try f x with Affine.Unsupported m -> raise (Unsupported m) in
+  let lo_atoms = wrap Affine.lower_atoms ctx.Prog.lo in
+  let hi_atoms = wrap Affine.upper_atoms ctx.Prog.hi in
+  let lower { Affine.num; den } =
+    (* v ≥ ⌊num/den⌋ ⟺ den·v - num + den - 1 ≥ 0 *)
+    let num = linexpr_of_affine ~n ~index_of num in
+    C.Ge
+      (L.add_const
+         (L.sub (L.scale den (L.var n var)) num)
+         (den - 1))
+  in
+  let upper { Affine.num; den } =
+    (* v ≤ ⌊num/den⌋ ⟺ num - den·v ≥ 0 *)
+    let num = linexpr_of_affine ~n ~index_of num in
+    C.Ge (L.sub num (L.scale den (L.var n var)))
+  in
+  List.map lower lo_atoms @ List.map upper hi_atoms
+
+let stmt_space ~params (s : Prog.stmt_info) =
+  let iters = Array.of_list (Prog.loop_vars s) in
+  let names = Array.append iters params in
+  let n = Array.length names in
+  let index_of v =
+    let rec find k =
+      if k = n then raise Not_found
+      else if names.(k) = v then k
+      else find (k + 1)
+    in
+    find 0
+  in
+  let cons =
+    List.concat
+      (List.mapi
+         (fun k ctx -> bound_constraints ~n ~index_of ~var:k ctx)
+         s.Prog.loops)
+  in
+  Presburger.Iset.make ~iters ~params [ P.make n cons ]
+
+(* ------------------------------------------------------------------ *)
+(* Unified statement-instance space                                    *)
+
+type unified = { depth : int; dims : string array; params : string array }
+
+let make_unified (p : Loopir.Ast.program) =
+  let depth = Prog.max_depth p in
+  let dims =
+    Array.init
+      ((2 * depth) + 1)
+      (fun k ->
+        if k mod 2 = 0 then Printf.sprintf "s%d" (k / 2)
+        else Printf.sprintf "i%d" ((k + 1) / 2))
+  in
+  { depth; dims; params = Array.of_list p.Loopir.Ast.params }
+
+let unified_dim u = (2 * u.depth) + 1
+
+let stmt_index_fn u ~off ~params_off (s : Prog.stmt_info) =
+  let tbl = Hashtbl.create 8 in
+  Array.iteri (fun k v -> Hashtbl.replace tbl v (params_off + k)) u.params;
+  (* Loop variable at depth k (1-based) lives at dimension off + 2k - 1;
+     statement-local bindings shadow parameters. *)
+  List.iteri
+    (fun k v -> Hashtbl.replace tbl v (off + (2 * k) + 1))
+    (Prog.loop_vars s);
+  fun v ->
+    match Hashtbl.find_opt tbl v with Some k -> k | None -> raise Not_found
+
+let stmt_poly u ~n ~off ~params_off (s : Prog.stmt_info) =
+  let vars = Prog.loop_vars s in
+  let l = List.length vars in
+  let index_of = stmt_index_fn u ~off ~params_off s in
+  let bounds =
+    List.concat
+      (List.mapi
+         (fun k ctx ->
+           bound_constraints ~n ~index_of ~var:(off + (2 * k) + 1) ctx)
+         s.Prog.loops)
+  in
+  (* Statement position constants on the s-dimensions. *)
+  let path = Array.of_list s.Prog.path in
+  let pos_eqs =
+    List.init (l + 1) (fun k ->
+        C.Eq (L.add_const (L.var n (off + (2 * k))) (-path.(k))))
+  in
+  (* Padding below the statement's depth: both i and s components are 0. *)
+  let pad_eqs =
+    List.concat
+      (List.init (u.depth - l) (fun k ->
+           let d = l + 1 + k in
+           [
+             C.Eq (L.var n (off + (2 * d) - 1));
+             C.Eq (L.var n (off + (2 * d)));
+           ]))
+  in
+  P.make n (bounds @ pos_eqs @ pad_eqs)
+
+let unified_space (p : Loopir.Ast.program) =
+  let u = make_unified p in
+  let n = unified_dim u + Array.length u.params in
+  let polys =
+    List.map
+      (fun s -> stmt_poly u ~n ~off:0 ~params_off:(unified_dim u) s)
+      (Prog.stmts_of p)
+  in
+  (u, Presburger.Iset.make ~iters:u.dims ~params:u.params polys)
+
+let unified_vector_of u (s : Prog.stmt_info) ~iter =
+  let l = List.length s.Prog.loops in
+  if Array.length iter <> l then invalid_arg "unified_vector_of: arity";
+  let path = Array.of_list s.Prog.path in
+  Array.init (unified_dim u) (fun k ->
+      let d = k / 2 in
+      if k mod 2 = 0 then if d <= l then path.(d) else 0
+      else if d < l then iter.(d)
+      else 0)

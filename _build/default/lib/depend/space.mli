@@ -1,0 +1,71 @@
+(** Building Presburger iteration spaces from loop nests — both the plain
+    per-statement index space and the unified statement-instance space of
+    §3.3 of the paper. *)
+
+exception Unsupported of string
+
+val linexpr_of_affine :
+  n:int -> index_of:(string -> int) -> Loopir.Affine.t -> Presburger.Linexpr.t
+(** Reads a named affine form into an [n]-dimensional {!Presburger.Linexpr},
+    mapping each name through [index_of] (which may raise [Not_found] →
+    {!Unsupported}). *)
+
+val bound_constraints :
+  n:int ->
+  index_of:(string -> int) ->
+  var:int ->
+  Loopir.Prog.loop_ctx ->
+  Presburger.Constr.t list
+(** Constraints placing dimension [var] within its loop bounds:
+    [c·v ≥ num - c + 1] for each lower atom [⌊num/c⌋] and [c·v ≤ num] for
+    each upper atom. *)
+
+val stmt_space :
+  params:string array -> Loopir.Prog.stmt_info -> Presburger.Iset.t
+(** The iteration space of one statement over its own loop indices
+    (iters = loop variables outermost-first). *)
+
+(** {2 Unified statement-instance space (§3.3)} *)
+
+type unified = {
+  depth : int;  (** maximum loop depth D of the program *)
+  dims : string array;  (** [s0; i1; s1; …; iD; sD], length 2D+1 *)
+  params : string array;
+}
+
+val make_unified : Loopir.Ast.program -> unified
+
+val unified_dim : unified -> int
+(** [2·depth + 1]. *)
+
+val stmt_index_fn :
+  unified ->
+  off:int ->
+  params_off:int ->
+  Loopir.Prog.stmt_info ->
+  string ->
+  int
+(** Maps a statement's loop variable (by depth) or a parameter to its
+    dimension in an embedding of the unified space; raises [Not_found] for
+    unknown names. *)
+
+val stmt_poly :
+  unified ->
+  n:int ->
+  off:int ->
+  params_off:int ->
+  Loopir.Prog.stmt_info ->
+  Presburger.Poly.t
+(** The convex set of instances of one statement, embedded in an
+    [n]-dimensional space with the unified block starting at [off] and
+    parameters at [params_off]: loop bounds on the [i_k] dimensions, path
+    constants on the [s_k] dimensions, zero padding below the statement's
+    depth. *)
+
+val unified_space : Loopir.Ast.program -> unified * Presburger.Iset.t
+(** The full unified iteration space [Φ] (union over statements). *)
+
+val unified_vector_of :
+  unified -> Loopir.Prog.stmt_info -> iter:int array -> int array
+(** Embeds a concrete iteration of a statement into the unified space
+    (path constants interleaved, zero padding). *)

@@ -1,0 +1,121 @@
+module Ast = Loopir.Ast
+
+
+type instance = { inst : int; stmt : int; iter : int array }
+
+type t = {
+  instances : instance array;
+  edge_src : int array;
+  edge_dst : int array;
+}
+
+let n_edges t = Array.length t.edge_src
+
+let iter_edges t f =
+  for k = 0 to Array.length t.edge_src - 1 do
+    f t.edge_src.(k) t.edge_dst.(k)
+  done
+
+let edges t =
+  List.init (Array.length t.edge_src) (fun k -> (t.edge_src.(k), t.edge_dst.(k)))
+
+(* Growable int-pair buffer. *)
+type ebuf = { mutable src : int array; mutable dst : int array; mutable len : int }
+
+let ebuf_make () = { src = Array.make 1024 0; dst = Array.make 1024 0; len = 0 }
+
+let ebuf_push b s d =
+  if b.len = Array.length b.src then begin
+    let grow a = Array.append a (Array.make (Array.length a) 0) in
+    b.src <- grow b.src;
+    b.dst <- grow b.dst
+  end;
+  b.src.(b.len) <- s;
+  b.dst.(b.len) <- d;
+  b.len <- b.len + 1
+
+(* Per array element: the last writing instance and the readers seen since. *)
+type cell = { mutable last_write : int; mutable readers : int list }
+
+let build prog ~params =
+  let prog = Loopir.Normalize.unit_strides prog in
+  List.iter
+    (fun p ->
+      if not (List.mem_assoc p params) then
+        failwith (Printf.sprintf "Trace.build: unbound parameter %s" p))
+    prog.Ast.params;
+  (* Annotate every Assign with its static id, numbering in the same
+     textual order as Prog.stmts_of. *)
+  let next_static = ref 0 in
+  let rec annotate = function
+    | Ast.Assign (lhs, rhs) ->
+        let id = !next_static in
+        incr next_static;
+        `Assign (id, lhs, rhs)
+    | Ast.Loop l -> `Loop (l, List.map annotate l.Ast.body)
+  in
+  let annotated = List.map annotate prog.Ast.body in
+  let cells : (string * int list, cell) Hashtbl.t = Hashtbl.create 4096 in
+  let instances = ref [] in
+  let n_inst = ref 0 in
+  let eb = ebuf_make () in
+  let add_edge src dst = if src <> dst then ebuf_push eb src dst in
+  let cell_of key =
+    match Hashtbl.find_opt cells key with
+    | Some c -> c
+    | None ->
+        let c = { last_write = -1; readers = [] } in
+        Hashtbl.add cells key c;
+        c
+  in
+  let read inst key =
+    let c = cell_of key in
+    if c.last_write >= 0 then add_edge c.last_write inst;
+    c.readers <- inst :: c.readers
+  in
+  let write inst key =
+    let c = cell_of key in
+    if c.last_write >= 0 then add_edge c.last_write inst;
+    List.iter (fun r -> add_edge r inst) c.readers;
+    c.readers <- [];
+    c.last_write <- inst
+  in
+  let rec record_reads env inst = function
+    | Ast.Int _ | Ast.Real _ | Ast.Var _ -> ()
+    | Ast.Ref (a, subs) ->
+        List.iter (record_reads env inst) subs;
+        read inst (a, List.map (Loopir.Eval_int.eval env) subs)
+    | Ast.Bin (_, a, b) | Ast.Mod (a, b) ->
+        record_reads env inst a;
+        record_reads env inst b
+    | Ast.Un (_, a) | Ast.Pow (a, _) -> record_reads env inst a
+    | Ast.Min es | Ast.Max es -> List.iter (record_reads env inst) es
+  in
+  let rec run env iter_stack = function
+    | `Assign (stmt, (a, subs), rhs) ->
+        let inst = !n_inst in
+        incr n_inst;
+        instances :=
+          { inst; stmt; iter = Array.of_list (List.rev iter_stack) }
+          :: !instances;
+        record_reads env inst rhs;
+        write inst (a, List.map (Loopir.Eval_int.eval env) subs)
+    | `Loop (l, body) ->
+        let lo = Loopir.Eval_int.eval env l.Ast.lo
+        and hi = Loopir.Eval_int.eval env l.Ast.hi in
+        for v = lo to hi do
+          let env' name = if name = l.Ast.index then v else env name in
+          List.iter (run env' (v :: iter_stack)) body
+        done
+  in
+  let env0 name =
+    match List.assoc_opt name params with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "Trace: unbound variable %s" name)
+  in
+  List.iter (run env0 []) annotated;
+  {
+    instances = Array.of_list (List.rev !instances);
+    edge_src = Array.sub eb.src 0 eb.len;
+    edge_dst = Array.sub eb.dst 0 eb.len;
+  }

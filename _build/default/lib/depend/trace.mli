@@ -1,0 +1,32 @@
+(** Dynamic (trace-based) dependence analysis for concrete loop bounds: the
+    program is walked in execution order recording every array reference, and
+    flow / anti / output dependence edges are built between statement
+    instances.  This drives the dataflow-partitioning branch of Algorithm 1
+    on programs like the Cholesky kernel, where the exact statement-instance
+    dependence graph is finite.
+
+    Edges are stored compactly (parallel int arrays, destinations
+    non-decreasing) so paper-scale traces (millions of instances) fit
+    comfortably in memory. *)
+
+type instance = {
+  inst : int;  (** execution order, 0-based *)
+  stmt : int;  (** statement id (see {!Loopir.Prog.stmt_info.id}) *)
+  iter : int array;  (** values of the enclosing loop indices *)
+}
+
+type t = {
+  instances : instance array;
+  edge_src : int array;
+  edge_dst : int array;  (** same length; [edge_src.(k) < edge_dst.(k)] *)
+}
+
+val n_edges : t -> int
+val iter_edges : t -> (int -> int -> unit) -> unit
+val edges : t -> (int * int) list
+(** Materialized edge list (small traces / tests). *)
+
+val build : Loopir.Ast.program -> params:(string * int) list -> t
+(** [build prog ~params] normalizes [prog], binds its parameters, and builds
+    the exact instance-level dependence graph.  Raises [Failure] for unbound
+    parameters. *)

@@ -1,0 +1,1 @@
+lib/linalg/ivec.mli: Format

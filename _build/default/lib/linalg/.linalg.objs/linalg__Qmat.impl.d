@@ -1,0 +1,1 @@
+lib/linalg/qmat.ml: Array Format Numeric

@@ -1,0 +1,1 @@
+lib/linalg/qmat.mli: Format Imat Ivec Numeric

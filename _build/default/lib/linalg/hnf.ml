@@ -1,0 +1,92 @@
+module S = Numeric.Safeint
+
+type basis = { mat : Imat.t; pivot_cols : int array }
+
+(* Reduce a working list of rows to row Hermite normal form by integer row
+   operations (gcd pivoting).  [dim] is the row width. *)
+let of_rows dim row_list =
+  let rows = Array.of_list (List.filter (fun r -> not (Ivec.is_zero r)) row_list) in
+  Array.iter
+    (fun r -> if Array.length r <> dim then invalid_arg "Hnf.of_rows: bad dim")
+    rows;
+  let n = Array.length rows in
+  let rows = Array.map Array.copy rows in
+  let pivots = ref [] in
+  let top = ref 0 in
+  for col = 0 to dim - 1 do
+    if !top < n then begin
+      (* Use extended-gcd row combinations to concentrate the column gcd in
+         row [top]. *)
+      for i = !top + 1 to n - 1 do
+        if rows.(i).(col) <> 0 then
+          if rows.(!top).(col) = 0 then begin
+            let t = rows.(!top) in
+            rows.(!top) <- rows.(i);
+            rows.(i) <- t
+          end
+          else begin
+            let a = rows.(!top).(col) and b = rows.(i).(col) in
+            let g, x, y = S.egcd a b in
+            let ra = Array.copy rows.(!top) and rb = Array.copy rows.(i) in
+            for j = 0 to dim - 1 do
+              rows.(!top).(j) <- S.add (S.mul x ra.(j)) (S.mul y rb.(j));
+              rows.(i).(j) <-
+                S.sub
+                  (S.mul (b / g) ra.(j))
+                  (S.mul (a / g) rb.(j))
+            done
+          end
+      done;
+      if rows.(!top).(col) <> 0 then begin
+        if rows.(!top).(col) < 0 then rows.(!top) <- Ivec.neg rows.(!top);
+        (* Reduce the entries above the pivot into [0, pivot). *)
+        let p = rows.(!top).(col) in
+        for i = 0 to !top - 1 do
+          let q = S.fdiv rows.(i).(col) p in
+          if q <> 0 then
+            for j = 0 to dim - 1 do
+              rows.(i).(j) <- S.sub rows.(i).(j) (S.mul q rows.(!top).(j))
+            done
+        done;
+        pivots := (!top, col) :: !pivots;
+        incr top
+      end
+    end
+  done;
+  let pivots = List.rev !pivots in
+  let mat =
+    if !top = 0 then [||] else Array.init !top (fun i -> rows.(i))
+  in
+  { mat; pivot_cols = Array.of_list (List.map snd pivots) }
+
+let rank b = Array.length b.mat
+
+let decompose b v =
+  let dim = Array.length v in
+  let r = Array.copy v in
+  let n = rank b in
+  let coeffs = Array.make n 0 in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if !ok then begin
+      let col = b.pivot_cols.(i) in
+      let p = b.mat.(i).(col) in
+      if r.(col) mod p <> 0 then ok := false
+      else begin
+        let q = r.(col) / p in
+        coeffs.(i) <- q;
+        if q <> 0 then
+          for j = 0 to dim - 1 do
+            r.(j) <- S.sub r.(j) (S.mul q b.mat.(i).(j))
+          done
+      end
+    end
+  done;
+  if !ok && Ivec.is_zero r then Some coeffs else None
+
+let mem b v = decompose b v <> None
+let rows b = Imat.to_rows b.mat
+
+let pp ppf b =
+  if rank b = 0 then Format.pp_print_string ppf "<empty lattice>"
+  else Imat.pp ppf b.mat

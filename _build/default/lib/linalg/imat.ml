@@ -1,0 +1,134 @@
+module S = Numeric.Safeint
+
+type t = int array array
+
+let make r c f = Array.init r (fun i -> Array.init c (fun j -> f i j))
+
+let of_rows rows =
+  match rows with
+  | [] -> invalid_arg "Imat.of_rows: empty"
+  | r0 :: rest ->
+      let c = Array.length r0 in
+      if List.exists (fun r -> Array.length r <> c) rest then
+        invalid_arg "Imat.of_rows: ragged rows";
+      Array.of_list (List.map Array.copy rows)
+
+let rows m = Array.length m
+let cols m = if Array.length m = 0 then 0 else Array.length m.(0)
+let get m i j = m.(i).(j)
+let identity n = make n n (fun i j -> if i = j then 1 else 0)
+let zero r c = make r c (fun _ _ -> 0)
+let transpose m = make (cols m) (rows m) (fun i j -> m.(j).(i))
+let add a b = make (rows a) (cols a) (fun i j -> S.add a.(i).(j) b.(i).(j))
+let sub a b = make (rows a) (cols a) (fun i j -> S.sub a.(i).(j) b.(i).(j))
+let neg a = make (rows a) (cols a) (fun i j -> S.neg a.(i).(j))
+let scale k a = make (rows a) (cols a) (fun i j -> S.mul k a.(i).(j))
+
+let mul a b =
+  if cols a <> rows b then invalid_arg "Imat.mul: dimension mismatch";
+  make (rows a) (cols b) (fun i j ->
+      let acc = ref 0 in
+      for k = 0 to cols a - 1 do
+        acc := S.add !acc (S.mul a.(i).(k) b.(k).(j))
+      done;
+      !acc)
+
+let vecmat v m =
+  if Array.length v <> rows m then invalid_arg "Imat.vecmat: dimension";
+  Array.init (cols m) (fun j ->
+      let acc = ref 0 in
+      for k = 0 to rows m - 1 do
+        acc := S.add !acc (S.mul v.(k) m.(k).(j))
+      done;
+      !acc)
+
+let equal a b = a = b
+let is_square m = rows m = cols m
+
+(* Bareiss fraction-free elimination: every division below is exact. *)
+let det m =
+  if not (is_square m) then invalid_arg "Imat.det: not square";
+  let n = rows m in
+  if n = 0 then 1
+  else
+    let a = Array.map Array.copy m in
+    let sign = ref 1 in
+    let prev = ref 1 in
+    let result = ref None in
+    (try
+       for k = 0 to n - 2 do
+         if a.(k).(k) = 0 then begin
+           let p = ref (-1) in
+           for i = n - 1 downto k + 1 do
+             if a.(i).(k) <> 0 then p := i
+           done;
+           if !p < 0 then begin
+             result := Some 0;
+             raise Exit
+           end;
+           let t = a.(k) in
+           a.(k) <- a.(!p);
+           a.(!p) <- t;
+           sign := - !sign
+         end;
+         for i = k + 1 to n - 1 do
+           for j = k + 1 to n - 1 do
+             let v =
+               S.sub (S.mul a.(i).(j) a.(k).(k)) (S.mul a.(i).(k) a.(k).(j))
+             in
+             a.(i).(j) <- v / !prev
+           done;
+           a.(i).(k) <- 0
+         done;
+         prev := a.(k).(k)
+       done
+     with Exit -> ());
+    match !result with Some d -> d | None -> !sign * a.(n - 1).(n - 1)
+
+let rank m =
+  let r = rows m and c = cols m in
+  if r = 0 || c = 0 then 0
+  else
+    let a =
+      Array.map (Array.map (fun x -> Numeric.Rat.of_int x)) m
+    in
+    let rank = ref 0 in
+    let row = ref 0 in
+    for col = 0 to c - 1 do
+      if !row < r then begin
+        let p = ref (-1) in
+        for i = r - 1 downto !row do
+          if not (Numeric.Rat.is_zero a.(i).(col)) then p := i
+        done;
+        if !p >= 0 then begin
+          let t = a.(!row) in
+          a.(!row) <- a.(!p);
+          a.(!p) <- t;
+          let pivot = a.(!row).(col) in
+          for i = !row + 1 to r - 1 do
+            let f = Numeric.Rat.div a.(i).(col) pivot in
+            for j = col to c - 1 do
+              a.(i).(j) <-
+                Numeric.Rat.sub a.(i).(j) (Numeric.Rat.mul f a.(!row).(j))
+            done
+          done;
+          incr row;
+          incr rank
+        end
+      end
+    done;
+    !rank
+
+let row m i = Array.copy m.(i)
+let to_rows m = Array.to_list (Array.map Array.copy m)
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i r ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Ivec.pp ppf r)
+    m;
+  Format.fprintf ppf "@]"
+
+let to_string m = Format.asprintf "%a" pp m

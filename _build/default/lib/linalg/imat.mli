@@ -1,0 +1,45 @@
+(** Integer matrices, stored as arrays of rows.
+
+    A matrix [m] with [rows m = r] and [cols m = c] maps a row vector of
+    dimension [r] to one of dimension [c] via {!vecmat}. *)
+
+type t = int array array
+
+val make : int -> int -> (int -> int -> int) -> t
+(** [make r c f] is the [r×c] matrix with entry [f i j] at row [i], col [j]. *)
+
+val of_rows : int array list -> t
+(** [of_rows rows] builds a matrix from row vectors; raises
+    [Invalid_argument] when rows have differing lengths or the list is
+    empty. *)
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> int
+val identity : int -> t
+val zero : int -> int -> t
+val transpose : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : int -> t -> t
+val mul : t -> t -> t
+
+val vecmat : Ivec.t -> t -> Ivec.t
+(** [vecmat v m] is the row vector [v·m]. *)
+
+val equal : t -> t -> bool
+val is_square : t -> bool
+
+val det : t -> int
+(** [det m] is the determinant of a square matrix, computed exactly by
+    fraction-free (Bareiss) elimination; raises [Invalid_argument] for a
+    non-square matrix. *)
+
+val rank : t -> int
+(** [rank m] is the rank over the rationals. *)
+
+val row : t -> int -> Ivec.t
+val to_rows : t -> Ivec.t list
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

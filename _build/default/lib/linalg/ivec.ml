@@ -1,0 +1,57 @@
+type t = int array
+
+let zero n = Array.make n 0
+let dim = Array.length
+let add a b = Array.map2 Numeric.Safeint.add a b
+let sub a b = Array.map2 Numeric.Safeint.sub a b
+let neg a = Array.map Numeric.Safeint.neg a
+let scale k a = Array.map (Numeric.Safeint.mul k) a
+
+let dot a b =
+  if Array.length a <> Array.length b then invalid_arg "Ivec.dot";
+  let acc = ref 0 in
+  Array.iteri
+    (fun k ak -> acc := Numeric.Safeint.add !acc (Numeric.Safeint.mul ak b.(k)))
+    a;
+  !acc
+
+let equal a b = a = b
+
+let compare_lex a b =
+  if Array.length a <> Array.length b then invalid_arg "Ivec.compare_lex";
+  let n = Array.length a in
+  let rec go k =
+    if k = n then 0
+    else
+      let c = compare a.(k) b.(k) in
+      if c <> 0 then c else go (k + 1)
+  in
+  go 0
+
+let is_zero a = Array.for_all (fun x -> x = 0) a
+
+let is_lex_positive a =
+  let n = Array.length a in
+  let rec go k =
+    if k = n then false
+    else if a.(k) > 0 then true
+    else if a.(k) < 0 then false
+    else go (k + 1)
+  in
+  go 0
+
+let gcd a = Array.fold_left Numeric.Safeint.gcd 0 a
+
+let norm2 a =
+  Array.fold_left
+    (fun acc x -> Numeric.Safeint.add acc (Numeric.Safeint.mul x x))
+    0 a
+
+let pp ppf a =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_int)
+    a
+
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,34 @@
+(** Integer row vectors.
+
+    The paper writes iterations as row vectors [i] acted on from the right by
+    matrices ([i·A]); this module follows that convention. *)
+
+type t = int array
+
+val zero : int -> t
+val dim : t -> int
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : int -> t -> t
+val dot : t -> t -> int
+val equal : t -> t -> bool
+
+val compare_lex : t -> t -> int
+(** [compare_lex a b] is the lexicographic comparison of equal-length
+    vectors. *)
+
+val is_zero : t -> bool
+
+val is_lex_positive : t -> bool
+(** [is_lex_positive v] is true when the first non-zero component of [v] is
+    positive. *)
+
+val gcd : t -> int
+(** [gcd v] is the gcd of the components (0 for the zero vector). *)
+
+val norm2 : t -> int
+(** [norm2 v] is the squared Euclidean norm. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

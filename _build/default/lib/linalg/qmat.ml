@@ -1,0 +1,138 @@
+module Q = Numeric.Rat
+
+type t = Q.t array array
+
+let of_imat m = Array.map (Array.map Q.of_int) m
+let make r c f = Array.init r (fun i -> Array.init c (fun j -> f i j))
+let rows m = Array.length m
+let cols m = if Array.length m = 0 then 0 else Array.length m.(0)
+
+let identity n =
+  make n n (fun i j -> if i = j then Q.one else Q.zero)
+
+let mul a b =
+  if cols a <> rows b then invalid_arg "Qmat.mul: dimension mismatch";
+  make (rows a) (cols b) (fun i j ->
+      let acc = ref Q.zero in
+      for k = 0 to cols a - 1 do
+        acc := Q.add !acc (Q.mul a.(i).(k) b.(k).(j))
+      done;
+      !acc)
+
+let add a b = make (rows a) (cols a) (fun i j -> Q.add a.(i).(j) b.(i).(j))
+let sub a b = make (rows a) (cols a) (fun i j -> Q.sub a.(i).(j) b.(i).(j))
+
+let vecmat v m =
+  if Array.length v <> rows m then invalid_arg "Qmat.vecmat: dimension";
+  Array.init (cols m) (fun j ->
+      let acc = ref Q.zero in
+      for k = 0 to rows m - 1 do
+        acc := Q.add !acc (Q.mul v.(k) m.(k).(j))
+      done;
+      !acc)
+
+let qvec_of_ivec v = Array.map Q.of_int v
+let ivecmat v m = vecmat (qvec_of_ivec v) m
+
+let det m =
+  if rows m <> cols m then invalid_arg "Qmat.det: not square";
+  let n = rows m in
+  if n = 0 then Q.one
+  else
+    let a = Array.map Array.copy m in
+    let d = ref Q.one in
+    (try
+       for k = 0 to n - 1 do
+         if Q.is_zero a.(k).(k) then begin
+           let p = ref (-1) in
+           for i = n - 1 downto k + 1 do
+             if not (Q.is_zero a.(i).(k)) then p := i
+           done;
+           if !p < 0 then begin
+             d := Q.zero;
+             raise Exit
+           end;
+           let t = a.(k) in
+           a.(k) <- a.(!p);
+           a.(!p) <- t;
+           d := Q.neg !d
+         end;
+         d := Q.mul !d a.(k).(k);
+         for i = k + 1 to n - 1 do
+           let f = Q.div a.(i).(k) a.(k).(k) in
+           for j = k to n - 1 do
+             a.(i).(j) <- Q.sub a.(i).(j) (Q.mul f a.(k).(j))
+           done
+         done
+       done
+     with Exit -> ());
+    !d
+
+let inv m =
+  if rows m <> cols m then invalid_arg "Qmat.inv: not square";
+  let n = rows m in
+  let a = Array.map Array.copy m in
+  let b = Array.init n (fun i -> Array.init n (fun j -> if i = j then Q.one else Q.zero)) in
+  let ok = ref true in
+  (try
+     for k = 0 to n - 1 do
+       if Q.is_zero a.(k).(k) then begin
+         let p = ref (-1) in
+         for i = n - 1 downto k + 1 do
+           if not (Q.is_zero a.(i).(k)) then p := i
+         done;
+         if !p < 0 then begin
+           ok := false;
+           raise Exit
+         end;
+         let t = a.(k) in
+         a.(k) <- a.(!p);
+         a.(!p) <- t;
+         let t = b.(k) in
+         b.(k) <- b.(!p);
+         b.(!p) <- t
+       end;
+       let pivot = a.(k).(k) in
+       for j = 0 to n - 1 do
+         a.(k).(j) <- Q.div a.(k).(j) pivot;
+         b.(k).(j) <- Q.div b.(k).(j) pivot
+       done;
+       for i = 0 to n - 1 do
+         if i <> k && not (Q.is_zero a.(i).(k)) then begin
+           let f = a.(i).(k) in
+           for j = 0 to n - 1 do
+             a.(i).(j) <- Q.sub a.(i).(j) (Q.mul f a.(k).(j));
+             b.(i).(j) <- Q.sub b.(i).(j) (Q.mul f b.(k).(j))
+           done
+         end
+       done
+     done
+   with Exit -> ());
+  if !ok then Some b else None
+
+let equal a b =
+  rows a = rows b && cols a = cols b
+  && Array.for_all2 (fun ra rb -> Array.for_all2 Q.equal ra rb) a b
+
+let pp_qvec ppf v =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Q.pp)
+    v
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i r ->
+      if i > 0 then Format.fprintf ppf "@,";
+      pp_qvec ppf r)
+    m;
+  Format.fprintf ppf "@]"
+
+let qvec_add a b = Array.map2 Q.add a b
+let qvec_sub a b = Array.map2 Q.sub a b
+
+let qvec_to_ivec v =
+  if Array.for_all Q.is_integer v then Some (Array.map Q.to_int_exn v)
+  else None

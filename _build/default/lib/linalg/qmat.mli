@@ -1,0 +1,38 @@
+(** Rational matrices (arrays of rows) used for the recurrence maps
+    [T = A·B⁻¹] of the paper, which are rational in general. *)
+
+type t = Numeric.Rat.t array array
+
+val of_imat : Imat.t -> t
+val make : int -> int -> (int -> int -> Numeric.Rat.t) -> t
+val rows : t -> int
+val cols : t -> int
+val identity : int -> t
+val mul : t -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+
+val vecmat : Numeric.Rat.t array -> t -> Numeric.Rat.t array
+(** [vecmat v m] is the row vector [v·m]. *)
+
+val ivecmat : Ivec.t -> t -> Numeric.Rat.t array
+(** [ivecmat v m] is [v·m] for an integer row vector [v]. *)
+
+val det : t -> Numeric.Rat.t
+(** [det m] of a square matrix; raises [Invalid_argument] otherwise. *)
+
+val inv : t -> t option
+(** [inv m] is the inverse of a square matrix, or [None] when singular. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val qvec_of_ivec : Ivec.t -> Numeric.Rat.t array
+val qvec_add : Numeric.Rat.t array -> Numeric.Rat.t array -> Numeric.Rat.t array
+val qvec_sub : Numeric.Rat.t array -> Numeric.Rat.t array -> Numeric.Rat.t array
+
+val qvec_to_ivec : Numeric.Rat.t array -> Ivec.t option
+(** [qvec_to_ivec v] is the integer vector when every component is an
+    integer, [None] otherwise. *)
+
+val pp_qvec : Format.formatter -> Numeric.Rat.t array -> unit

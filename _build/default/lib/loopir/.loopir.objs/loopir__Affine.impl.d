@@ -1,0 +1,1 @@
+lib/loopir/affine.ml: Ast Format List Numeric Option Pretty Printf

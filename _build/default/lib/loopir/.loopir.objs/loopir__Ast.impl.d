@@ -1,0 +1,1 @@
+lib/loopir/ast.ml: List Set String

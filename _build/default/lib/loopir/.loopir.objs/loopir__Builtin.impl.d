@@ -1,0 +1,1 @@
+lib/loopir/builtin.ml: List Parser

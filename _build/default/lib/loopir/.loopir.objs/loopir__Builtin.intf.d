@@ -1,0 +1,1 @@
+lib/loopir/builtin.mli: Ast

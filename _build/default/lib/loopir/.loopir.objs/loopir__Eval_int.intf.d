@@ -1,0 +1,1 @@
+lib/loopir/eval_int.mli: Ast

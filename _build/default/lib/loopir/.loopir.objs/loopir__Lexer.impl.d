@@ -1,0 +1,1 @@
+lib/loopir/lexer.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/loopir/lexer.mli:

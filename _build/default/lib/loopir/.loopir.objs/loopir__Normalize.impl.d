@@ -1,0 +1,1 @@
+lib/loopir/normalize.ml: Ast List

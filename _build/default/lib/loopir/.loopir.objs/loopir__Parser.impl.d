@@ -1,0 +1,1 @@
+lib/loopir/parser.ml: Ast Lexer List Printf

@@ -1,0 +1,1 @@
+lib/loopir/pretty.ml: Ast Format List Printf String

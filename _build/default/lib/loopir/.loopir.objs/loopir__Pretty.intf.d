@@ -1,0 +1,1 @@
+lib/loopir/pretty.mli: Ast Format

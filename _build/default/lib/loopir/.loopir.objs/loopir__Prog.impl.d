@@ -1,0 +1,1 @@
+lib/loopir/prog.ml: Ast Hashtbl List Printf

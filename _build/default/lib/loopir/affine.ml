@@ -1,0 +1,188 @@
+module S = Numeric.Safeint
+
+exception Unsupported of string
+
+type t = { terms : (string * int) list; const : int }
+
+let canon terms =
+  List.sort (fun (a, _) (b, _) -> compare a b) terms
+  |> List.fold_left
+       (fun acc (v, c) ->
+         match acc with
+         | (v', c') :: rest when v' = v -> (v, S.add c c') :: rest
+         | acc -> (v, c) :: acc)
+       []
+  |> List.rev
+  |> List.filter (fun (_, c) -> c <> 0)
+
+let const c = { terms = []; const = c }
+let var v = { terms = [ (v, 1) ]; const = 0 }
+
+let add a b =
+  { terms = canon (a.terms @ b.terms); const = S.add a.const b.const }
+
+let scale k a =
+  if k = 0 then const 0
+  else
+    {
+      terms = List.map (fun (v, c) -> (v, S.mul k c)) a.terms;
+      const = S.mul k a.const;
+    }
+
+let neg a = scale (-1) a
+let sub a b = add a (neg b)
+let coeff a v = try List.assoc v a.terms with Not_found -> 0
+let names a = List.map fst a.terms
+let equal a b = a.const = b.const && a.terms = b.terms
+
+let eval env a =
+  List.fold_left
+    (fun acc (v, c) -> S.add acc (S.mul c (env v)))
+    a.const a.terms
+
+let pp ppf a =
+  let first = ref true in
+  List.iter
+    (fun (v, c) ->
+      if !first then begin
+        first := false;
+        if c = 1 then Format.fprintf ppf "%s" v
+        else if c = -1 then Format.fprintf ppf "-%s" v
+        else Format.fprintf ppf "%d%s" c v
+      end
+      else if c > 0 then
+        if c = 1 then Format.fprintf ppf " + %s" v
+        else Format.fprintf ppf " + %d%s" c v
+      else if c = -1 then Format.fprintf ppf " - %s" v
+      else Format.fprintf ppf " - %d%s" (-c) v)
+    a.terms;
+  if !first then Format.fprintf ppf "%d" a.const
+  else if a.const > 0 then Format.fprintf ppf " + %d" a.const
+  else if a.const < 0 then Format.fprintf ppf " - %d" (-a.const)
+
+let rec of_expr (e : Ast.expr) : t option =
+  match e with
+  | Ast.Int k -> Some (const k)
+  | Ast.Var v -> Some (var v)
+  | Ast.Un (Ast.Neg, a) -> Option.map neg (of_expr a)
+  | Ast.Bin (Ast.Add, a, b) -> (
+      match (of_expr a, of_expr b) with
+      | Some x, Some y -> Some (add x y)
+      | _ -> None)
+  | Ast.Bin (Ast.Sub, a, b) -> (
+      match (of_expr a, of_expr b) with
+      | Some x, Some y -> Some (sub x y)
+      | _ -> None)
+  | Ast.Bin (Ast.Mul, a, b) -> (
+      match (of_expr a, of_expr b) with
+      | Some x, Some y when x.terms = [] -> Some (scale x.const y)
+      | Some x, Some y when y.terms = [] -> Some (scale y.const x)
+      | _ -> None)
+  | Ast.Real _ | Ast.Ref _ | Ast.Bin (Ast.Div, _, _)
+  | Ast.Un ((Ast.Sqrt | Ast.Abs), _)
+  | Ast.Min _ | Ast.Max _ | Ast.Mod _ | Ast.Pow _ ->
+      None
+
+let of_expr_exn e =
+  match of_expr e with
+  | Some a -> a
+  | None ->
+      raise (Unsupported (Printf.sprintf "non-affine expression %s" (Pretty.expr_to_string e)))
+
+type atom = { num : t; den : int }
+
+type bound = Atom of atom | Max_of of atom list | Min_of of atom list
+
+let atom_of_affine a = { num = a; den = 1 }
+
+(* -⌊a/c⌋ = ⌊(-a + c - 1)/c⌋ *)
+let atom_neg { num; den } = { num = add (neg num) (const (den - 1)); den }
+
+(* ⌊a⌋ + ⌊b/c⌋ = ⌊(c·a + b)/c⌋ when the first denominator is 1. *)
+let atom_add x y =
+  if x.den = 1 then { num = add (scale y.den x.num) y.num; den = y.den }
+  else if y.den = 1 then { num = add (scale x.den y.num) x.num; den = x.den }
+  else raise (Unsupported "sum of two floor divisions")
+
+let atom_div { num; den } c =
+  if c <= 0 then raise (Unsupported "division by non-positive constant");
+  { num; den = S.mul den c }
+
+let atom_scale k a =
+  if a.den = 1 then { num = scale k a.num; den = 1 }
+  else if k = 1 then a
+  else if k = -1 then atom_neg a
+  else raise (Unsupported "scaling a floor division")
+
+let bound_map f = function
+  | Atom a -> Atom (f a)
+  | Max_of l -> Max_of (List.map f l)
+  | Min_of l -> Min_of (List.map f l)
+
+let bound_neg = function
+  | Atom a -> Atom (atom_neg a)
+  | Max_of l -> Min_of (List.map atom_neg l)
+  | Min_of l -> Max_of (List.map atom_neg l)
+
+let bound_add x y =
+  match (x, y) with
+  | Atom a, b | b, Atom a -> bound_map (fun c -> atom_add a c) b
+  | Max_of xs, Max_of ys ->
+      Max_of
+        (List.concat_map (fun a -> List.map (fun b -> atom_add a b) ys) xs)
+  | Min_of xs, Min_of ys ->
+      Min_of
+        (List.concat_map (fun a -> List.map (fun b -> atom_add a b) ys) xs)
+  | _ -> raise (Unsupported "MAX + MIN in a bound")
+
+let rec bound_of_expr (e : Ast.expr) : bound =
+  match of_expr e with
+  | Some a -> Atom (atom_of_affine a)
+  | None -> (
+      match e with
+      | Ast.Max es ->
+          Max_of
+            (List.concat_map
+               (fun e ->
+                 match bound_of_expr e with
+                 | Atom a -> [ a ]
+                 | Max_of l -> l
+                 | Min_of _ -> raise (Unsupported "MIN under MAX"))
+               es)
+      | Ast.Min es ->
+          Min_of
+            (List.concat_map
+               (fun e ->
+                 match bound_of_expr e with
+                 | Atom a -> [ a ]
+                 | Min_of l -> l
+                 | Max_of _ -> raise (Unsupported "MAX under MIN"))
+               es)
+      | Ast.Un (Ast.Neg, a) -> bound_neg (bound_of_expr a)
+      | Ast.Bin (Ast.Add, a, b) -> bound_add (bound_of_expr a) (bound_of_expr b)
+      | Ast.Bin (Ast.Sub, a, b) ->
+          bound_add (bound_of_expr a) (bound_neg (bound_of_expr b))
+      | Ast.Bin (Ast.Div, a, Ast.Int c) when c > 0 ->
+          bound_map (fun at -> atom_div at c) (bound_of_expr a)
+      | Ast.Bin (Ast.Mul, Ast.Int k, a) | Ast.Bin (Ast.Mul, a, Ast.Int k) ->
+          let b = bound_of_expr a in
+          if k >= 0 then bound_map (atom_scale k) b
+          else bound_map (atom_scale (-k)) (bound_neg b)
+      | e ->
+          raise
+            (Unsupported
+               (Printf.sprintf "loop bound %s" (Pretty.expr_to_string e))))
+
+let lower_atoms e =
+  match bound_of_expr e with
+  | Atom a -> [ a ]
+  | Max_of l -> l
+  | Min_of _ ->
+      raise (Unsupported "MIN as a lower bound (non-convex)")
+
+let upper_atoms e =
+  match bound_of_expr e with
+  | Atom a -> [ a ]
+  | Min_of l -> l
+  | Max_of _ ->
+      raise (Unsupported "MAX as an upper bound (non-convex)")

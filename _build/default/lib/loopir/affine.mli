@@ -1,0 +1,49 @@
+(** Affine views of expressions: extraction of affine subscript functions
+    and of loop-bound constraints (handling MIN/MAX bounds and floor
+    divisions by constants, as they appear in normalized loops). *)
+
+exception Unsupported of string
+(** Raised when an expression has no affine (or supported bound) form. *)
+
+type t = { terms : (string * int) list; const : int }
+(** Canonical affine form [const + Σ coef·name]: terms sorted by name, no
+    zero coefficients. *)
+
+val const : int -> t
+val var : string -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : int -> t -> t
+val coeff : t -> string -> int
+val names : t -> string list
+val equal : t -> t -> bool
+val eval : (string -> int) -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val of_expr : Ast.expr -> t option
+(** [of_expr e] is the affine form of [e] when it is affine over its
+    variables (integer constants, [+ - ×const], unary minus). *)
+
+val of_expr_exn : Ast.expr -> t
+
+type atom = { num : t; den : int }
+(** The integer quantity [⌊num/den⌋] with [den ≥ 1]. *)
+
+type bound =
+  | Atom of atom
+  | Max_of of atom list  (** maximum of atoms — usable as a lower bound *)
+  | Min_of of atom list  (** minimum of atoms — usable as an upper bound *)
+
+val bound_of_expr : Ast.expr -> bound
+(** [bound_of_expr e] normalizes a loop-bound expression, distributing
+    arithmetic over MIN/MAX and folding floor divisions by positive
+    constants; raises {!Unsupported} otherwise. *)
+
+val lower_atoms : Ast.expr -> atom list
+(** Atoms [a] such that the bound means [v ≥ max ⌊a⌋]; raises
+    {!Unsupported} when the expression involves MIN (non-convex as a lower
+    bound). *)
+
+val upper_atoms : Ast.expr -> atom list
+(** Dual of {!lower_atoms}: [v ≤ min ⌊a⌋]. *)

@@ -1,0 +1,315 @@
+let parse name src = Parser.parse ~name src
+
+let example1 =
+  parse "example1"
+    {|
+! Paper Figure 1 / Example 1 (from Yu & D'Hollander ICPP'00)
+DO i1 = 1, N1
+  DO i2 = 1, N2
+    a(3*i1 + 1, 2*i1 + i2 - 1) = a(i1 + 3, i2 + 1)
+  ENDDO
+ENDDO
+|}
+
+let fig2 =
+  parse "fig2"
+    {|
+! Paper Figure 2
+DO i = 1, 20
+  a(2*i) = a(21 - i)
+ENDDO
+|}
+
+let fig2_param =
+  parse "fig2_param"
+    {|
+! Figure 2 generalized: bound 2M, read index 2M+1-i
+DO i = 1, 2*m
+  a(2*i) = a(2*m + 1 - i)
+ENDDO
+|}
+
+let example2 =
+  parse "example2"
+    {|
+! Paper Example 2 (Ju & Chaudhary)
+DO i = 1, n
+  DO j = 1, n
+    a(2*i + 3, j + 1) = a(i + 2*j + 1, i + j + 3)
+  ENDDO
+ENDDO
+|}
+
+let example3 =
+  parse "example3"
+    {|
+! Paper Example 3 (Chen & Yew): imperfectly nested loop.
+! Only array a carries cross-statement dependences, as in the paper.
+DO i = 1, n
+  DO j = 1, i
+    DO k = j, i
+      t(i, j, k) = a(i + 2*k + 5, 4*k - j)
+    ENDDO
+    a(i - j, i + j) = c(i, j)
+  ENDDO
+ENDDO
+|}
+
+let cholesky =
+  parse "cholesky"
+    {|
+! Paper Example 4: NASA benchmark Cholesky kernel (EPS folded to 1e-5).
+DO j = 0, n
+  DO i = MAX(-m, -j), -1
+    DO jj = MAX(-m, -j) - i, -1
+      DO l = 0, nmat
+        a(l, i, j) = a(l, i, j) - a(l, jj, i + j)*a(l, i + jj, j)
+      ENDDO
+    ENDDO
+    DO l = 0, nmat
+      a(l, i, j) = a(l, i, j)*a(l, 0, i + j)
+    ENDDO
+  ENDDO
+  DO l = 0, nmat
+    epss(l) = 0.00001*a(l, 0, j)
+  ENDDO
+  DO jj = MAX(-m, -j), -1
+    DO l = 0, nmat
+      a(l, 0, j) = a(l, 0, j) - a(l, jj, j)**2
+    ENDDO
+  ENDDO
+  DO l = 0, nmat
+    a(l, 0, j) = 1.0/SQRT(ABS(epss(l) + a(l, 0, j)))
+  ENDDO
+ENDDO
+DO i = 0, nrhs
+  DO k = 0, n
+    DO l = 0, nmat
+      b(i, l, k) = b(i, l, k)*a(l, 0, k)
+    ENDDO
+    DO jj = 1, MIN(m, n - k)
+      DO l = 0, nmat
+        b(i, l, k + jj) = b(i, l, k + jj) - a(l, -jj, k + jj)*b(i, l, k)
+      ENDDO
+    ENDDO
+  ENDDO
+  DO k = n, 0, -1
+    DO l = 0, nmat
+      b(i, l, k) = b(i, l, k)*a(l, 0, k)
+    ENDDO
+    DO jj = 1, MIN(m, k)
+      DO l = 0, nmat
+        b(i, l, k - jj) = b(i, l, k - jj) - a(l, -jj, k)*b(i, l, k)
+      ENDDO
+    ENDDO
+  ENDDO
+ENDDO
+|}
+
+let corpus =
+  List.map
+    (fun (name, src) -> (name, parse name src))
+    [
+      ( "vecadd",
+        {|
+DO i = 1, n
+  c(i) = a(i) + b(i)
+ENDDO
+|} );
+      ( "scale",
+        {|
+DO i = 1, n
+  a(i) = 2.0*b(i)
+ENDDO
+|} );
+      ( "prefix_sum",
+        {|
+DO i = 2, n
+  s(i) = s(i - 1) + a(i)
+ENDDO
+|} );
+      ( "stencil1d",
+        {|
+DO i = 2, n - 1
+  a(i) = a(i - 1) + a(i + 1)
+ENDDO
+|} );
+      ( "wavefront2d",
+        {|
+DO i = 2, n
+  DO j = 2, n
+    a(i, j) = a(i - 1, j) + a(i, j - 1)
+  ENDDO
+ENDDO
+|} );
+      ( "uniform_diag",
+        {|
+DO i = 2, n
+  DO j = 2, n
+    a(i, j) = a(i - 1, j - 1)
+  ENDDO
+ENDDO
+|} );
+      ( "matmul_acc",
+        {|
+DO i = 1, n
+  DO j = 1, n
+    DO k = 1, n
+      c(i, j) = c(i, j) + a(i, k)*b(k, j)
+    ENDDO
+  ENDDO
+ENDDO
+|} );
+      ( "transpose_copy",
+        {|
+DO i = 1, n
+  DO j = 1, n
+    b(i, j) = a(j, i)
+  ENDDO
+ENDDO
+|} );
+      ( "reverse_copy",
+        {|
+DO i = 1, n
+  b(i) = a(n - i + 1)
+ENDDO
+|} );
+      ( "coupled_stretch",
+        {|
+DO i = 1, n
+  a(2*i) = a(i) + 1.0
+ENDDO
+|} );
+      ( "coupled_affine1d",
+        {|
+DO i = 1, n
+  a(3*i + 1) = a(2*i)
+ENDDO
+|} );
+      ( "coupled_mirror",
+        {|
+DO i = 1, n
+  a(i) = a(n - i)
+ENDDO
+|} );
+      ( "coupled_skew2d",
+        {|
+DO i = 1, n
+  DO j = 1, n
+    a(i + j, j) = a(j, i)
+  ENDDO
+ENDDO
+|} );
+      ( "coupled_scale2d",
+        {|
+DO i = 1, n
+  DO j = 1, n
+    a(2*i, 2*j) = a(i + 1, j + 1)
+  ENDDO
+ENDDO
+|} );
+      ( "triangular_uniform",
+        {|
+DO i = 1, n
+  DO j = 1, i
+    a(i, j) = a(i - 1, j) + 1.0
+  ENDDO
+ENDDO
+|} );
+      ( "banded_update",
+        {|
+DO i = 1, n
+  DO j = 1, 4
+    a(i + j) = a(i + j) + b(i)*c(j)
+  ENDDO
+ENDDO
+|} );
+      ( "gather_shift",
+        {|
+DO i = 1, n
+  b(i) = a(i + 5)
+ENDDO
+|} );
+      ( "imperfect_pair",
+        {|
+DO i = 1, n
+  DO j = 1, n
+    t(i, j) = a(i + j, j)
+  ENDDO
+  a(i, 2*i) = c(i)
+ENDDO
+|} );
+      ( "coupled_rotate",
+        {|
+DO i = 1, n
+  DO j = 1, n
+    a(i + j, i - j) = a(i, j)
+  ENDDO
+ENDDO
+|} );
+      ( "coupled_symm",
+        {|
+DO i = 1, n
+  DO j = 1, n
+    a(i, j) = a(j, i) + 1.0
+  ENDDO
+ENDDO
+|} );
+      ( "coupled_shear",
+        {|
+DO i = 1, n
+  DO j = 1, n
+    a(2*i + j, j) = a(i, i + j)
+  ENDDO
+ENDDO
+|} );
+      ( "coupled_fold1d",
+        {|
+DO i = 1, 2*n
+  a(i) = a(2*n + 1 - i) + 1.0
+ENDDO
+|} );
+      ( "coupled_doubling",
+        {|
+DO i = 1, n
+  DO j = 1, n
+    a(2*i, j) = a(i, 2*j)
+  ENDDO
+ENDDO
+|} );
+      ( "coupled_antidiag",
+        {|
+DO i = 1, n
+  DO j = 1, n
+    a(i + j) = a(i + j) + b(i, j)
+  ENDDO
+ENDDO
+|} );
+      ( "uniform_shift2d",
+        {|
+DO i = 3, n
+  DO j = 1, n
+    a(i, j) = a(i - 3, j) + a(i - 2, j)
+  ENDDO
+ENDDO
+|} );
+      ( "lu_like",
+        {|
+DO k = 1, n
+  DO i = k + 1, n
+    a(i, k) = a(i, k)/a(k, k)
+  ENDDO
+ENDDO
+|} );
+    ]
+
+let all =
+  [
+    ("example1", example1);
+    ("fig2", fig2);
+    ("fig2_param", fig2_param);
+    ("example2", example2);
+    ("example3", example3);
+    ("cholesky", cholesky);
+  ]
+  @ corpus

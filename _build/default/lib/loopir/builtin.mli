@@ -1,0 +1,30 @@
+(** The paper's example programs (transcribed into the mini-language) plus a
+    corpus of classic loop kernels used by the survey-statistics
+    reproduction (DESIGN.md E9). *)
+
+val example1 : Ast.program
+(** Figure 1 / Example 1: coupled 2-D subscripts, non-uniform distances
+    (d,d), d = 2,4,6. *)
+
+val fig2 : Ast.program
+(** Figure 2: [DO I=1,20: a(2I) = a(21-I)]. *)
+
+val fig2_param : Ast.program
+(** Figure 2 generalized to bound [2M] with read [a(2M+1-I)]. *)
+
+val example2 : Ast.program
+(** Example 2 (Ju et al): [a(2I+3, J+1) = a(I+2J+1, I+J+3)]. *)
+
+val example3 : Ast.program
+(** Example 3 (Chen et al): the imperfectly nested 3-deep loop; only the
+    [a] array is involved in cross-statement dependences, as in the paper. *)
+
+val cholesky : Ast.program
+(** Example 4: the NASA-benchmark Cholesky kernel (both imperfect nests). *)
+
+val corpus : (string * Ast.program) list
+(** Named kernels spanning no-dependence, uniform, and non-uniform /
+    coupled-subscript loops. *)
+
+val all : (string * Ast.program) list
+(** Every builtin program, paper examples first. *)

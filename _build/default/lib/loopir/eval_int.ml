@@ -1,0 +1,25 @@
+open Ast
+
+exception Not_integer of string
+
+let rec eval env = function
+  | Int k -> k
+  | Var v -> env v
+  | Bin (Add, a, b) -> Numeric.Safeint.add (eval env a) (eval env b)
+  | Bin (Sub, a, b) -> Numeric.Safeint.sub (eval env a) (eval env b)
+  | Bin (Mul, a, b) -> Numeric.Safeint.mul (eval env a) (eval env b)
+  | Bin (Div, a, b) -> Numeric.Safeint.fdiv (eval env a) (eval env b)
+  | Un (Neg, a) -> Numeric.Safeint.neg (eval env a)
+  | Un (Abs, a) -> Numeric.Safeint.abs (eval env a)
+  | Min es -> (
+      match List.map (eval env) es with
+      | [] -> raise (Not_integer "empty MIN")
+      | v :: vs -> List.fold_left min v vs)
+  | Max es -> (
+      match List.map (eval env) es with
+      | [] -> raise (Not_integer "empty MAX")
+      | v :: vs -> List.fold_left max v vs)
+  | Mod (a, b) -> Numeric.Safeint.emod (eval env a) (eval env b)
+  | Pow (a, k) -> Numeric.Safeint.pow (eval env a) k
+  | (Real _ | Ref _ | Un (Sqrt, _)) as e ->
+      raise (Not_integer (Pretty.expr_to_string e))

@@ -1,0 +1,8 @@
+(** Integer evaluation of index expressions (subscripts and loop bounds)
+    under an environment binding loop indices and parameters.  Division is
+    floor division, matching the normalized-bound semantics. *)
+
+exception Not_integer of string
+(** Raised on value-domain constructs (reals, array references, SQRT). *)
+
+val eval : (string -> int) -> Ast.expr -> int

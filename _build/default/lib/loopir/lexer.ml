@@ -1,0 +1,166 @@
+type token =
+  | INT of int
+  | REAL of float
+  | IDENT of string
+  | KDO
+  | KENDDO
+  | KMIN
+  | KMAX
+  | KMOD
+  | KSQRT
+  | KABS
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | EQUALS
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | POW
+  | EOF
+
+exception Error of string * int
+
+let keyword = function
+  | "do" -> Some KDO
+  | "enddo" -> Some KENDDO
+  | "min" -> Some KMIN
+  | "max" -> Some KMAX
+  | "mod" -> Some KMOD
+  | "sqrt" -> Some KSQRT
+  | "abs" -> Some KABS
+  | _ -> None
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let push t = toks := (t, !line) :: !toks in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '!' then begin
+      (* comment to end of line *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else begin
+      if is_digit c then begin
+        let j = ref !i in
+        while !j < n && is_digit src.[!j] do
+          incr j
+        done;
+        (* A real literal: digits '.' digits (the '.' must be followed by a
+           digit or end-of-number to avoid eating operator dots). *)
+        if !j < n && src.[!j] = '.' && (!j + 1 >= n || not (is_alpha src.[!j + 1]))
+        then begin
+          let k = ref (!j + 1) in
+          while !k < n && is_digit src.[!k] do
+            incr k
+          done;
+          (* optional exponent: e[+-]digits *)
+          if
+            !k < n
+            && (src.[!k] = 'e' || src.[!k] = 'E')
+            && !k + 1 < n
+            && (is_digit src.[!k + 1]
+               || ((src.[!k + 1] = '+' || src.[!k + 1] = '-')
+                  && !k + 2 < n
+                  && is_digit src.[!k + 2]))
+          then begin
+            incr k;
+            if src.[!k] = '+' || src.[!k] = '-' then incr k;
+            while !k < n && is_digit src.[!k] do
+              incr k
+            done
+          end;
+          push (REAL (float_of_string (String.sub src !i (!k - !i))));
+          i := !k
+        end
+        else if
+          (* exponent directly after the digits, e.g. 2e3, 1e-5 *)
+          !j < n
+          && (src.[!j] = 'e' || src.[!j] = 'E')
+          && !j + 1 < n
+          && (is_digit src.[!j + 1]
+             || ((src.[!j + 1] = '+' || src.[!j + 1] = '-')
+                && !j + 2 < n
+                && is_digit src.[!j + 2]))
+        then begin
+          let k = ref (!j + 1) in
+          if src.[!k] = '+' || src.[!k] = '-' then incr k;
+          while !k < n && is_digit src.[!k] do
+            incr k
+          done;
+          push (REAL (float_of_string (String.sub src !i (!k - !i))));
+          i := !k
+        end
+        else begin
+          push (INT (int_of_string (String.sub src !i (!j - !i))));
+          i := !j
+        end
+      end
+      else if is_alpha c then begin
+        let j = ref !i in
+        while !j < n && (is_alpha src.[!j] || is_digit src.[!j]) do
+          incr j
+        done;
+        let word = String.lowercase_ascii (String.sub src !i (!j - !i)) in
+        (match keyword word with
+        | Some k -> push k
+        | None -> push (IDENT word));
+        i := !j
+      end
+      else begin
+        (match c with
+        | '(' -> push LPAREN
+        | ')' -> push RPAREN
+        | ',' -> push COMMA
+        | '=' -> push EQUALS
+        | '+' -> push PLUS
+        | '-' -> push MINUS
+        | '*' ->
+            if !i + 1 < n && src.[!i + 1] = '*' then begin
+              push POW;
+              incr i
+            end
+            else push STAR
+        | '/' -> push SLASH
+        | c -> raise (Error (Printf.sprintf "unexpected character %c" c, !line)));
+        incr i
+      end
+    end
+  done;
+  List.rev ((EOF, !line) :: !toks)
+
+let pp_token = function
+  | INT k -> string_of_int k
+  | REAL r -> string_of_float r
+  | IDENT s -> s
+  | KDO -> "DO"
+  | KENDDO -> "ENDDO"
+  | KMIN -> "MIN"
+  | KMAX -> "MAX"
+  | KMOD -> "MOD"
+  | KSQRT -> "SQRT"
+  | KABS -> "ABS"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | EQUALS -> "="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | POW -> "**"
+  | EOF -> "<eof>"

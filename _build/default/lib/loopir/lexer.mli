@@ -1,0 +1,34 @@
+(** Hand-written lexer for the mini-Fortran surface syntax.
+
+    Keywords are case-insensitive; identifiers are case-normalized to lower
+    case.  A line whose first non-blank character is [!] is a comment. *)
+
+type token =
+  | INT of int
+  | REAL of float
+  | IDENT of string
+  | KDO
+  | KENDDO
+  | KMIN
+  | KMAX
+  | KMOD
+  | KSQRT
+  | KABS
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | EQUALS
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | POW  (** [**] *)
+  | EOF
+
+exception Error of string * int
+(** Message and line number. *)
+
+val tokenize : string -> (token * int) list
+(** [tokenize src] is the token stream with line numbers. *)
+
+val pp_token : token -> string

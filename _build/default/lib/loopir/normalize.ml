@@ -1,0 +1,35 @@
+open Ast
+
+let loop_count_bound l =
+  let diff = if l.step > 0 then Bin (Sub, l.hi, l.lo) else Bin (Sub, l.lo, l.hi) in
+  let k = abs l.step in
+  if k = 1 then diff else Bin (Div, diff, Int k)
+
+let rec norm_stmt = function
+  | Assign _ as s -> s
+  | Loop l ->
+      let body = List.map norm_stmt l.body in
+      if l.step = 1 then Loop { l with body }
+      else begin
+        (* v = lo + step·v' with v' = 0 .. ⌊(hi-lo)/step⌋ (downward loops
+           symmetrically); the substitution reuses the index name. *)
+        let replacement =
+          if l.step > 0 then Bin (Add, l.lo, Bin (Mul, Int l.step, Var l.index))
+          else Bin (Sub, l.lo, Bin (Mul, Int (-l.step), Var l.index))
+        in
+        let subst =
+          map_expr_stmt (function
+            | Var v when v = l.index -> replacement
+            | e -> e)
+        in
+        Loop
+          {
+            index = l.index;
+            lo = Int 0;
+            hi = loop_count_bound l;
+            step = 1;
+            body = List.map subst body;
+          }
+      end
+
+let unit_strides p = { p with body = List.map norm_stmt p.body }

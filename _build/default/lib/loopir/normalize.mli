@@ -1,0 +1,10 @@
+(** Loop normalization to the paper's program model (§2): every loop gets a
+    unit positive stride by the change of variable [v = lo + step·v'] (or
+    [v = lo - |step|·v'] for downward loops), substituted through bounds,
+    subscripts and right-hand sides. *)
+
+val unit_strides : Ast.program -> Ast.program
+
+val loop_count_bound : Ast.loop -> Ast.expr
+(** The normalized upper bound [⌊(hi - lo)/step⌋] of the renamed 0-based
+    index (simplified for |step| = 1). *)

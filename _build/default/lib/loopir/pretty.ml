@@ -1,0 +1,93 @@
+open Ast
+
+(* Precedence levels: 0 additive, 1 multiplicative, 2 power/atom. *)
+let rec pp_prec lvl ppf e =
+  let paren needed body =
+    if needed then Format.fprintf ppf "(%t)" body else body ppf
+  in
+  match e with
+  | Int k ->
+      if k < 0 then paren (lvl > 1) (fun ppf -> Format.fprintf ppf "%d" k)
+      else Format.fprintf ppf "%d" k
+  | Real r ->
+      (* Decimal notation keeps literals lexable (no bare exponent). *)
+      let s = Printf.sprintf "%.12f" r in
+      let s =
+        let n = String.length s in
+        let k = ref n in
+        while !k > 1 && s.[!k - 1] = '0' && s.[!k - 2] <> '.' do
+          decr k
+        done;
+        String.sub s 0 !k
+      in
+      Format.pp_print_string ppf s
+  | Var v -> Format.pp_print_string ppf v
+  | Ref (a, subs) ->
+      Format.fprintf ppf "%s(%a)" a
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           (pp_prec 0))
+        subs
+  | Bin (Add, a, b) ->
+      paren (lvl > 0) (fun ppf ->
+          Format.fprintf ppf "%a + %a" (pp_prec 0) a (pp_prec 1) b)
+  | Bin (Sub, a, b) ->
+      paren (lvl > 0) (fun ppf ->
+          Format.fprintf ppf "%a - %a" (pp_prec 0) a (pp_prec 1) b)
+  | Bin (Mul, a, b) ->
+      paren (lvl > 1) (fun ppf ->
+          Format.fprintf ppf "%a*%a" (pp_prec 1) a (pp_prec 2) b)
+  | Bin (Div, a, b) ->
+      paren (lvl > 1) (fun ppf ->
+          Format.fprintf ppf "%a/%a" (pp_prec 1) a (pp_prec 2) b)
+  | Un (Neg, a) ->
+      paren (lvl > 0) (fun ppf -> Format.fprintf ppf "-%a" (pp_prec 2) a)
+  | Un (Sqrt, a) -> Format.fprintf ppf "SQRT(%a)" (pp_prec 0) a
+  | Un (Abs, a) -> Format.fprintf ppf "ABS(%a)" (pp_prec 0) a
+  | Min es ->
+      Format.fprintf ppf "MIN(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           (pp_prec 0))
+        es
+  | Max es ->
+      Format.fprintf ppf "MAX(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           (pp_prec 0))
+        es
+  | Mod (a, b) ->
+      Format.fprintf ppf "MOD(%a, %a)" (pp_prec 0) a (pp_prec 0) b
+  | Pow (a, k) -> Format.fprintf ppf "%a**%d" (pp_prec 2) a k
+
+let pp_expr ppf e = pp_prec 0 ppf e
+
+let rec pp_stmt_indent indent ppf = function
+  | Assign ((a, subs), rhs) ->
+      Format.fprintf ppf "%s%s(%a) = %a" indent a
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp_expr)
+        subs pp_expr rhs
+  | Loop l ->
+      Format.fprintf ppf "%sDO %s = %a, %a%s@," indent l.index pp_expr l.lo
+        pp_expr l.hi
+        (if l.step = 1 then "" else Printf.sprintf ", %d" l.step);
+      List.iter
+        (fun s -> Format.fprintf ppf "%a@," (pp_stmt_indent (indent ^ "  ")) s)
+        l.body;
+      Format.fprintf ppf "%sENDDO" indent
+
+let pp_stmt ppf s = Format.fprintf ppf "@[<v>%a@]" (pp_stmt_indent "") s
+
+let pp_program ppf p =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Format.fprintf ppf "@,";
+      pp_stmt ppf s)
+    p.body;
+  Format.fprintf ppf "@]"
+
+let expr_to_string e = Format.asprintf "%a" pp_expr e
+let program_to_string p = Format.asprintf "%a@." pp_program p

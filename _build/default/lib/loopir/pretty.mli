@@ -1,0 +1,8 @@
+(** Printing programs back in the mini-Fortran surface syntax (round-trips
+    through {!Parser.parse}). *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val expr_to_string : Ast.expr -> string
+val program_to_string : Ast.program -> string

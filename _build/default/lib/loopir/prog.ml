@@ -1,0 +1,78 @@
+open Ast
+
+type loop_ctx = { index : string; lo : Ast.expr; hi : Ast.expr }
+type ref_kind = Read | Write
+
+type stmt_info = {
+  id : int;
+  path : int list;
+  loops : loop_ctx list;
+  lhs : string * Ast.expr list;
+  rhs : Ast.expr;
+}
+
+let stmts_of (p : Ast.program) =
+  let infos = ref [] in
+  let next_id = ref 0 in
+  let rec go path loops body =
+    List.iteri
+      (fun k s ->
+        let pos = k + 1 in
+        match s with
+        | Assign (lhs, rhs) ->
+            let id = !next_id in
+            incr next_id;
+            infos :=
+              {
+                id;
+                path = List.rev (pos :: path);
+                loops = List.rev loops;
+                lhs;
+                rhs;
+              }
+              :: !infos
+        | Loop l ->
+            go (pos :: path)
+              ({ index = l.index; lo = l.lo; hi = l.hi } :: loops)
+              l.body)
+      body
+  in
+  go [] [] p.body;
+  List.rev !infos
+
+let rec reads_of_expr acc = function
+  | Int _ | Real _ | Var _ -> acc
+  | Ref (a, subs) ->
+      let acc = (a, subs, Read) :: acc in
+      List.fold_left reads_of_expr acc subs
+  | Bin (_, a, b) | Mod (a, b) -> reads_of_expr (reads_of_expr acc a) b
+  | Un (_, a) | Pow (a, _) -> reads_of_expr acc a
+  | Min es | Max es -> List.fold_left reads_of_expr acc es
+
+let refs_of s =
+  let a, subs = s.lhs in
+  (a, subs, Write) :: List.rev (reads_of_expr [] s.rhs)
+
+let arrays_of p =
+  let table = Hashtbl.create 8 in
+  let note name rank =
+    match Hashtbl.find_opt table name with
+    | None -> Hashtbl.add table name rank
+    | Some r when r = rank -> ()
+    | Some r ->
+        failwith
+          (Printf.sprintf "array %s used with ranks %d and %d" name r rank)
+  in
+  List.iter
+    (fun s ->
+      List.iter (fun (a, subs, _) -> note a (List.length subs)) (refs_of s))
+    (stmts_of p);
+  Hashtbl.fold (fun name rank acc -> (name, rank) :: acc) table []
+  |> List.sort compare
+
+let depth s = List.length s.loops
+
+let max_depth p =
+  List.fold_left (fun acc s -> max acc (depth s)) 0 (stmts_of p)
+
+let loop_vars s = List.map (fun l -> l.index) s.loops

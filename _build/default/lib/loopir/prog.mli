@@ -1,0 +1,38 @@
+(** Statement table: flattening a (normalized) program into per-statement
+    records carrying the enclosing loop context and the statement position
+    path — the raw material for the unified statement index vectors of §3.3
+    of the paper. *)
+
+type loop_ctx = { index : string; lo : Ast.expr; hi : Ast.expr }
+(** One enclosing loop (unit stride assumed; run {!Normalize.unit_strides}
+    first). *)
+
+type ref_kind = Read | Write
+
+type stmt_info = {
+  id : int;  (** textual order, 0-based *)
+  path : int list;
+      (** statement position numbers [s0; s1; …; sl], 1-based: the position
+          of each enclosing construct within its parent body, ending with
+          the statement's own position *)
+  loops : loop_ctx list;  (** outermost first *)
+  lhs : string * Ast.expr list;
+  rhs : Ast.expr;
+}
+
+val stmts_of : Ast.program -> stmt_info list
+
+val refs_of : stmt_info -> (string * Ast.expr list * ref_kind) list
+(** All array references of the statement: the written left-hand side plus
+    every read on the right-hand side (subscript expressions of reads are
+    scanned recursively too). *)
+
+val arrays_of : Ast.program -> (string * int) list
+(** Array names with their rank, sorted; raises [Failure] on inconsistent
+    ranks. *)
+
+val depth : stmt_info -> int
+val max_depth : Ast.program -> int
+
+val loop_vars : stmt_info -> string list
+(** Index names of the enclosing loops, outermost first. *)

@@ -1,0 +1,67 @@
+exception Overflow
+
+let add a b =
+  let s = a + b in
+  (* Overflow iff operands share a sign that the sum does not. *)
+  if (a >= 0) = (b >= 0) && (s >= 0) <> (a >= 0) then raise Overflow;
+  s
+
+let neg a = if a = min_int then raise Overflow else -a
+
+let sub a b =
+  let d = a - b in
+  if (a >= 0) <> (b >= 0) && (d >= 0) <> (a >= 0) then raise Overflow;
+  d
+
+let mul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let p = a * b in
+    if p / b <> a || (a = min_int && b = -1) || (b = min_int && a = -1) then
+      raise Overflow
+    else p
+
+let abs a = if a < 0 then neg a else a
+let sign a = compare a 0
+
+let rec gcd_pos a b = if b = 0 then a else gcd_pos b (a mod b)
+let gcd a b = gcd_pos (abs a) (abs b)
+
+let lcm a b = if a = 0 || b = 0 then 0 else abs (mul (a / gcd a b) b)
+
+let egcd a b =
+  (* Invariant: r = a*x + b*y for both tracked rows. *)
+  let rec go r0 x0 y0 r1 x1 y1 =
+    if r1 = 0 then (r0, x0, y0)
+    else
+      let q = r0 / r1 in
+      go r1 x1 y1 (r0 - (q * r1)) (x0 - (q * x1)) (y0 - (q * y1))
+  in
+  let g, x, y = go (abs a) (sign a) 0 (abs b) 0 (sign b) in
+  (g, x, y)
+
+let fdiv a b =
+  if b = 0 then raise Division_by_zero;
+  let q = a / b and r = a mod b in
+  if r <> 0 && (r < 0) <> (b < 0) then q - 1 else q
+
+let cdiv a b =
+  if b = 0 then raise Division_by_zero;
+  let q = a / b and r = a mod b in
+  if r <> 0 && (r < 0) = (b < 0) then q + 1 else q
+
+let emod a b =
+  if b = 0 then raise Division_by_zero;
+  let r = a mod b in
+  if r < 0 then r + abs b else r
+
+let pow a n =
+  if n < 0 then invalid_arg "Safeint.pow: negative exponent";
+  let rec go acc base n =
+    if n = 0 then acc
+    else
+      let acc = if n land 1 = 1 then mul acc base else acc in
+      let n = n asr 1 in
+      if n = 0 then acc else go acc (mul base base) n
+  in
+  go 1 a n

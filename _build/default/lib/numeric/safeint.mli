@@ -1,0 +1,51 @@
+(** Overflow-checked arithmetic on native [int].
+
+    Every operation that can overflow the 63-bit native range raises
+    {!Overflow} instead of wrapping.  Symbolic loop analysis works with small
+    coefficients, so native integers are ample; the checks guarantee that a
+    pathological input fails loudly rather than yielding a wrong dependence
+    set.  See DESIGN.md §5 for the rationale. *)
+
+exception Overflow
+
+val add : int -> int -> int
+(** [add a b] is [a + b]; raises {!Overflow} on overflow. *)
+
+val sub : int -> int -> int
+(** [sub a b] is [a - b]; raises {!Overflow} on overflow. *)
+
+val mul : int -> int -> int
+(** [mul a b] is [a * b]; raises {!Overflow} on overflow. *)
+
+val neg : int -> int
+(** [neg a] is [-a]; raises {!Overflow} for [min_int]. *)
+
+val abs : int -> int
+(** [abs a] is the absolute value; raises {!Overflow} for [min_int]. *)
+
+val gcd : int -> int -> int
+(** [gcd a b] is the non-negative greatest common divisor; [gcd 0 0 = 0]. *)
+
+val lcm : int -> int -> int
+(** [lcm a b] is the non-negative least common multiple; [lcm x 0 = 0]. *)
+
+val egcd : int -> int -> int * int * int
+(** [egcd a b] is [(g, x, y)] with [g = gcd a b] (non-negative) and
+    [a*x + b*y = g]. *)
+
+val fdiv : int -> int -> int
+(** [fdiv a b] is the floor division [⌊a/b⌋]; raises [Division_by_zero]. *)
+
+val cdiv : int -> int -> int
+(** [cdiv a b] is the ceiling division [⌈a/b⌉]; raises [Division_by_zero]. *)
+
+val emod : int -> int -> int
+(** [emod a b] is the Euclidean remainder in [0, |b|); [a = b * fdiv a b +
+    emod a b] when [b > 0]. *)
+
+val sign : int -> int
+(** [sign a] is [-1], [0] or [1]. *)
+
+val pow : int -> int -> int
+(** [pow a n] is [aⁿ] for [n ≥ 0]; raises {!Overflow} on overflow and
+    [Invalid_argument] for negative [n]. *)

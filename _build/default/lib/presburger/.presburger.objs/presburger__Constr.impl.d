@@ -1,0 +1,1 @@
+lib/presburger/constr.ml: Array Format Linexpr List Numeric Stdlib

@@ -1,0 +1,1 @@
+lib/presburger/dnf.ml: Constr List Omega Poly

@@ -1,0 +1,1 @@
+lib/presburger/dnf.mli: Poly

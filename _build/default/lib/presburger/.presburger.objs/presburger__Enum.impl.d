@@ -1,0 +1,1 @@
+lib/presburger/enum.ml: Array Constr Int Iset Linexpr List Numeric Omega Poly Set

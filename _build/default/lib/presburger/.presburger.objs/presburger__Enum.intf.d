@@ -1,0 +1,1 @@
+lib/presburger/enum.mli: Iset Poly

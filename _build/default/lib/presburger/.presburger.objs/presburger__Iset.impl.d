@@ -1,0 +1,1 @@
+lib/presburger/iset.ml: Array Dnf Format Linexpr List Poly

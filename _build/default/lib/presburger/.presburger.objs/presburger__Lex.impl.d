@@ -1,0 +1,1 @@
+lib/presburger/lex.ml: Constr Linexpr List Poly

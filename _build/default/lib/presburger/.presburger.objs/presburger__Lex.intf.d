@@ -1,0 +1,1 @@
+lib/presburger/lex.mli: Poly

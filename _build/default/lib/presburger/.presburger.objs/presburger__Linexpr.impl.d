@@ -1,0 +1,1 @@
+lib/presburger/linexpr.ml: Array Format Numeric Printf

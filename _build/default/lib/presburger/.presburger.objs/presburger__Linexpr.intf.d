@@ -1,0 +1,1 @@
+lib/presburger/linexpr.mli: Format

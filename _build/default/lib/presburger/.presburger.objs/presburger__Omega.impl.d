@@ -1,0 +1,1 @@
+lib/presburger/omega.ml: Constr Fun Linexpr List Numeric Poly Printf

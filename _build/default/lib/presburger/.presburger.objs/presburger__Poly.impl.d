@@ -1,0 +1,1 @@
+lib/presburger/poly.ml: Constr Format Linexpr List Stdlib

@@ -1,0 +1,1 @@
+lib/presburger/rel.ml: Array Dnf Enum Format Iset Lex List Poly

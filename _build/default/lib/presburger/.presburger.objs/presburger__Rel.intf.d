@@ -1,0 +1,1 @@
+lib/presburger/rel.mli: Format Iset Poly

@@ -1,0 +1,91 @@
+module S = Numeric.Safeint
+module L = Linexpr
+
+type t = Eq of L.t | Ge of L.t | Div of int * L.t
+type norm = Keep of t | Tautology | Contradiction
+
+let dim = function Eq e | Ge e | Div (_, e) -> L.dim e
+let expr = function Eq e | Ge e | Div (_, e) -> e
+let uses c k = L.uses (expr c) k
+
+let map_expr f = function
+  | Eq e -> Eq (f e)
+  | Ge e -> Ge (f e)
+  | Div (m, e) -> Div (m, f e)
+
+let normalize c =
+  match c with
+  | Ge e ->
+      let g = L.content e in
+      if g = 0 then if L.constant e >= 0 then Tautology else Contradiction
+      else if g = 1 then Keep (Ge e)
+      else
+        (* Σ(c/g)x + ⌊k/g⌋ ≥ 0 is the integer tightening of e ≥ 0. *)
+        Keep
+          (Ge
+             {
+               L.n = L.dim e;
+               coef = Array.map (fun x -> x / g) e.L.coef;
+               const = S.fdiv (L.constant e) g;
+             })
+  | Eq e ->
+      let g = L.content e in
+      if g = 0 then if L.constant e = 0 then Tautology else Contradiction
+      else if L.constant e mod g <> 0 then Contradiction
+      else if g = 1 then Keep (Eq e)
+      else
+        Keep
+          (Eq
+             {
+               L.n = L.dim e;
+               coef = Array.map (fun x -> x / g) e.L.coef;
+               const = L.constant e / g;
+             })
+  | Div (m, e) ->
+      let m = S.abs m in
+      if m = 0 then invalid_arg "Constr.Div: zero modulus";
+      if m = 1 then Tautology
+      else
+        (* Reduce coefficients modulo m; m | e is invariant under it. *)
+        let coef = Array.map (fun x -> S.emod x m) e.L.coef in
+        let const = S.emod (L.constant e) m in
+        let g = Array.fold_left S.gcd 0 coef in
+        if g = 0 then if const mod m = 0 then Tautology else Contradiction
+        else
+          let g = S.gcd g (S.gcd const m) in
+          let m' = m / g in
+          if m' = 1 then Tautology
+          else
+            let e' =
+              {
+                L.n = L.dim e;
+                coef = Array.map (fun x -> x / g) coef;
+                const = const / g;
+              }
+            in
+            Keep (Div (m', e'))
+
+let negate = function
+  | Ge e -> [ Ge (L.add_const (L.neg e) (-1)) ]
+  | Eq e -> [ Ge (L.add_const e (-1)); Ge (L.add_const (L.neg e) (-1)) ]
+  | Div (m, e) ->
+      List.init (m - 1) (fun i -> Div (m, L.add_const e (-(i + 1))))
+
+let holds c xs =
+  match c with
+  | Eq e -> L.eval e xs = 0
+  | Ge e -> L.eval e xs >= 0
+  | Div (m, e) -> S.emod (L.eval e xs) m = 0
+
+let equal a b =
+  match (a, b) with
+  | Eq x, Eq y | Ge x, Ge y -> L.equal x y
+  | Div (m, x), Div (n, y) -> m = n && L.equal x y
+  | _ -> false
+
+let compare = Stdlib.compare
+
+let pp names ppf = function
+  | Eq e -> Format.fprintf ppf "%a = 0" (L.pp names) e
+  | Ge e -> Format.fprintf ppf "%a >= 0" (L.pp names) e
+  | Div (m, e) -> Format.fprintf ppf "%d | %a" m (L.pp names) e

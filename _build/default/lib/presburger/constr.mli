@@ -1,0 +1,35 @@
+(** Atomic Presburger constraints over a fixed variable space.
+
+    Three forms close the representation under every operation the
+    partitioner needs (intersection, exact projection, exact difference):
+    equalities, inequalities, and divisibility ("stride") constraints. *)
+
+type t =
+  | Eq of Linexpr.t  (** [e = 0] *)
+  | Ge of Linexpr.t  (** [e ≥ 0] *)
+  | Div of int * Linexpr.t  (** [m | e] with modulus [m ≥ 2] *)
+
+type norm =
+  | Keep of t  (** normalized, non-trivial *)
+  | Tautology  (** always true: drop *)
+  | Contradiction  (** always false: the polyhedron is empty *)
+
+val normalize : t -> norm
+(** [normalize c] gcd-reduces coefficients (tightening inequalities), reduces
+    divisibility moduli, and detects ground tautologies/contradictions. *)
+
+val negate : t -> t list
+(** [negate c] is a list of constraints whose {e disjunction} is the negation
+    of [c].  [Ge e ↦ [Ge (-e-1)]]; [Eq e ↦ [Ge (e-1); Ge (-e-1)]];
+    [Div (m,e) ↦ [Div (m, e-r) | r = 1..m-1]]. *)
+
+val holds : t -> int array -> bool
+(** [holds c xs] evaluates [c] at the integer point [xs]. *)
+
+val dim : t -> int
+val expr : t -> Linexpr.t
+val uses : t -> int -> bool
+val map_expr : (Linexpr.t -> Linexpr.t) -> t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : string array -> Format.formatter -> t -> unit

@@ -1,0 +1,103 @@
+module S = Numeric.Safeint
+module L = Linexpr
+module C = Constr
+module P = Poly
+
+exception Unbounded of string
+
+(* Values of the single variable of a 1-D polyhedron. *)
+let values_1d p =
+  match P.normalize p with
+  | None -> []
+  | Some p ->
+      let lo = ref None and hi = ref None in
+      List.iter
+        (fun c ->
+          match c with
+          | C.Ge e ->
+              let a = L.coeff e 0 and k = L.constant e in
+              if a > 0 then
+                (* a·x + k ≥ 0 ⟺ x ≥ ⌈-k/a⌉ *)
+                let b = S.cdiv (-k) a in
+                lo := Some (match !lo with None -> b | Some l -> max l b)
+              else if a < 0 then
+                let b = S.fdiv k (-a) in
+                hi := Some (match !hi with None -> b | Some h -> min h b)
+          | C.Eq e ->
+              let a = L.coeff e 0 and k = L.constant e in
+              if a <> 0 then
+                if k mod a = 0 then begin
+                  let v = -k / a in
+                  lo := Some (match !lo with None -> v | Some l -> max l v);
+                  hi := Some (match !hi with None -> v | Some h -> min h v)
+                end
+                else begin
+                  (* No integer solution. *)
+                  lo := Some 1;
+                  hi := Some 0
+                end
+          | C.Div _ -> ())
+        (P.constraints p);
+      match (!lo, !hi) with
+      | Some lo, Some hi ->
+          let rec go v acc =
+            if v < lo then acc
+            else if P.mem p [| v |] then go (v - 1) (v :: acc)
+            else go (v - 1) acc
+          in
+          go hi []
+      | _ ->
+          raise
+            (Unbounded "Enum: set unbounded (symbolic parameter left free?)")
+
+module IntSet = Set.Make (Int)
+
+let first_var_values p =
+  let n = P.dim p in
+  let one_d = Omega.project_out p (List.init (n - 1) (fun j -> j + 1)) in
+  List.concat_map values_1d one_d |> List.sort_uniq compare
+
+let rec enum n polys =
+  if polys = [] then []
+  else if n = 0 then
+    if List.exists (fun p -> P.normalize p <> None) polys then [ [] ] else []
+  else if n = 1 then
+    List.concat_map values_1d polys |> List.sort_uniq compare
+    |> List.map (fun v -> [ v ])
+  else
+    let per_poly =
+      List.filter_map
+        (fun p ->
+          match P.normalize p with
+          | None -> None
+          | Some p -> (
+              match first_var_values p with
+              | [] -> None
+              | vals -> Some (p, IntSet.of_list vals)))
+        polys
+    in
+    let all_vals =
+      List.fold_left
+        (fun acc (_, s) -> IntSet.union acc s)
+        IntSet.empty per_poly
+    in
+    List.concat_map
+      (fun v ->
+        let children =
+          List.filter_map
+            (fun (p, vals) ->
+              if IntSet.mem v vals then Some (P.drop_dim (P.assign p 0 v) 0)
+              else None)
+            per_poly
+        in
+        List.map (fun suffix -> v :: suffix) (enum (n - 1) children))
+      (IntSet.elements all_vals)
+
+let points_polys n polys = List.map Array.of_list (enum n polys)
+
+let points s =
+  if Array.length (Iset.names s) <> Iset.n_iters s then
+    invalid_arg "Enum.points: parameters must be bound first";
+  points_polys (Iset.dim s) (Iset.polys s)
+
+let cardinal s = List.length (points s)

@@ -1,0 +1,23 @@
+(** Exact enumeration of the integer points of bounded unions of polyhedra.
+
+    Enumeration proceeds dimension by dimension through exact projections,
+    so no search branch is ever dead; the result is lexicographically sorted
+    and duplicate-free even when the union's disjuncts overlap. *)
+
+exception Unbounded of string
+(** Raised when a set is unbounded in some dimension (e.g. parameters were
+    left symbolic). *)
+
+val points_polys : int -> Poly.t list -> int array list
+(** [points_polys n polys] enumerates the union of [n]-dimensional
+    polyhedra. *)
+
+val points : Iset.t -> int array list
+(** [points s] enumerates a parameter-free set (bind parameters first with
+    {!Iset.bind_params}). *)
+
+val cardinal : Iset.t -> int
+
+val first_var_values : Poly.t -> int list
+(** [first_var_values p] is the sorted list of values variable 0 takes in
+    [p] (exact projection onto the first dimension). *)

@@ -1,0 +1,90 @@
+module L = Linexpr
+module P = Poly
+
+type t = { iters : string array; params : string array; polys : Poly.t list }
+
+let make ~iters ~params polys =
+  let n = Array.length iters + Array.length params in
+  List.iter
+    (fun p -> if P.dim p <> n then invalid_arg "Iset.make: dimension mismatch")
+    polys;
+  { iters; params; polys }
+
+let universe ~iters ~params =
+  make ~iters ~params [ P.universe (Array.length iters + Array.length params) ]
+
+let empty ~iters ~params = make ~iters ~params []
+let names s = Array.append s.iters s.params
+let dim s = Array.length s.iters + Array.length s.params
+let n_iters s = Array.length s.iters
+let polys s = s.polys
+let same_space a b = a.iters = b.iters && a.params = b.params
+
+let check_space a b =
+  if not (same_space a b) then invalid_arg "Iset: space mismatch"
+
+let add_poly s p =
+  if P.dim p <> dim s then invalid_arg "Iset.add_poly: dimension mismatch";
+  { s with polys = p :: s.polys }
+
+let union a b =
+  check_space a b;
+  { a with polys = a.polys @ b.polys }
+
+let inter a b =
+  check_space a b;
+  { a with polys = Dnf.inter a.polys b.polys }
+
+let diff a b =
+  check_space a b;
+  { a with polys = Dnf.diff a.polys b.polys }
+
+let is_empty s = Dnf.is_empty s.polys
+
+let subset a b =
+  check_space a b;
+  Dnf.subset a.polys b.polys
+
+let equal a b =
+  check_space a b;
+  Dnf.equal a.polys b.polys
+
+let simplify ?aggressive s =
+  { s with polys = Dnf.simplify ?aggressive s.polys }
+
+let mem s xs = Dnf.mem s.polys xs
+
+let mem_iter s ~params i =
+  if Array.length params <> Array.length s.params then
+    invalid_arg "Iset.mem_iter: params";
+  mem s (Array.append i params)
+
+let bind_params s values =
+  let np = Array.length s.params in
+  if Array.length values <> np then invalid_arg "Iset.bind_params";
+  let ni = Array.length s.iters in
+  let polys =
+    List.map
+      (fun p ->
+        let p = ref p in
+        for k = 0 to np - 1 do
+          p := P.assign !p (ni + k) values.(k)
+        done;
+        (* Parameters are now unused; drop the trailing dimensions. *)
+        for k = np - 1 downto 0 do
+          p := P.drop_dim !p (ni + k)
+        done;
+        !p)
+      s.polys
+  in
+  { iters = s.iters; params = [||]; polys }
+
+let pp ppf s =
+  let nm = names s in
+  if s.polys = [] then Format.pp_print_string ppf "{ }"
+  else
+    Format.fprintf ppf "@[<v>%a@]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,∪ ")
+         (fun ppf p -> Format.fprintf ppf "{ %a }" (P.pp nm) p))
+      s.polys

@@ -1,0 +1,26 @@
+module L = Linexpr
+module C = Constr
+module P = Poly
+
+let diff_expr n_total fst_off snd_off j =
+  L.sub (L.var n_total (snd_off + j)) (L.var n_total (fst_off + j))
+
+let level_poly ~n_total ~fst_off ~snd_off l ~strict =
+  let eqs =
+    List.init l (fun j -> C.Eq (diff_expr n_total fst_off snd_off j))
+  in
+  let last =
+    let d = diff_expr n_total fst_off snd_off l in
+    C.Ge (if strict then L.add_const d (-1) else d)
+  in
+  P.make n_total (last :: eqs)
+
+let lt ~n_total ~fst_off ~snd_off ~len =
+  List.init len (fun l -> level_poly ~n_total ~fst_off ~snd_off l ~strict:true)
+
+let le ~n_total ~fst_off ~snd_off ~len =
+  let all_eq =
+    P.make n_total
+      (List.init len (fun j -> C.Eq (diff_expr n_total fst_off snd_off j)))
+  in
+  all_eq :: lt ~n_total ~fst_off ~snd_off ~len

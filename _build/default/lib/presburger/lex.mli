@@ -1,0 +1,13 @@
+(** Lexicographic order between two equal-length blocks of variables, as a
+    union of polyhedra — the ordering [i ≺ j] used to orient dependence
+    arrows in the paper's relation [Rd]. *)
+
+val lt : n_total:int -> fst_off:int -> snd_off:int -> len:int -> Poly.t list
+(** [lt ~n_total ~fst_off ~snd_off ~len] is the union of [len] polyhedra
+    over [n_total] variables expressing
+    [(x_{fst_off..}) ≺ (x_{snd_off..})]: one disjunct per level [l] with
+    equalities on the first [l] components and a strict inequality on
+    component [l]. *)
+
+val le : n_total:int -> fst_off:int -> snd_off:int -> len:int -> Poly.t list
+(** Non-strict variant ([≼]): {!lt} plus the all-equal disjunct. *)

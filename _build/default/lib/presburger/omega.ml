@@ -1,0 +1,220 @@
+module S = Numeric.Safeint
+module L = Linexpr
+module C = Constr
+module P = Poly
+
+exception Blowup of string
+
+let max_branch_modulus = 512
+
+let drop_dim = P.drop_dim
+
+(* Rewrite [e] under the change of variable x_k := m·q + r, where q reuses
+   index k. *)
+let subst_residue e k m r =
+  let c = L.coeff e k in
+  if c = 0 then e
+  else L.add_const (L.set_coeff e k (S.mul m c)) (S.mul c r)
+
+(* Substitute x_k using the equality pivot a·x_k = rhs (a > 0, rhs has no
+   x_k) into one constraint. *)
+let pivot_constr k a rhs c =
+  let e = C.expr c in
+  let b = L.coeff e k in
+  if b = 0 then c
+  else
+    let rest = L.set_coeff e k 0 in
+    let e' = L.add (L.scale b rhs) (L.scale a rest) in
+    match c with
+    | C.Eq _ -> C.Eq e'
+    | C.Ge _ -> C.Ge e'
+    | C.Div (m, _) -> C.Div (S.mul a m, e')
+
+(* Eliminate x_k from [p] using an equality [f = 0] with a non-zero
+   coefficient of x_k ([f] itself need not belong to [p]).  Exact; yields a
+   single polyhedron of dimension n-1. *)
+let pivot_eliminate p k f =
+  let f = if L.coeff f k < 0 then L.neg f else f in
+  let a = L.coeff f k in
+  assert (a > 0);
+  let rhs = L.neg (L.set_coeff f k 0) in
+  let cons =
+    List.filter_map
+      (fun c ->
+        if C.equal c (C.Eq f) then None else Some (pivot_constr k a rhs c))
+      p.P.cons
+  in
+  let cons = if a > 1 then C.Div (a, rhs) :: cons else cons in
+  drop_dim { p with P.cons = cons } k
+
+(* Fourier–Motzkin combination of a lower bound a·x_k ≥ -L (from f_l ≥ 0,
+   coeff a > 0) and an upper bound b·x_k ≤ U (from f_u ≥ 0, coeff -b < 0):
+   real shadow a·U + b·L ≥ 0, dark shadow subtracts (a-1)(b-1). *)
+let fm_combine k ~dark (a, f_l) (b, f_u) =
+  let lrest = L.set_coeff f_l k 0 and urest = L.set_coeff f_u k 0 in
+  let e = L.add (L.scale b lrest) (L.scale a urest) in
+  if dark && a > 1 && b > 1 then L.add_const e (-(S.mul (a - 1) (b - 1)))
+  else e
+
+let rec eliminate_b budget p k =
+  decr budget;
+  if !budget <= 0 then raise (Blowup "elimination budget exhausted");
+  match P.normalize p with
+  | None -> []
+  | Some p ->
+      if k < 0 || k >= p.P.n then invalid_arg "Omega.eliminate: bad variable";
+      if not (P.uses_var p k) then [ drop_dim p k ]
+      else begin
+        match
+          List.find_opt
+            (function C.Div (_, e) -> L.uses e k | _ -> false)
+            p.P.cons
+        with
+        | Some (C.Div (m, _)) ->
+            (* Branch on the residue class of x_k modulo m; each branch
+               reuses index k for the quotient variable. *)
+            if m > max_branch_modulus then
+              raise (Blowup (Printf.sprintf "residue branching modulus %d" m));
+            List.concat_map
+              (fun r ->
+                let p_r =
+                  P.map_exprs (fun e -> subst_residue e k m r) p
+                in
+                eliminate_b budget p_r k)
+              (List.init m Fun.id)
+        | Some _ -> assert false
+        | None -> (
+            (* Prefer an equality pivot with the smallest coefficient. *)
+            let eqs =
+              List.filter_map
+                (function
+                  | C.Eq e when L.uses e k -> Some (S.abs (L.coeff e k), e)
+                  | _ -> None)
+                p.P.cons
+            in
+            match List.sort compare eqs with
+            | (_, f) :: _ -> [ pivot_eliminate p k f ]
+            | [] ->
+                let lowers, uppers, others =
+                  List.fold_left
+                    (fun (lo, up, ot) c ->
+                      match c with
+                      | C.Ge e when L.coeff e k > 0 ->
+                          ((L.coeff e k, e) :: lo, up, ot)
+                      | C.Ge e when L.coeff e k < 0 ->
+                          (lo, (-L.coeff e k, e) :: up, ot)
+                      | c -> (lo, up, c :: ot))
+                    ([], [], []) p.P.cons
+                in
+                if lowers = [] || uppers = [] then
+                  (* Unbounded in one direction: the projection drops every
+                     constraint involving x_k. *)
+                  [ drop_dim { p with P.cons = List.rev others } k ]
+                else
+                  let exact =
+                    List.for_all
+                      (fun (a, _) ->
+                        a = 1 || List.for_all (fun (b, _) -> b = 1) uppers)
+                      lowers
+                  in
+                  let shadow ~dark =
+                    let combos =
+                      List.concat_map
+                        (fun lo ->
+                          List.map (fun up -> C.Ge (fm_combine k ~dark lo up)) uppers)
+                        lowers
+                    in
+                    drop_dim { p with P.cons = combos @ List.rev others } k
+                  in
+                  if exact then [ shadow ~dark:false ]
+                  else
+                    let cmax =
+                      List.fold_left (fun m (b, _) -> max m b) 1 uppers
+                    in
+                    let splinters =
+                      List.concat_map
+                        (fun (a, f_l) ->
+                          let rmax =
+                            S.fdiv (S.sub (S.mul cmax a) (S.add cmax a)) cmax
+                          in
+                          List.init (max 0 (rmax + 1)) (fun i ->
+                              pivot_eliminate p k (L.add_const f_l (-i))))
+                        lowers
+                    in
+                    shadow ~dark:true :: splinters)
+      end
+
+let eliminate p k = eliminate_b (ref 100_000) p k
+
+let project_out p ks =
+  let budget = ref 200_000 in
+  let ks = List.sort_uniq compare ks in
+  List.fold_left
+    (fun polys k -> List.concat_map (fun p -> eliminate_b budget p k) polys)
+    [ p ]
+    (List.rev ks)
+
+let is_empty p =
+  let budget = ref 500_000 in
+  let rec go p =
+    decr budget;
+    if !budget <= 0 then raise (Blowup "emptiness budget exhausted");
+    match P.normalize p with
+    | None -> true
+    | Some p ->
+        if p.P.cons = [] then false
+        else begin
+          (* Pick the cheapest variable to eliminate. *)
+          let n = p.P.n in
+          let best = ref None in
+          for k = 0 to n - 1 do
+            if P.uses_var p k then begin
+              let in_div =
+                List.exists
+                  (function C.Div (_, e) -> L.uses e k | _ -> false)
+                  p.P.cons
+              in
+              let eq_cost =
+                List.filter_map
+                  (function
+                    | C.Eq e when L.uses e k -> Some (S.abs (L.coeff e k))
+                    | _ -> None)
+                  p.P.cons
+                |> function
+                | [] -> None
+                | cs -> Some (List.fold_left min max_int cs)
+              in
+              let score =
+                match eq_cost with
+                | Some 1 -> 0
+                | Some c -> 10 + c
+                | None ->
+                    if in_div then 100_000
+                    else
+                      let lo = ref 0 and up = ref 0 and unit_only = ref true in
+                      List.iter
+                        (function
+                          | C.Ge e when L.coeff e k > 0 ->
+                              incr lo;
+                              if L.coeff e k > 1 then unit_only := false
+                          | C.Ge e when L.coeff e k < 0 ->
+                              incr up;
+                              if L.coeff e k < -1 then unit_only := false
+                          | _ -> ())
+                        p.P.cons;
+                      (!lo * !up) + (if !unit_only then 100 else 1000)
+              in
+              match !best with
+              | Some (s, _) when s <= score -> ()
+              | _ -> best := Some (score, k)
+            end
+          done;
+          match !best with
+          | None ->
+              (* Constraints exist but use no variable: normalize would have
+                 resolved them, so the system is satisfiable. *)
+              false
+          | Some (_, k) -> List.for_all go (eliminate_b budget p k)
+        end
+  in
+  go p

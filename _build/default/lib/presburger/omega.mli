@@ -1,0 +1,32 @@
+(** Exact integer variable elimination and emptiness — the Omega test
+    (Pugh, CACM 1992), the engine the paper relies on for solving dependence
+    relations exactly.
+
+    Elimination of one variable from a polyhedron returns a {e union} of
+    polyhedra whose integer points are exactly the projection:
+    - an equality pivot substitutes the variable, adding a divisibility
+      constraint when the pivot coefficient exceeds 1;
+    - divisibility constraints mentioning the variable are removed first by
+      branching on the residue class of the variable;
+    - otherwise Fourier–Motzkin combines bound pairs: when every pair has a
+      unit coefficient the real shadow is exact, else the result is the dark
+      shadow plus Pugh's splinter equalities. *)
+
+exception Blowup of string
+(** Raised when elimination exceeds the work budget (never silently
+    approximate). *)
+
+val eliminate : Poly.t -> int -> Poly.t list
+(** [eliminate p k] is the exact integer projection of [p] along variable
+    [k]; the results have dimension [dim p - 1] (variables above [k] are
+    renumbered down). *)
+
+val project_out : Poly.t -> int list -> Poly.t list
+(** [project_out p ks] eliminates every variable in [ks] (any order). *)
+
+val is_empty : Poly.t -> bool
+(** [is_empty p] decides whether [p] contains an integer point. *)
+
+val max_branch_modulus : int
+(** Residue branching on a divisibility constraint with modulus above this
+    raises {!Blowup}. *)

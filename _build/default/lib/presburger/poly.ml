@@ -1,0 +1,82 @@
+module L = Linexpr
+module C = Constr
+
+type t = { n : int; cons : C.t list }
+
+let universe n = { n; cons = [] }
+
+let make n cons =
+  List.iter
+    (fun c -> if C.dim c <> n then invalid_arg "Poly.make: dimension mismatch")
+    cons;
+  { n; cons }
+
+let add_constr p c =
+  if C.dim c <> p.n then invalid_arg "Poly.add_constr: dimension mismatch";
+  { p with cons = c :: p.cons }
+
+let add_constrs p cs = List.fold_left add_constr p cs
+
+let inter a b =
+  if a.n <> b.n then invalid_arg "Poly.inter: dimension mismatch";
+  { n = a.n; cons = a.cons @ b.cons }
+
+exception Empty
+
+let normalize p =
+  try
+    let kept =
+      List.filter_map
+        (fun c ->
+          match C.normalize c with
+          | C.Keep c -> Some c
+          | C.Tautology -> None
+          | C.Contradiction -> raise Empty)
+        p.cons
+    in
+    (* Pair e ≥ 0 with -e ≥ 0 into the single equality e = 0. *)
+    let kept = List.sort_uniq C.compare kept in
+    let ges = List.filter_map (function C.Ge e -> Some e | _ -> None) kept in
+    let kept =
+      List.concat_map
+        (fun c ->
+          match c with
+          | C.Ge e ->
+              let neg = L.neg e in
+              if List.exists (fun e' -> L.equal e' neg) ges then
+                (* Both e ≥ 0 and -e ≥ 0 are present; emit the equality once,
+                   on the canonically smaller of the two expressions. *)
+                if Stdlib.compare e neg < 0 then [ C.Eq e ] else []
+              else [ c ]
+          | (C.Eq _ | C.Div _) as c -> [ c ])
+        kept
+    in
+    Some { p with cons = kept }
+  with Empty -> None
+
+let mem p xs = List.for_all (fun c -> C.holds c xs) p.cons
+let dim p = p.n
+let constraints p = p.cons
+let uses_var p k = List.exists (fun c -> C.uses c k) p.cons
+let map_exprs f p = { p with cons = List.map (C.map_expr f) p.cons }
+let assign p k v = map_exprs (fun e -> L.assign e k v) p
+let drop_dim p k =
+  { n = p.n - 1; cons = List.map (C.map_expr (fun e -> L.drop_var e k)) p.cons }
+
+let extend p n' = { n = n'; cons = List.map (C.map_expr (fun e -> L.extend e n')) p.cons }
+
+let remap p n' perm =
+  { n = n'; cons = List.map (C.map_expr (fun e -> L.remap e n' perm)) p.cons }
+
+let equal_syntactic a b =
+  a.n = b.n
+  && List.sort C.compare a.cons = List.sort C.compare b.cons
+
+let pp names ppf p =
+  if p.cons = [] then Format.pp_print_string ppf "true"
+  else
+    Format.fprintf ppf "@[<hov>%a@]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ && ")
+         (C.pp names))
+      p.cons

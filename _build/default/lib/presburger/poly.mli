@@ -1,0 +1,39 @@
+(** Convex integer polyhedra: conjunctions of {!Constr.t} over [n]
+    variables, possibly with divisibility (stride) constraints.
+
+    A value of type [t] is just a conjunction; emptiness over the integers is
+    decided exactly by {!Omega.is_empty}. *)
+
+type t = { n : int; cons : Constr.t list }
+
+val universe : int -> t
+val make : int -> Constr.t list -> t
+val add_constr : t -> Constr.t -> t
+val add_constrs : t -> Constr.t list -> t
+val inter : t -> t -> t
+(** [inter a b] conjoins two polyhedra over the same space. *)
+
+val normalize : t -> t option
+(** [normalize p] normalizes every constraint, deduplicates, pairs opposite
+    inequalities into equalities, and returns [None] when a ground
+    contradiction is found. *)
+
+val mem : t -> int array -> bool
+val dim : t -> int
+val constraints : t -> Constr.t list
+val uses_var : t -> int -> bool
+
+val assign : t -> int -> int -> t
+(** [assign p k v] fixes variable [k] to the constant [v] (the dimension
+    remains; the variable becomes unconstrained-but-unused afterwards only if
+    it occurred nowhere else). *)
+
+val drop_dim : t -> int -> t
+(** [drop_dim p k] removes dimension [k], which no constraint may use,
+    renumbering higher variables down. *)
+
+val extend : t -> int -> t
+val remap : t -> int -> int array -> t
+val map_exprs : (Linexpr.t -> Linexpr.t) -> t -> t
+val equal_syntactic : t -> t -> bool
+val pp : string array -> Format.formatter -> t -> unit

@@ -1,0 +1,178 @@
+module P = Poly
+
+type t = {
+  inn : string array;
+  out : string array;
+  params : string array;
+  polys : Poly.t list;
+}
+
+let dim_of inn out params =
+  Array.length inn + Array.length out + Array.length params
+
+let make ~inn ~out ~params polys =
+  let n = dim_of inn out params in
+  List.iter
+    (fun p -> if P.dim p <> n then invalid_arg "Rel.make: dimension mismatch")
+    polys;
+  { inn; out; params; polys }
+
+let empty ~inn ~out ~params = make ~inn ~out ~params []
+let dim r = dim_of r.inn r.out r.params
+let names r = Array.concat [ r.inn; r.out; r.params ]
+let polys r = r.polys
+
+let check_space a b =
+  if not (a.inn = b.inn && a.out = b.out && a.params = b.params) then
+    invalid_arg "Rel: space mismatch"
+
+let union a b =
+  check_space a b;
+  { a with polys = a.polys @ b.polys }
+
+let inter a b =
+  check_space a b;
+  { a with polys = Dnf.inter a.polys b.polys }
+
+let diff a b =
+  check_space a b;
+  { a with polys = Dnf.diff a.polys b.polys }
+
+let is_empty r = Dnf.is_empty r.polys
+
+let equal a b =
+  check_space a b;
+  Dnf.equal a.polys b.polys
+
+let simplify ?aggressive r = { r with polys = Dnf.simplify ?aggressive r.polys }
+
+let inverse r =
+  let ni = Array.length r.inn and no = Array.length r.out in
+  let n = dim r in
+  let perm =
+    Array.init n (fun k ->
+        if k < ni then no + k
+        else if k < ni + no then k - ni
+        else k)
+  in
+  {
+    inn = r.out;
+    out = r.inn;
+    params = r.params;
+    polys = List.map (fun p -> P.remap p n perm) r.polys;
+  }
+
+let dom r =
+  let ni = Array.length r.inn and no = Array.length r.out in
+  let outs = List.init no (fun k -> ni + k) in
+  Iset.make ~iters:r.inn ~params:r.params (Dnf.project_out r.polys outs)
+
+let ran r =
+  let ni = Array.length r.inn in
+  let ins = List.init ni (fun k -> k) in
+  Iset.make ~iters:r.out ~params:r.params (Dnf.project_out r.polys ins)
+
+let to_set r =
+  Iset.make ~iters:(Array.append r.inn r.out) ~params:r.params r.polys
+
+(* Embed a set over [block ⧺ params] into the relation space, with the
+   block starting at [off]. *)
+let embed_set r ~off s =
+  let n = dim r in
+  let nb = Iset.n_iters s in
+  let np = Array.length r.params in
+  if Array.length (Iset.names s) - nb <> np then invalid_arg "Rel: params";
+  let perm =
+    Array.init (nb + np) (fun k ->
+        if k < nb then off + k
+        else Array.length r.inn + Array.length r.out + (k - nb))
+  in
+  List.map (fun p -> P.remap p n perm) (Iset.polys s)
+
+let restrict_dom r s =
+  if Iset.n_iters s <> Array.length r.inn then
+    invalid_arg "Rel.restrict_dom: arity";
+  { r with polys = Dnf.inter r.polys (embed_set r ~off:0 s) }
+
+let restrict_ran r s =
+  if Iset.n_iters s <> Array.length r.out then
+    invalid_arg "Rel.restrict_ran: arity";
+  { r with polys = Dnf.inter r.polys (embed_set r ~off:(Array.length r.inn) s) }
+
+let compose r s =
+  if Array.length r.out <> Array.length s.inn then
+    invalid_arg "Rel.compose: arity mismatch";
+  if r.params <> s.params then invalid_arg "Rel.compose: params mismatch";
+  let na = Array.length r.inn
+  and nb = Array.length r.out
+  and nc = Array.length s.out
+  and np = Array.length r.params in
+  let n = na + nb + nc + np in
+  let perm_r =
+    Array.init (na + nb + np) (fun k ->
+        if k < na + nb then k else k + nc)
+  in
+  let perm_s =
+    Array.init (nb + nc + np) (fun k -> na + k)
+  in
+  let pr = List.map (fun p -> P.remap p n perm_r) r.polys in
+  let ps = List.map (fun p -> P.remap p n perm_s) s.polys in
+  let joined = Dnf.inter pr ps in
+  let mids = List.init nb (fun k -> na + k) in
+  {
+    inn = r.inn;
+    out = s.out;
+    params = r.params;
+    polys = Dnf.project_out joined mids;
+  }
+
+let lex_forward r =
+  let ni = Array.length r.inn in
+  if ni <> Array.length r.out then invalid_arg "Rel.lex_forward: arity";
+  let order = Lex.lt ~n_total:(dim r) ~fst_off:0 ~snd_off:ni ~len:ni in
+  { r with polys = Dnf.inter r.polys order }
+
+let symmetric_closure_forward r =
+  if Array.length r.inn <> Array.length r.out then
+    invalid_arg "Rel.symmetric_closure_forward: arity";
+  (* The inverse keeps the original tuple names: both orientations live in
+     the same space before the ≺ filter picks the forward arrows. *)
+  let inv = { (inverse r) with inn = r.inn; out = r.out } in
+  lex_forward (union r inv)
+
+let bind_point r ~params i =
+  let ni = Array.length r.inn
+  and no = Array.length r.out
+  and np = Array.length r.params in
+  if Array.length i <> ni then invalid_arg "Rel: point arity";
+  if Array.length params <> np then invalid_arg "Rel: params arity";
+  List.map
+    (fun p ->
+      let p = ref p in
+      Array.iteri (fun k v -> p := P.assign !p k v) i;
+      Array.iteri (fun k v -> p := P.assign !p (ni + no + k) v) params;
+      for k = np - 1 downto 0 do
+        p := P.drop_dim !p (ni + no + k)
+      done;
+      for k = ni - 1 downto 0 do
+        p := P.drop_dim !p k
+      done;
+      !p)
+    r.polys
+
+let image r ~params i = Enum.points_polys (Array.length r.out) (bind_point r ~params i)
+
+let preimage r ~params j = image (inverse r) ~params j
+
+let mem r ~params i j =
+  Dnf.mem r.polys (Array.concat [ i; j; params ])
+
+let pp ppf r =
+  let nm = names r in
+  if r.polys = [] then Format.pp_print_string ppf "{ }"
+  else
+    Format.fprintf ppf "@[<v>%a@]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,∪ ")
+         (fun ppf p -> Format.fprintf ppf "{ %a }" (P.pp nm) p))
+      r.polys

@@ -1,0 +1,1 @@
+lib/runtime/arrays.ml: Array Float Hashtbl List Printf

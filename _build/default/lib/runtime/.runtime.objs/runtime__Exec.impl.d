@@ -1,0 +1,1 @@
+lib/runtime/exec.ml: Array Arrays Domain Interp List Printf Sched Unix

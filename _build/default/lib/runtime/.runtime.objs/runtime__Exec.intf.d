@@ -1,0 +1,1 @@
+lib/runtime/exec.mli: Arrays Interp Sched

@@ -1,0 +1,1 @@
+lib/runtime/interp.ml: Array Arrays Float List Loopir Numeric Printf Sched

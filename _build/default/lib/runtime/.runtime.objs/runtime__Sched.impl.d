@@ -1,0 +1,1 @@
+lib/runtime/sched.ml: Array Core Depend Hashtbl Linalg List Printf

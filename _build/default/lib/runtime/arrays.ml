@@ -1,0 +1,107 @@
+type extent = { mutable lo : int array; mutable hi : int array }
+
+type store = {
+  ext : extent;
+  mutable data : float array;  (** row-major with offsets from [ext] *)
+}
+
+type t = {
+  tbl : (string, store) Hashtbl.t;
+  mutable frozen : bool;
+}
+
+let create () = { tbl = Hashtbl.create 8; frozen = false }
+
+let note_bounds t name idx =
+  if t.frozen then invalid_arg "Arrays.note_bounds: already frozen";
+  let idx = Array.of_list idx in
+  match Hashtbl.find_opt t.tbl name with
+  | None ->
+      Hashtbl.add t.tbl name
+        { ext = { lo = Array.copy idx; hi = Array.copy idx }; data = [||] }
+  | Some s ->
+      if Array.length idx <> Array.length s.ext.lo then
+        invalid_arg ("Arrays: rank mismatch for " ^ name);
+      Array.iteri
+        (fun k v ->
+          if v < s.ext.lo.(k) then s.ext.lo.(k) <- v;
+          if v > s.ext.hi.(k) then s.ext.hi.(k) <- v)
+        idx
+
+let initial_value name idx =
+  float_of_int (Hashtbl.hash (name, idx) mod 1000) /. 97.0
+
+let cell_count ext =
+  Array.fold_left ( * ) 1
+    (Array.mapi (fun k lo -> ext.hi.(k) - lo + 1) ext.lo)
+
+let offset ext idx =
+  let acc = ref 0 in
+  List.iteri
+    (fun k v ->
+      if v < ext.lo.(k) || v > ext.hi.(k) then raise Not_found;
+      acc := (!acc * (ext.hi.(k) - ext.lo.(k) + 1)) + (v - ext.lo.(k)))
+    idx;
+  !acc
+
+(* Rebuild the index tuple of a flat offset, to seed initial values. *)
+let idx_of_offset ext off =
+  let n = Array.length ext.lo in
+  let idx = Array.make n 0 in
+  let off = ref off in
+  for k = n - 1 downto 0 do
+    let w = ext.hi.(k) - ext.lo.(k) + 1 in
+    idx.(k) <- (!off mod w) + ext.lo.(k);
+    off := !off / w
+  done;
+  Array.to_list idx
+
+let freeze t =
+  if not t.frozen then begin
+    Hashtbl.iter
+      (fun name s ->
+        let n = cell_count s.ext in
+        s.data <-
+          Array.init n (fun off -> initial_value name (idx_of_offset s.ext off)))
+      t.tbl;
+    t.frozen <- true
+  end
+
+let get t name idx =
+  match Hashtbl.find_opt t.tbl name with
+  | None -> initial_value name idx
+  | Some s -> (
+      match offset s.ext idx with
+      | off -> s.data.(off)
+      | exception Not_found -> initial_value name idx)
+
+let set t name idx v =
+  if not t.frozen then invalid_arg "Arrays.set: freeze first";
+  match Hashtbl.find_opt t.tbl name with
+  | None -> invalid_arg ("Arrays.set: unknown array " ^ name)
+  | Some s -> (
+      match offset s.ext idx with
+      | off -> s.data.(off) <- v
+      | exception Not_found ->
+          invalid_arg
+            (Printf.sprintf "Arrays.set: %s index out of scanned bounds" name))
+
+let arrays t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.tbl [] |> List.sort compare
+
+let max_abs_diff a b =
+  List.fold_left
+    (fun acc name ->
+      match (Hashtbl.find_opt a.tbl name, Hashtbl.find_opt b.tbl name) with
+      | Some sa, Some sb when Array.length sa.data = Array.length sb.data ->
+          let m = ref acc in
+          Array.iteri
+            (fun k v ->
+              let d = Float.abs (v -. sb.data.(k)) in
+              if d > !m then m := d)
+            sa.data;
+          !m
+      | _ -> infinity)
+    0.0 (arrays a)
+
+let equal a b = arrays a = arrays b && max_abs_diff a b = 0.0

@@ -1,0 +1,31 @@
+(** Dense float array store for program execution.
+
+    Extents are discovered by a dry scan of every subscript the program will
+    evaluate, so negative and parametric indices (as in the Cholesky kernel)
+    are handled by offsetting.  Cells start with a deterministic per-cell
+    value derived from the array name and indices, so two executions agree
+    iff they perform the same writes in an equivalent order. *)
+
+type t
+
+val create : unit -> t
+
+val note_bounds : t -> string -> int list -> unit
+(** Extend the recorded extent of an array to include the given index
+    tuple (call during the dry scan). *)
+
+val freeze : t -> unit
+(** Allocate backing stores; must be called after all {!note_bounds} and
+    before any {!get}/{!set}. *)
+
+val get : t -> string -> int list -> float
+val set : t -> string -> int list -> float -> unit
+
+val initial_value : string -> int list -> float
+(** The deterministic initial cell value. *)
+
+val equal : t -> t -> bool
+(** Same arrays, same extents, same contents. *)
+
+val max_abs_diff : t -> t -> float
+val arrays : t -> string list

@@ -1,0 +1,76 @@
+(* Partition an array of work items into [threads] buckets: blocks for
+   DOALL instance arrays, longest-first round-robin for tasks. *)
+let doall_buckets threads instances =
+  let n = Array.length instances in
+  let size = (n + threads - 1) / max threads 1 in
+  List.init threads (fun t ->
+      let lo = t * size in
+      let hi = min n (lo + size) in
+      if lo >= hi then [||] else Array.sub instances lo (hi - lo))
+
+let task_buckets threads tasks =
+  let order = Array.copy tasks in
+  Array.sort (fun a b -> compare (Array.length b) (Array.length a)) order;
+  let buckets = Array.make threads [] in
+  let loads = Array.make threads 0 in
+  Array.iter
+    (fun task ->
+      let best = ref 0 in
+      for k = 1 to threads - 1 do
+        if loads.(k) < loads.(!best) then best := k
+      done;
+      buckets.(!best) <- task :: buckets.(!best);
+      loads.(!best) <- loads.(!best) + Array.length task)
+    order;
+  Array.to_list (Array.map List.rev buckets)
+
+let run_phase env store ~threads phase =
+  let work =
+    match phase with
+    | Sched.Doall { instances; _ } ->
+        List.map (fun b -> [ b ]) (doall_buckets threads instances)
+    | Sched.Tasks { tasks; _ } -> task_buckets threads tasks
+  in
+  let run_bucket tasks =
+    List.iter (Array.iter (Interp.exec_instance env store)) tasks
+  in
+  match work with
+  | [] -> ()
+  | first :: rest ->
+      let domains = List.map (fun b -> Domain.spawn (fun () -> run_bucket b)) rest in
+      run_bucket first;
+      List.iter Domain.join domains
+
+let run env ~threads s =
+  let store = Interp.scan_bounds env in
+  if threads <= 1 then begin
+    List.iter
+      (fun phase ->
+        Array.iter (Interp.exec_instance env store) (Sched.phase_instances phase))
+      s.Sched.phases;
+    store
+  end
+  else begin
+    List.iter (run_phase env store ~threads) s.Sched.phases;
+    store
+  end
+
+let check env ~threads s =
+  let seq = Interp.run_sequential env in
+  let got = run env ~threads s in
+  if Arrays.equal seq got then Ok ()
+  else
+    Error
+      (Printf.sprintf "parallel execution diverged (max abs diff %g)"
+         (Arrays.max_abs_diff seq got))
+
+let wall_time env ~threads s =
+  let store = Interp.scan_bounds env in
+  let t0 = Unix.gettimeofday () in
+  if threads <= 1 then
+    List.iter
+      (fun phase ->
+        Array.iter (Interp.exec_instance env store) (Sched.phase_instances phase))
+      s.Sched.phases
+  else List.iter (run_phase env store ~threads) s.Sched.phases;
+  Unix.gettimeofday () -. t0

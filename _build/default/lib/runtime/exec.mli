@@ -1,0 +1,19 @@
+(** Real multicore execution of a schedule on OCaml 5 domains — the second
+    half of the testbed substitution: it independently validates that a
+    schedule's parallel phases are race-free in practice (a legal schedule
+    leaves the store identical to the sequential run) and provides
+    wall-clock measurements.
+
+    Phases are separated by joins (barriers).  Within a phase, DOALL
+    instances are block-distributed and sequential tasks are dealt
+    round-robin by decreasing length. *)
+
+val run : Interp.env -> threads:int -> Sched.t -> Arrays.t
+(** Executes the schedule on [threads] domains (sequential fallback when
+    [threads ≤ 1]). *)
+
+val check : Interp.env -> threads:int -> Sched.t -> (unit, string) result
+(** Parallel run vs sequential run array equality. *)
+
+val wall_time : Interp.env -> threads:int -> Sched.t -> float
+(** Seconds for one parallel run (store setup excluded). *)

@@ -1,0 +1,30 @@
+(** Reference interpreter for the mini-Fortran programs over the dense
+    array store, plus schedule execution — the semantic ground truth used to
+    validate every partitioning scheme: a legal schedule must leave the
+    arrays exactly as the sequential run does. *)
+
+type env = {
+  prog : Loopir.Ast.program;  (** normalized *)
+  params : (string * int) list;
+  stmts : Loopir.Prog.stmt_info array;  (** indexed by statement id *)
+}
+
+val prepare : Loopir.Ast.program -> params:(string * int) list -> env
+(** Normalizes the program and binds parameters. *)
+
+val scan_bounds : env -> Arrays.t
+(** Dry-runs the program, recording every array extent, and freezes the
+    store (initial values populated). *)
+
+val run_sequential : env -> Arrays.t
+(** Executes the program in source order on a fresh store. *)
+
+val exec_instance : env -> Arrays.t -> Sched.instance -> unit
+(** Executes one statement instance (used by the executors). *)
+
+val run_schedule : env -> Sched.t -> Arrays.t
+(** Executes a schedule serially (phases in order, tasks in listed order) on
+    a fresh store. *)
+
+val check_schedule : env -> Sched.t -> (unit, string) result
+(** [run_schedule] vs [run_sequential] array equality. *)

@@ -1,0 +1,160 @@
+type instance = { stmt : int; iter : int array }
+
+type phase =
+  | Doall of { label : string; instances : instance array }
+  | Tasks of { label : string; tasks : instance array array }
+
+type t = { phases : phase list }
+
+let phase_size = function
+  | Doall { instances; _ } -> Array.length instances
+  | Tasks { tasks; _ } ->
+      Array.fold_left (fun acc t -> acc + Array.length t) 0 tasks
+
+let n_instances s = List.fold_left (fun acc p -> acc + phase_size p) 0 s.phases
+let n_phases s = List.length s.phases
+let phase_label = function Doall { label; _ } | Tasks { label; _ } -> label
+
+let phase_instances = function
+  | Doall { instances; _ } -> instances
+  | Tasks { tasks; _ } -> Array.concat (Array.to_list tasks)
+
+let of_phases phases =
+  { phases = List.filter (fun p -> phase_size p > 0) phases }
+
+let sequential_of_trace (tr : Depend.Trace.t) =
+  let task =
+    Array.map
+      (fun (i : Depend.Trace.instance) ->
+        { stmt = i.Depend.Trace.stmt; iter = i.Depend.Trace.iter })
+      tr.Depend.Trace.instances
+  in
+  of_phases [ Tasks { label = "sequential"; tasks = [| task |] } ]
+
+let of_rec ~stmt (c : Core.Partition.concrete_rec) =
+  let mk iter = { stmt; iter } in
+  let p1 =
+    Doall
+      {
+        label = "P1";
+        instances = Array.of_list (List.map mk c.Core.Partition.p1_pts);
+      }
+  in
+  let chains =
+    Tasks
+      {
+        label = "P2-chains";
+        tasks =
+          Array.of_list
+            (List.map
+               (fun chain -> Array.of_list (List.map mk chain))
+               c.Core.Partition.chains.Core.Chain.chains);
+      }
+  in
+  let p3 =
+    Doall
+      {
+        label = "P3";
+        instances = Array.of_list (List.map mk c.Core.Partition.p3_pts);
+      }
+  in
+  of_phases [ p1; chains; p3 ]
+
+let of_fronts (c : Core.Dataflow.concrete) =
+  let phases =
+    Array.to_list
+      (Array.mapi
+         (fun k nodes ->
+           Doall
+             {
+               label = Printf.sprintf "front-%d" (k + 1);
+               instances =
+                 Array.of_list
+                   (List.map
+                      (fun node ->
+                        let i = c.Core.Dataflow.instances.(node) in
+                        {
+                          stmt = i.Depend.Trace.stmt;
+                          iter = i.Depend.Trace.iter;
+                        })
+                      nodes);
+             })
+         c.Core.Dataflow.fronts)
+  in
+  of_phases phases
+
+let of_task_groups ~label ~stmt groups =
+  of_phases
+    [
+      Tasks
+        {
+          label;
+          tasks =
+            Array.of_list
+              (List.map
+                 (fun g ->
+                   Array.of_list (List.map (fun iter -> { stmt; iter }) g))
+                 groups);
+        };
+    ]
+
+let concat ss = of_phases (List.concat_map (fun s -> s.phases) ss)
+
+let check_legal s (tr : Depend.Trace.t) =
+  (* Position of every scheduled instance: (phase, task, index-in-task);
+     DOALL instances get distinct task ids so only phase order counts. *)
+  let pos = Hashtbl.create (Array.length tr.Depend.Trace.instances * 2) in
+  let dup = ref None in
+  List.iteri
+    (fun pi phase ->
+      let note key v =
+        if Hashtbl.mem pos key then dup := Some key else Hashtbl.add pos key v
+      in
+      match phase with
+      | Doall { instances; _ } ->
+          Array.iteri
+            (fun k inst -> note (inst.stmt, inst.iter) (pi, k, 0))
+            instances
+      | Tasks { tasks; _ } ->
+          Array.iteri
+            (fun ti task ->
+              Array.iteri
+                (fun k inst -> note (inst.stmt, inst.iter) (pi, ti, k))
+                task)
+            tasks)
+    s.phases;
+  match !dup with
+  | Some (stmt, iter) ->
+      Error
+        (Printf.sprintf "instance S%d%s scheduled twice" stmt
+           (Linalg.Ivec.to_string iter))
+  | None ->
+      if Hashtbl.length pos <> Array.length tr.Depend.Trace.instances then
+        Error
+          (Printf.sprintf "schedule has %d instances, trace has %d"
+             (Hashtbl.length pos)
+             (Array.length tr.Depend.Trace.instances))
+      else begin
+        let key node =
+          let i = tr.Depend.Trace.instances.(node) in
+          (i.Depend.Trace.stmt, i.Depend.Trace.iter)
+        in
+        let bad = ref None in
+        Depend.Trace.iter_edges tr
+          (fun a b ->
+            if !bad = None then
+              match (Hashtbl.find_opt pos (key a), Hashtbl.find_opt pos (key b)) with
+              | Some (pa, ta, ka), Some (pb, tb, kb) ->
+                  let ok =
+                    pa < pb || (pa = pb && ta = tb && ka < kb)
+                  in
+                  if not ok then
+                    bad :=
+                      Some
+                        (Printf.sprintf
+                           "dependence %d→%d not respected (phase %d task %d \
+                            idx %d vs phase %d task %d idx %d)"
+                           a b pa ta ka pb tb kb)
+              | _ -> bad := Some "instance missing from schedule");
+        match !bad with Some m -> Error m | None -> Ok ()
+      end

@@ -1,0 +1,47 @@
+(** Executable schedules: an ordered list of phases separated by barriers.
+    Inside a phase, work is either a flat fully-parallel set of statement
+    instances (DOALL) or a set of parallel sequential tasks (e.g. the WHILE
+    chains of the REC partitioning, or lattice cosets for PDM).
+
+    The same schedule value drives the semantic validator ({!Interp}), the
+    SMP cost simulator ({!Sim}) and the multicore executor ({!Exec}). *)
+
+type instance = { stmt : int; iter : int array }
+
+type phase =
+  | Doall of { label : string; instances : instance array }
+  | Tasks of { label : string; tasks : instance array array }
+
+type t = { phases : phase list }
+
+val n_instances : t -> int
+val n_phases : t -> int
+val phase_label : phase -> string
+
+val phase_instances : phase -> instance array
+(** All instances of the phase, flattened in task order. *)
+
+val of_phases : phase list -> t
+(** Drops empty phases. *)
+
+val sequential_of_trace : Depend.Trace.t -> t
+(** One task executing every instance in original program order. *)
+
+val of_rec : stmt:int -> Core.Partition.concrete_rec -> t
+(** [P1 DOALL; chains in parallel; P3 DOALL] (empty phases dropped). *)
+
+val of_fronts : Core.Dataflow.concrete -> t
+(** One DOALL phase per dataflow front. *)
+
+val of_task_groups :
+  label:string -> stmt:int -> Linalg.Ivec.t list list -> t
+(** A single phase of parallel sequential tasks (e.g. PDM cosets). *)
+
+val concat : t list -> t
+(** Phase-wise concatenation (sequential composition). *)
+
+val check_legal : t -> Depend.Trace.t -> (unit, string) result
+(** Verifies that every dependence edge of the exact instance graph is
+    respected: source strictly before target (earlier phase, or same task of
+    the same phase at a smaller index) and every instance appears exactly
+    once. *)

@@ -1,0 +1,95 @@
+type cost = {
+  w_iter : float;
+  code_factor : float;
+  fork : float;
+  barrier : float;
+  bound_eval : float;
+}
+
+let base =
+  { w_iter = 1.0; code_factor = 1.0; fork = 20.0; barrier = 30.0; bound_eval = 8.0 }
+
+let with_factor code_factor = { base with code_factor }
+
+let lpt_makespan p durations =
+  if p <= 0 then invalid_arg "Sim.lpt_makespan: threads";
+  let loads = Array.make p 0.0 in
+  let sorted = Array.copy durations in
+  Array.sort (fun a b -> compare b a) sorted;
+  Array.iter
+    (fun d ->
+      let best = ref 0 in
+      for k = 1 to p - 1 do
+        if loads.(k) < loads.(!best) then best := k
+      done;
+      loads.(!best) <- loads.(!best) +. d)
+    sorted;
+  Array.fold_left Float.max 0.0 loads
+
+let phase_time c ~threads phase =
+  let per_iter = c.w_iter *. c.code_factor in
+  let work =
+    match phase with
+    | Sched.Doall { instances; _ } ->
+        let n = Array.length instances in
+        float_of_int ((n + threads - 1) / threads) *. per_iter
+    | Sched.Tasks { tasks; _ } ->
+        lpt_makespan threads
+          (Array.map (fun t -> float_of_int (Array.length t) *. per_iter) tasks)
+  in
+  c.fork +. (c.bound_eval *. float_of_int threads) +. work +. c.barrier
+
+let time c ~threads s =
+  List.fold_left (fun acc p -> acc +. phase_time c ~threads p) 0.0 s.Sched.phases
+
+let seq_time c n = float_of_int n *. c.w_iter
+
+let speedup c ~threads ~n_seq s = seq_time c n_seq /. time c ~threads s
+
+type aphase = ADoall of int | ATasks of int array
+
+type asched = aphase list
+
+let abstract (s : Sched.t) =
+  List.map
+    (function
+      | Sched.Doall { instances; _ } -> ADoall (Array.length instances)
+      | Sched.Tasks { tasks; _ } -> ATasks (Array.map Array.length tasks))
+    s.Sched.phases
+
+let aphase_time c ~threads = function
+  | ADoall n ->
+      let per_iter = c.w_iter *. c.code_factor in
+      c.fork
+      +. (c.bound_eval *. float_of_int threads)
+      +. (float_of_int ((n + threads - 1) / threads) *. per_iter)
+      +. c.barrier
+  | ATasks sizes ->
+      let per_iter = c.w_iter *. c.code_factor in
+      c.fork
+      +. (c.bound_eval *. float_of_int threads)
+      +. lpt_makespan threads
+           (Array.map (fun n -> float_of_int n *. per_iter) sizes)
+      +. c.barrier
+
+let time_abstract c ~threads s =
+  List.fold_left (fun acc p -> acc +. aphase_time c ~threads p) 0.0 s
+
+let speedup_abstract c ~threads ~n_seq s =
+  seq_time c n_seq /. time_abstract c ~threads s
+
+let pipeline_time c ~threads ~stages ~stage_work ~delay =
+  if stages <= 0 then 0.0
+  else
+    (* Stage k may start no earlier than k·delay and no earlier than the
+       finish of the previous stage on the same processor. *)
+    let proc_free = Array.make (max threads 1) 0.0 in
+    let finish = ref 0.0 in
+    for k = 0 to stages - 1 do
+      let p = k mod max threads 1 in
+      let start = Float.max proc_free.(p) (float_of_int k *. delay) in
+      let stop = start +. stage_work in
+      proc_free.(p) <- stop;
+      if stop > !finish then finish := stop
+    done;
+    c.fork +. !finish +. c.barrier

@@ -1,0 +1,62 @@
+(** Deterministic SMP cost model — the substitute for the paper's 4-CPU
+    Itanium/OpenMP testbed (DESIGN.md §2).  It charges:
+
+    - a per-iteration work cost, scaled by a per-scheme code factor (the
+      paper credits REC's superlinear 1–2 thread speedups to simplified
+      subscript code in the WHILE chains, and its 4-thread droop to more
+      expensive generated loop bounds);
+    - a fork cost and a per-thread bound-evaluation cost per parallel
+      region;
+    - a barrier cost per phase;
+
+    and computes each phase's makespan with LPT assignment of sequential
+    tasks to threads. *)
+
+type cost = {
+  w_iter : float;  (** base per-iteration work (μs-ish, arbitrary unit) *)
+  code_factor : float;  (** scheme's generated-code per-iteration factor *)
+  fork : float;  (** parallel region launch *)
+  barrier : float;  (** end-of-phase barrier *)
+  bound_eval : float;  (** per region per thread: loop-bound computation *)
+}
+
+val base : cost
+(** [code_factor = 1], calibrated defaults. *)
+
+val with_factor : float -> cost
+(** [base] with another code factor. *)
+
+val phase_time : cost -> threads:int -> Sched.phase -> float
+val time : cost -> threads:int -> Sched.t -> float
+
+val seq_time : cost -> int -> float
+(** Sequential execution of [n] iterations of the {e original} code
+    ([code_factor] deliberately not applied). *)
+
+val speedup : cost -> threads:int -> n_seq:int -> Sched.t -> float
+(** [seq_time n_seq / time sched] — the figure-3 quantity. *)
+
+val lpt_makespan : int -> float array -> float
+(** [lpt_makespan p durations] is the longest-processing-time-first
+    makespan on [p] identical processors (exposed for tests). *)
+
+(** {2 Abstract schedules}
+
+    Phase structures described only by sizes, for paper-scale experiments
+    where materializing instance arrays would be wasteful. *)
+
+type aphase =
+  | ADoall of int  (** n independent iterations *)
+  | ATasks of int array  (** parallel sequential tasks, by length *)
+
+type asched = aphase list
+
+val abstract : Sched.t -> asched
+val time_abstract : cost -> threads:int -> asched -> float
+val speedup_abstract : cost -> threads:int -> n_seq:int -> asched -> float
+
+val pipeline_time :
+  cost -> threads:int -> stages:int -> stage_work:float -> delay:float -> float
+(** DOACROSS-style software pipeline: [stages] sequential stages of
+    [stage_work] each, consecutive stages separated by [delay], executed on
+    [threads] processors round-robin. *)

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Codegen Core Depend List Loopir Numeric Presburger QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Core Depend Hashtbl Linalg List Loopir Option Presburger Printf QCheck2 QCheck_alcotest

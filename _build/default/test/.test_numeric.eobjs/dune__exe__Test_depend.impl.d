@@ -1,0 +1,1 @@
+test/test_depend.ml: Alcotest Array Depend Linalg List Loopir Presburger QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_extra.ml: Alcotest Array Core Depend Linalg List Loopir Presburger Printf QCheck2 QCheck_alcotest Runtime

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Baselines Core Depend Linalg List Loopir Presburger Printf QCheck2 QCheck_alcotest Runtime

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Linalg List Numeric QCheck2 QCheck_alcotest

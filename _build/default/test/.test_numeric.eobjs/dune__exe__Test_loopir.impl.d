@@ -1,0 +1,1 @@
+test/test_loopir.ml: Affine Alcotest Ast Builtin Lexer List Loopir Normalize Parser Pretty Prog QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest List Numeric QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_presburger.ml: Alcotest Array Linalg List Presburger Printf QCheck2 QCheck_alcotest

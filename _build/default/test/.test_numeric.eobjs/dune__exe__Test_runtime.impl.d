@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Core Depend List Loopir Printf Runtime

@@ -1,0 +1,381 @@
+(* Tests for the recurrence-chain partitioner (the paper's contribution):
+   three-set partitioning, chains, dataflow peeling, Theorem 1, and the
+   schedule-legality invariant on random coupled loops. *)
+
+module Iset = Presburger.Iset
+module Rel = Presburger.Rel
+module Enum = Presburger.Enum
+module Ivec = Linalg.Ivec
+module Solve = Depend.Solve
+module Threeset = Core.Threeset
+module Chain = Core.Chain
+module Partition = Core.Partition
+module Dataflow = Core.Dataflow
+module Recurrence = Core.Recurrence
+
+let points1 set params =
+  Enum.points (Iset.bind_params set params) |> List.map (fun v -> v.(0))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: the paper's worked 1-D example                             *)
+
+let fig2_three () =
+  let a = Solve.analyze_simple Loopir.Builtin.fig2 in
+  (a, Threeset.compute ~phi:a.Solve.phi ~rd:a.Solve.rd)
+
+let test_fig2_sets () =
+  let _, t = fig2_three () in
+  (* Paper: first set = initial {1..6} ∪ independent {7,12,14,16,18,20};
+     the intermediate set is empty. *)
+  Alcotest.(check (list int))
+    "P1" [ 1; 2; 3; 4; 5; 6; 7; 12; 14; 16; 18; 20 ]
+    (points1 t.Threeset.p1 [||]);
+  Alcotest.(check bool) "P2 empty" true (Iset.is_empty t.Threeset.p2);
+  Alcotest.(check (list int))
+    "P3" [ 8; 9; 10; 11; 13; 15; 17; 19 ]
+    (points1 t.Threeset.p3 [||]);
+  Alcotest.(check bool) "W empty" true (Iset.is_empty t.Threeset.w)
+
+let test_fig2_cover () =
+  let a, t = fig2_three () in
+  Alcotest.(check bool) "partition covers Φ" true
+    (Threeset.check_cover t ~phi:a.Solve.phi)
+
+let test_fig2_classify_points () =
+  let _, t = fig2_three () in
+  Alcotest.(check bool) "7 in P1" true
+    (Threeset.classify_point t ~params:[||] [| 7 |] = `P1);
+  Alcotest.(check bool) "9 in P3" true
+    (Threeset.classify_point t ~params:[||] [| 9 |] = `P3);
+  Alcotest.(check bool) "0 outside" true
+    (Threeset.classify_point t ~params:[||] [| 0 |] = `Outside)
+
+(* ------------------------------------------------------------------ *)
+(* Example 1                                                            *)
+
+let ex1_plan () =
+  match Partition.choose Loopir.Builtin.example1 with
+  | Partition.Rec_chains rp -> rp
+  | _ -> Alcotest.fail "example1 must take the REC branch"
+
+let test_ex1_sets_at_10 () =
+  let rp = ex1_plan () in
+  let c = Partition.materialize_rec rp ~params:[| 10; 10 |] in
+  Alcotest.(check int) "P1" 82 (List.length c.Partition.p1_pts);
+  Alcotest.(check int) "P2 (2 chains of 1)" 2
+    (Chain.total_points c.Partition.chains);
+  Alcotest.(check int) "P3" 16 (List.length c.Partition.p3_pts);
+  Alcotest.(check int) "covers 100 iterations" 100
+    (List.length (Partition.rec_points_in_order c));
+  (* The intermediate points are (4,3) and (4,4). *)
+  let p2 = List.concat c.Partition.chains.Chain.chains in
+  Alcotest.(check bool) "(4,3)" true (List.exists (Ivec.equal [| 4; 3 |]) p2);
+  Alcotest.(check bool) "(4,4)" true (List.exists (Ivec.equal [| 4; 4 |]) p2)
+
+let test_ex1_theorem_bound () =
+  let rp = ex1_plan () in
+  (* det T = 3; L = √(N1² + N2²). *)
+  let c = Partition.materialize_rec rp ~params:[| 10; 10 |] in
+  Alcotest.(check (float 1e-9)) "growth = 3" 3.0 c.Partition.growth;
+  (match c.Partition.theorem_bound with
+  | Some b ->
+      Alcotest.(check int) "bound = 1 + ⌈log₃ √200⌉" 4 b;
+      Alcotest.(check bool) "chains within bound" true
+        (Core.Theorem.check c.Partition.chains ~bound:b)
+  | None -> Alcotest.fail "bound expected");
+  let c = Partition.materialize_rec rp ~params:[| 30; 100 |] in
+  match c.Partition.theorem_bound with
+  | Some b ->
+      Alcotest.(check bool) "chains within bound (30×100)" true
+        (Core.Theorem.check c.Partition.chains ~bound:b)
+  | None -> Alcotest.fail "bound expected"
+
+let test_ex1_cover () =
+  let rp = ex1_plan () in
+  Alcotest.(check bool) "cover" true
+    (Threeset.check_cover rp.Partition.three ~phi:rp.Partition.simple.Solve.phi)
+
+(* ------------------------------------------------------------------ *)
+(* Example 2                                                            *)
+
+let test_ex2_intermediate_single () =
+  (* Paper: at N = 12 the intermediate set is the single iteration (2,6). *)
+  match Partition.choose Loopir.Builtin.example2 with
+  | Partition.Rec_chains rp ->
+      let pts =
+        Enum.points (Iset.bind_params rp.Partition.three.Threeset.p2 [| 12 |])
+      in
+      (match pts with
+      | [ p ] -> Alcotest.check (Alcotest.array Alcotest.int) "(2,6)" [| 2; 6 |] p
+      | _ -> Alcotest.fail "intermediate set should be a single iteration");
+      let c = Partition.materialize_rec rp ~params:[| 12 |] in
+      Alcotest.(check int) "single chain" 1
+        (List.length c.Partition.chains.Chain.chains);
+      Alcotest.(check int) "144 iterations covered" 144
+        (List.length (Partition.rec_points_in_order c))
+  | _ -> Alcotest.fail "example2 must take the REC branch"
+
+let test_ex2_growth () =
+  match Partition.choose Loopir.Builtin.example2 with
+  | Partition.Rec_chains rp ->
+      let c = Partition.materialize_rec rp ~params:[| 12 |] in
+      Alcotest.(check (float 1e-9)) "a = |det T| = 2" 2.0 c.Partition.growth
+  | _ -> Alcotest.fail "REC expected"
+
+(* ------------------------------------------------------------------ *)
+(* Example 3 (statement-level)                                          *)
+
+let test_ex3_empty_intermediate () =
+  let u = Solve.analyze_unified Loopir.Builtin.example3 in
+  let t = Threeset.compute ~phi:u.Solve.uphi ~rd:u.Solve.urd in
+  Alcotest.(check bool) "P2 empty (paper claim)" true
+    (Iset.is_empty t.Threeset.p2);
+  Alcotest.(check bool) "P1 nonempty" false (Iset.is_empty t.Threeset.p1);
+  Alcotest.(check bool) "P3 nonempty" false (Iset.is_empty t.Threeset.p3)
+
+(* ------------------------------------------------------------------ *)
+(* Plan selection                                                       *)
+
+let test_choose_branches () =
+  (match Partition.choose Loopir.Builtin.example1 with
+  | Partition.Rec_chains _ -> ()
+  | _ -> Alcotest.fail "ex1 → REC");
+  (match Partition.choose Loopir.Builtin.fig2 with
+  | Partition.Rec_chains _ -> ()
+  | _ -> Alcotest.fail "fig2 → REC (constant bounds but single pair)");
+  (match Partition.choose Loopir.Builtin.cholesky with
+  | Partition.Pdm_fallback _ -> ()
+  | _ -> Alcotest.fail "cholesky (symbolic bounds, many pairs) → PDM");
+  match
+    Partition.choose
+      (Loopir.Parser.parse ~name:"c"
+         "DO i = 1, 8\n  DO j = 1, 8\n    a(i, j) = a(j, i) + b(2*i, j)\nENDDO\nENDDO")
+  with
+  | Partition.Dataflow_const -> ()
+  | _ -> Alcotest.fail "constant bounds, no single pair → dataflow"
+
+(* ------------------------------------------------------------------ *)
+(* Dataflow partitioning                                                *)
+
+let test_dataflow_symbolic_fig2 () =
+  let a = Solve.analyze_simple Loopir.Builtin.fig2 in
+  let fronts = Dataflow.peel_symbolic ~phi:a.Solve.phi ~rd:a.Solve.rd ~max_steps:10 in
+  Alcotest.(check int) "two fronts" 2 (List.length fronts);
+  Alcotest.(check (list int))
+    "front 1" [ 1; 2; 3; 4; 5; 6; 7; 12; 14; 16; 18; 20 ]
+    (points1 (List.nth fronts 0) [||]);
+  Alcotest.(check (list int))
+    "front 2" [ 8; 9; 10; 11; 13; 15; 17; 19 ]
+    (points1 (List.nth fronts 1) [||])
+
+let test_dataflow_symbolic_nonterminating () =
+  (* prefix_sum with symbolic n: the peel cannot finish at compile time. *)
+  let a =
+    Solve.analyze_simple (List.assoc "prefix_sum" Loopir.Builtin.corpus)
+  in
+  match Dataflow.peel_symbolic ~phi:a.Solve.phi ~rd:a.Solve.rd ~max_steps:5 with
+  | exception Dataflow.Did_not_terminate 5 -> ()
+  | _ -> Alcotest.fail "expected step-limit exception"
+
+let test_dataflow_concrete_matches_symbolic () =
+  let concrete = Dataflow.peel_concrete Loopir.Builtin.fig2 ~params:[] in
+  Alcotest.(check int) "fig2: 2 steps" 2 concrete.Dataflow.steps;
+  Alcotest.(check int) "front sizes" 12
+    (List.length concrete.Dataflow.fronts.(0));
+  Alcotest.(check int) "front 2 size" 8
+    (List.length concrete.Dataflow.fronts.(1))
+
+let test_dataflow_concrete_cholesky_small () =
+  let c =
+    Dataflow.peel_concrete Loopir.Builtin.cholesky
+      ~params:[ ("nmat", 2); ("m", 2); ("n", 6); ("nrhs", 1) ]
+  in
+  Alcotest.(check bool) "many sequential steps" true (c.Dataflow.steps > 10);
+  (* Fronts partition all instances. *)
+  let total = Array.fold_left (fun acc f -> acc + List.length f) 0 c.Dataflow.fronts in
+  Alcotest.(check int) "fronts cover instances"
+    (Array.length c.Dataflow.instances)
+    total
+
+(* ------------------------------------------------------------------ *)
+(* Recurrence maps                                                      *)
+
+let test_recurrence_ex1_step () =
+  let rp = ex1_plan () in
+  let r =
+    match Recurrence.of_pair rp.Partition.pair ~params:(fun _ -> 10) with
+    | Some r -> r
+    | None -> Alcotest.fail "non-singular expected"
+  in
+  (* successor of (4,3) should be (10,9) = (3·4-2, 2·4+3-2) *)
+  let in_phi x = x.(0) >= 1 && x.(0) <= 10 && x.(1) >= 1 && x.(1) <= 10 in
+  (match Recurrence.successor r ~in_phi [| 4; 3 |] with
+  | Some y -> Alcotest.check (Alcotest.array Alcotest.int) "succ" [| 10; 9 |] y
+  | None -> Alcotest.fail "successor expected");
+  (* predecessor of (4,3) is (2,1): (3·2-2, 2·2+1-2) = (4,3) *)
+  match Recurrence.predecessor r ~in_phi [| 4; 3 |] with
+  | Some y -> Alcotest.check (Alcotest.array Alcotest.int) "pred" [| 2; 1 |] y
+  | None -> Alcotest.fail "predecessor expected"
+
+let test_recurrence_neighbors_integrality () =
+  let rp = ex1_plan () in
+  let r =
+    Option.get (Recurrence.of_pair rp.Partition.pair ~params:(fun _ -> 10))
+  in
+  (* (3,1) as read side: predecessor solves 3i-2=3 → not integral; as write
+     side: successor (7,5).  So (3,1) has exactly one neighbour. *)
+  Alcotest.(check int) "one neighbour" 1
+    (List.length (Recurrence.neighbors r [| 3; 1 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Schedule-legality invariant on random coupled loops                  *)
+
+let gen_coupled_1d =
+  QCheck2.Gen.(
+    let* alpha = oneofl [ 1; 2; 3; -1; -2 ] in
+    let* beta = int_range (-5) 25 in
+    let* gamma = oneofl [ 1; 2; 3; -1; -2 ] in
+    let* delta = int_range (-5) 25 in
+    let* n = int_range 4 24 in
+    pure (alpha, beta, gamma, delta, n))
+
+let legal_schedule_prop (alpha, beta, gamma, delta, n) =
+  let src =
+    Printf.sprintf "DO i = 1, %d\n  a(%d*i + %d) = a(%d*i + %d)\nENDDO" n alpha
+      beta gamma delta
+  in
+  let prog = Loopir.Parser.parse ~name:"rand" src in
+  match Partition.choose prog with
+  | Partition.Rec_chains rp ->
+      let c = Partition.materialize_rec rp ~params:[||] in
+      (* position of each iteration: P1 < chains < P3; within a chain,
+         sequence order. *)
+      let pos = Hashtbl.create 64 in
+      List.iter (fun p -> Hashtbl.replace pos p.(0) (0, 0)) c.Partition.p1_pts;
+      List.iteri
+        (fun ci ch ->
+          List.iteri (fun k p -> Hashtbl.replace pos p.(0) (1 + ci, k)) ch)
+        c.Partition.chains.Chain.chains;
+      List.iter (fun p -> Hashtbl.replace pos p.(0) (max_int, 0)) c.Partition.p3_pts;
+      (* all dependences respect the phase/chain order *)
+      let dep_pairs =
+        Enum.points (Iset.bind_params (Rel.to_set rp.Partition.simple.Solve.rd) [||])
+      in
+      List.for_all
+        (fun xy ->
+          let x = xy.(0) and y = xy.(1) in
+          match (Hashtbl.find_opt pos x, Hashtbl.find_opt pos y) with
+          | Some (px, kx), Some (py, ky) ->
+              (* same chain → earlier; different phases → strictly earlier
+                 phase group (P1 before all chains before P3; chains are
+                 mutually independent so a dependence between two distinct
+                 chains would be a bug). *)
+              if px = py then px = 0 || px = max_int || kx < ky
+              else (px = 0 && py > 0) || (py = max_int && px < max_int)
+          | _ -> false)
+        dep_pairs
+      (* coverage: every iteration exactly once *)
+      && List.length (Partition.rec_points_in_order c) = n
+      && List.sort_uniq compare
+           (List.map (fun p -> p.(0)) (Partition.rec_points_in_order c))
+         = List.init n (fun k -> k + 1)
+  | Partition.Dataflow_const | Partition.Pdm_fallback _ -> true
+
+let prop_random_1d_legal =
+  QCheck2.Test.make ~name:"REC schedule legal on random 1-D coupled loops"
+    ~count:120 gen_coupled_1d legal_schedule_prop
+
+let gen_coupled_2d =
+  QCheck2.Gen.(
+    let coef = int_range (-2) 3 in
+    let* c1 = coef and* c2 = coef and* c3 = int_range 0 6 in
+    let* c4 = coef and* c5 = coef and* c6 = int_range 0 6 in
+    let* d1 = coef and* d2 = coef and* d3 = int_range 0 6 in
+    let* d4 = coef and* d5 = coef and* d6 = int_range 0 6 in
+    let* n = int_range 3 8 in
+    pure ((c1, c2, c3, c4, c5, c6), (d1, d2, d3, d4, d5, d6), n))
+
+let legal_2d ((c1, c2, c3, c4, c5, c6), (d1, d2, d3, d4, d5, d6), n) =
+  let src =
+    Printf.sprintf
+      "DO i = 1, %d\n\
+      \  DO j = 1, %d\n\
+      \    a(%d*i + %d*j + %d, %d*i + %d*j + %d) = a(%d*i + %d*j + %d, %d*i \
+       + %d*j + %d)\n\
+      \  ENDDO\nENDDO"
+      n n c1 c2 c3 c4 c5 c6 d1 d2 d3 d4 d5 d6
+  in
+  let prog = Loopir.Parser.parse ~name:"rand2" src in
+  match Partition.choose prog with
+  | Partition.Rec_chains rp -> (
+      match Partition.materialize_rec rp ~params:[||] with
+      | c ->
+          (* coverage of the n×n space, each point exactly once *)
+          let pts = Partition.rec_points_in_order c in
+          List.length pts = n * n
+          && List.length (List.sort_uniq Ivec.compare_lex pts) = n * n
+      | exception Failure _ ->
+          (* Lemma 1 diagnostics must not fire for full-rank pairs. *)
+          false
+      | exception Presburger.Omega.Blowup _ ->
+          (* Work-budget fallback is acceptable (the driver would degrade to
+             dataflow partitioning). *)
+          true)
+  | Partition.Dataflow_const | Partition.Pdm_fallback _ -> true
+
+let prop_random_2d_cover =
+  QCheck2.Test.make ~name:"REC covers random 2-D coupled loops" ~count:60
+    gen_coupled_2d legal_2d
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "fig2",
+        [
+          Alcotest.test_case "three sets (paper)" `Quick test_fig2_sets;
+          Alcotest.test_case "cover invariant" `Quick test_fig2_cover;
+          Alcotest.test_case "point classification" `Quick
+            test_fig2_classify_points;
+        ] );
+      ( "example1",
+        [
+          Alcotest.test_case "sets at 10×10" `Quick test_ex1_sets_at_10;
+          Alcotest.test_case "theorem 1 bound" `Quick test_ex1_theorem_bound;
+          Alcotest.test_case "cover invariant" `Quick test_ex1_cover;
+        ] );
+      ( "example2",
+        [
+          Alcotest.test_case "intermediate = {(2,6)} at N=12" `Quick
+            test_ex2_intermediate_single;
+          Alcotest.test_case "growth = 2" `Quick test_ex2_growth;
+        ] );
+      ( "example3",
+        [
+          Alcotest.test_case "empty intermediate set" `Quick
+            test_ex3_empty_intermediate;
+        ] );
+      ( "algorithm1",
+        [ Alcotest.test_case "branch selection" `Quick test_choose_branches ] );
+      ( "dataflow",
+        [
+          Alcotest.test_case "symbolic peel (fig2)" `Quick
+            test_dataflow_symbolic_fig2;
+          Alcotest.test_case "step limit" `Quick
+            test_dataflow_symbolic_nonterminating;
+          Alcotest.test_case "concrete peel (fig2)" `Quick
+            test_dataflow_concrete_matches_symbolic;
+          Alcotest.test_case "concrete peel (cholesky small)" `Quick
+            test_dataflow_concrete_cholesky_small;
+        ] );
+      ( "recurrence",
+        [
+          Alcotest.test_case "step maps (ex1)" `Quick test_recurrence_ex1_step;
+          Alcotest.test_case "integrality filtering" `Quick
+            test_recurrence_neighbors_integrality;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_random_1d_legal;
+          QCheck_alcotest.to_alcotest prop_random_2d_cover;
+        ] );
+    ]

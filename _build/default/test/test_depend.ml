@@ -1,0 +1,357 @@
+(* Tests for dependence analysis: exact relations on the paper's examples,
+   uniformity classification, trace-based graphs. *)
+
+module Solve = Depend.Solve
+module Depeq = Depend.Depeq
+module Distance = Depend.Distance
+module Trace = Depend.Trace
+module Graph = Depend.Graph
+module Space = Depend.Space
+module Rel = Presburger.Rel
+module Iset = Presburger.Iset
+module Enum = Presburger.Enum
+module Ivec = Linalg.Ivec
+
+let ivec = Alcotest.testable Ivec.pp Ivec.equal
+let _ = ivec
+
+(* ------------------------------------------------------------------ *)
+(* Example 1 (paper Figure 1)                                           *)
+
+let test_example1_distances () =
+  let a = Solve.analyze_simple Loopir.Builtin.example1 in
+  let ds = Distance.distances a.Solve.rd ~params:[| 10; 10 |] in
+  Alcotest.(check int) "three distinct distances" 3 (List.length ds);
+  Alcotest.(check bool) "(2,2)" true
+    (List.exists (Ivec.equal [| 2; 2 |]) ds);
+  Alcotest.(check bool) "(4,4)" true
+    (List.exists (Ivec.equal [| 4; 4 |]) ds);
+  Alcotest.(check bool) "(6,6)" true
+    (List.exists (Ivec.equal [| 6; 6 |]) ds)
+
+let test_example1_pair_count () =
+  (* Figure 1 shows 8 arrows of distance (2,2), 6 of (4,4), 4 of (6,6). *)
+  let a = Solve.analyze_simple Loopir.Builtin.example1 in
+  let set = Iset.bind_params (Rel.to_set a.Solve.rd) [| 10; 10 |] in
+  Alcotest.(check int) "18 direct dependences" 18 (Enum.cardinal set)
+
+let test_example1_classify () =
+  let a = Solve.analyze_simple Loopir.Builtin.example1 in
+  Alcotest.(check string) "non-uniform" "non-uniform"
+    (Distance.class_to_string
+       (Distance.classify a.Solve.rd ~phi:a.Solve.phi ~params:[| 10; 10 |]))
+
+let test_example1_pair_matrices () =
+  let a = Solve.analyze_simple Loopir.Builtin.example1 in
+  match a.Solve.pair with
+  | None -> Alcotest.fail "coupled pair expected"
+  | Some p ->
+      Alcotest.(check bool) "A" true
+        (Linalg.Imat.equal p.Depeq.a_mat [| [| 3; 2 |]; [| 0; 1 |] |]);
+      Alcotest.(check bool) "B" true
+        (Linalg.Imat.equal p.Depeq.b_mat [| [| 1; 0 |]; [| 0; 1 |] |]);
+      Alcotest.(check int) "det A" 3 (Depeq.det_a p);
+      Alcotest.(check int) "det B" 1 (Depeq.det_b p);
+      Alcotest.(check bool) "full rank" true (Depeq.full_rank p);
+      (* offsets a = (1,-1), b = (3,1) *)
+      Alcotest.(check int) "a1" 1 p.Depeq.a_off.(0).Loopir.Affine.const;
+      Alcotest.(check int) "a2" (-1) p.Depeq.a_off.(1).Loopir.Affine.const;
+      Alcotest.(check int) "b1" 3 p.Depeq.b_off.(0).Loopir.Affine.const;
+      Alcotest.(check int) "b2" 1 p.Depeq.b_off.(1).Loopir.Affine.const
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2                                                             *)
+
+let test_fig2_sets () =
+  let a = Solve.analyze_simple Loopir.Builtin.fig2 in
+  let dom = Enum.points (Rel.dom a.Solve.rd) |> List.map (fun v -> v.(0)) in
+  let ran = Enum.points (Rel.ran a.Solve.rd) |> List.map (fun v -> v.(0)) in
+  Alcotest.(check (list int)) "dom = initial candidates" [ 1; 2; 3; 4; 5; 6 ] dom;
+  Alcotest.(check (list int)) "ran" [ 8; 9; 10; 11; 13; 15; 17; 19 ] ran
+
+let test_fig2_pair () =
+  let a = Solve.analyze_simple Loopir.Builtin.fig2 in
+  match a.Solve.pair with
+  | None -> Alcotest.fail "pair expected"
+  | Some p ->
+      Alcotest.(check int) "A = [2]" 2 (Linalg.Imat.get p.Depeq.a_mat 0 0);
+      Alcotest.(check int) "B = [-1]" (-1) (Linalg.Imat.get p.Depeq.b_mat 0 0);
+      Alcotest.(check int) "b offset 21" 21 p.Depeq.b_off.(0).Loopir.Affine.const
+
+let test_fig2_param_pair () =
+  let a = Solve.analyze_simple Loopir.Builtin.fig2_param in
+  match a.Solve.pair with
+  | None -> Alcotest.fail "pair expected"
+  | Some p ->
+      (* read offset 2m+1 is parametric *)
+      Alcotest.(check int) "m coeff" 2
+        (Loopir.Affine.coeff p.Depeq.b_off.(0) "m");
+      Alcotest.(check int) "const 1" 1 p.Depeq.b_off.(0).Loopir.Affine.const
+
+(* ------------------------------------------------------------------ *)
+(* Example 2                                                            *)
+
+let test_example2_pair () =
+  let a = Solve.analyze_simple Loopir.Builtin.example2 in
+  match a.Solve.pair with
+  | None -> Alcotest.fail "pair expected"
+  | Some p ->
+      Alcotest.(check bool) "A" true
+        (Linalg.Imat.equal p.Depeq.a_mat [| [| 2; 0 |]; [| 0; 1 |] |]);
+      Alcotest.(check bool) "B" true
+        (Linalg.Imat.equal p.Depeq.b_mat [| [| 1; 1 |]; [| 2; 1 |] |]);
+      Alcotest.(check int) "det B = -1" (-1) (Depeq.det_b p)
+
+let test_example2_nonuniform () =
+  let a = Solve.analyze_simple Loopir.Builtin.example2 in
+  Alcotest.(check string) "non-uniform" "non-uniform"
+    (Distance.class_to_string
+       (Distance.classify a.Solve.rd ~phi:a.Solve.phi ~params:[| 12 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Corpus classification                                                *)
+
+let classify_one prog params =
+  let a = Solve.analyze_simple prog in
+  Distance.classify a.Solve.rd ~phi:a.Solve.phi ~params
+
+let test_corpus_classes () =
+  let find name = List.assoc name Loopir.Builtin.corpus in
+  let check name params expected =
+    Alcotest.(check string)
+      name expected
+      (Distance.class_to_string (classify_one (find name) params))
+  in
+  check "vecadd" [| 8 |] "none";
+  check "transpose_copy" [| 6 |] "none";
+  check "prefix_sum" [| 8 |] "uniform";
+  check "stencil1d" [| 8 |] "uniform";
+  check "wavefront2d" [| 6 |] "uniform";
+  check "uniform_diag" [| 6 |] "uniform";
+  check "coupled_stretch" [| 10 |] "non-uniform";
+  check "coupled_mirror" [| 10 |] "non-uniform";
+  check "coupled_skew2d" [| 6 |] "non-uniform";
+  check "reverse_copy" [| 9 |] "none"
+
+let test_coupled_detection () =
+  let stmt_of p = List.hd (Loopir.Prog.stmts_of p) in
+  Alcotest.(check bool) "example1 coupled" true
+    (Distance.has_coupled_subscripts (stmt_of Loopir.Builtin.example1));
+  Alcotest.(check bool) "example2 coupled" true
+    (Distance.has_coupled_subscripts (stmt_of Loopir.Builtin.example2));
+  Alcotest.(check bool) "vecadd not coupled" false
+    (Distance.has_coupled_subscripts
+       (stmt_of (List.assoc "vecadd" Loopir.Builtin.corpus)));
+  Alcotest.(check bool) "wavefront2d not coupled" false
+    (Distance.has_coupled_subscripts
+       (stmt_of (List.assoc "wavefront2d" Loopir.Builtin.corpus)))
+
+(* ------------------------------------------------------------------ *)
+(* Unified statement-level space (example 3)                            *)
+
+let test_unified_space_example3 () =
+  let u, phi = Space.unified_space Loopir.Builtin.example3 in
+  Alcotest.(check int) "depth 3" 3 u.Space.depth;
+  Alcotest.(check int) "7 unified dims" 7 (Array.length u.Space.dims);
+  Alcotest.(check int) "two disjuncts" 2 (List.length (Iset.polys phi));
+  (* At n = 3: S1 instances: Σ_i Σ_{j≤i} (i-j+1) = 10; S2: Σ_i i = 6. *)
+  let pts = Enum.points (Iset.bind_params phi [| 3 |]) in
+  Alcotest.(check int) "16 instances at n=3" 16 (List.length pts)
+
+let test_unified_vector () =
+  let u, _ = Space.unified_space Loopir.Builtin.example3 in
+  let infos = Loopir.Prog.stmts_of Loopir.Builtin.example3 in
+  let s1 = List.nth infos 0 and s2 = List.nth infos 1 in
+  Alcotest.(check (array int)) "S1(2,1,2)"
+    [| 1; 2; 1; 1; 1; 2; 1 |]
+    (Space.unified_vector_of u s1 ~iter:[| 2; 1; 2 |]);
+  Alcotest.(check (array int)) "S2(2,1)"
+    [| 1; 2; 1; 1; 2; 0; 0 |]
+    (Space.unified_vector_of u s2 ~iter:[| 2; 1 |])
+
+let test_unified_rd_example3 () =
+  let a = Solve.analyze_unified Loopir.Builtin.example3 in
+  Alcotest.(check bool) "has dependences" false (Rel.is_empty a.Solve.urd);
+  (* The paper's analysis: every dependence goes from an S2 write to an S1
+     read (flow) or S1 read to S2 write (anti) on array a. *)
+  let dom = Rel.dom a.Solve.urd and ran = Rel.ran a.Solve.urd in
+  Alcotest.(check bool) "dom nonempty" false (Iset.is_empty dom);
+  Alcotest.(check bool) "ran nonempty" false (Iset.is_empty ran)
+
+(* ------------------------------------------------------------------ *)
+(* Trace-based graphs                                                   *)
+
+let test_trace_prefix_sum () =
+  let prog = List.assoc "prefix_sum" Loopir.Builtin.corpus in
+  let tr = Trace.build prog ~params:[ ("n", 5) ] in
+  Alcotest.(check int) "4 instances" 4 (Array.length tr.Trace.instances);
+  let g = Graph.of_trace tr in
+  Alcotest.(check int) "serial chain: 4 levels" 4 g.Graph.n_levels;
+  Alcotest.(check (array int)) "one per level" [| 1; 1; 1; 1 |]
+    g.Graph.level_sizes
+
+let test_trace_vecadd () =
+  let prog = List.assoc "vecadd" Loopir.Builtin.corpus in
+  let tr = Trace.build prog ~params:[ ("n", 6) ] in
+  Alcotest.(check int) "no edges" 0 (Trace.n_edges tr);
+  let g = Graph.of_trace tr in
+  Alcotest.(check int) "fully parallel" 1 g.Graph.n_levels
+
+let test_trace_wavefront () =
+  let prog = List.assoc "wavefront2d" Loopir.Builtin.corpus in
+  let tr = Trace.build prog ~params:[ ("n", 5) ] in
+  let g = Graph.of_trace tr in
+  (* 4×4 wavefront: levels = 2·4 - 1 = 7 diagonals. *)
+  Alcotest.(check int) "7 wavefronts" 7 g.Graph.n_levels;
+  Alcotest.(check (array int)) "diagonal sizes"
+    [| 1; 2; 3; 4; 3; 2; 1 |]
+    g.Graph.level_sizes
+
+let test_trace_fig2 () =
+  let tr = Trace.build Loopir.Builtin.fig2 ~params:[] in
+  Alcotest.(check int) "20 instances" 20 (Array.length tr.Trace.instances);
+  let g = Graph.of_trace tr in
+  (* Monotonic chains have length ≤ 2: P1 then P3. *)
+  Alcotest.(check int) "2 levels" 2 g.Graph.n_levels;
+  Alcotest.(check (array int)) "12 + 8" [| 12; 8 |] g.Graph.level_sizes
+
+let test_trace_negative_step () =
+  (* Reversed loop writing a chain: still a serial dependence chain. *)
+  let prog =
+    Loopir.Parser.parse ~name:"rev"
+      "DO k = n, 2, -1\n  s(k - 1) = s(k) + 1.0\nENDDO"
+  in
+  let tr = Trace.build prog ~params:[ ("n", 6) ] in
+  let g = Graph.of_trace tr in
+  Alcotest.(check int) "5 instances" 5 (Array.length tr.Trace.instances);
+  Alcotest.(check int) "serial" 5 g.Graph.n_levels
+
+let test_graph_levels_direct () =
+  let g = Graph.levels ~n:5 [ (0, 2); (1, 2); (2, 4); (3, 4) ] in
+  Alcotest.(check int) "3 levels" 3 g.Graph.n_levels;
+  (* Nodes 0, 1, 3 have no predecessors; 2 is level 2; 4 is level 3. *)
+  Alcotest.(check (array int)) "sizes" [| 3; 1; 1 |] g.Graph.level_sizes;
+  Alcotest.(check int) "level of 4" 3 g.Graph.level.(4);
+  match Graph.levels ~n:2 [ (1, 0) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "backward edge should be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Classical dependence tests                                           *)
+
+module Dtests = Depend.Dtests
+
+let test_gcd_test () =
+  (* 2i - 2j + 1 = 0: gcd 2 does not divide 1 → independent. *)
+  let eq =
+    { Dtests.a = [| 2 |]; b = [| 2 |]; c = 1; lo = [| 1 |]; hi = [| 100 |] }
+  in
+  Alcotest.(check bool) "gcd independent" true
+    (Dtests.gcd_test eq = Dtests.Independent);
+  (* 2i - j = 0 is satisfiable. *)
+  let eq2 =
+    { Dtests.a = [| 2 |]; b = [| 1 |]; c = 0; lo = [| 1 |]; hi = [| 100 |] }
+  in
+  Alcotest.(check bool) "gcd maybe" true
+    (Dtests.gcd_test eq2 = Dtests.Maybe_dependent)
+
+let test_banerjee_test () =
+  (* i - j + 200 = 0 with 1 ≤ i,j ≤ 100: range of i - j is [-99, 99],
+     -200 outside → independent (the GCD test cannot see this). *)
+  let eq =
+    { Dtests.a = [| 1 |]; b = [| 1 |]; c = 200; lo = [| 1 |]; hi = [| 100 |] }
+  in
+  Alcotest.(check bool) "gcd is fooled" true
+    (Dtests.gcd_test eq = Dtests.Maybe_dependent);
+  Alcotest.(check bool) "banerjee catches it" true
+    (Dtests.banerjee_test eq = Dtests.Independent);
+  Alcotest.(check bool) "exact agrees" true (Dtests.exact eq = Dtests.Independent)
+
+let test_dtests_on_example1 () =
+  let a = Solve.analyze_simple Loopir.Builtin.example1 in
+  match a.Solve.pair with
+  | Some p ->
+      let eqs =
+        Dtests.equations_of_pair p
+          ~params:(fun _ -> 10)
+          ~lo:[| 1; 1 |] ~hi:[| 10; 10 |]
+      in
+      Alcotest.(check int) "two equations" 2 (List.length eqs);
+      (* Example 1 has real dependences: no test may claim independence. *)
+      List.iter
+        (fun eq ->
+          Alcotest.(check bool) "combined conservative" true
+            (Dtests.combined eq = Dtests.Maybe_dependent))
+        eqs
+  | None -> Alcotest.fail "pair expected"
+
+let gen_equation =
+  QCheck2.Gen.(
+    let coef = int_range (-4) 4 in
+    let* m = int_range 1 3 in
+    let* a = array_size (pure m) coef in
+    let* b = array_size (pure m) coef in
+    let* c = int_range (-30) 30 in
+    let* hi = array_size (pure m) (int_range 1 8) in
+    pure { Dtests.a; b; c; lo = Array.make m 1; hi })
+
+let prop_dtests_conservative =
+  QCheck2.Test.make ~name:"GCD/Banerjee never contradict the exact test"
+    ~count:400 gen_equation (fun eq ->
+      match (Dtests.gcd_test eq, Dtests.banerjee_test eq, Dtests.exact eq) with
+      | Dtests.Independent, _, ex -> ex = Dtests.Independent
+      | _, Dtests.Independent, ex -> ex = Dtests.Independent
+      | Dtests.Maybe_dependent, Dtests.Maybe_dependent, _ -> true)
+
+let () =
+  Alcotest.run "depend"
+    [
+      ( "example1",
+        [
+          Alcotest.test_case "fig.1 distances" `Quick test_example1_distances;
+          Alcotest.test_case "fig.1 arrow count" `Quick test_example1_pair_count;
+          Alcotest.test_case "classification" `Quick test_example1_classify;
+          Alcotest.test_case "A/B matrices" `Quick test_example1_pair_matrices;
+        ] );
+      ( "fig2",
+        [
+          Alcotest.test_case "dom/ran" `Quick test_fig2_sets;
+          Alcotest.test_case "pair" `Quick test_fig2_pair;
+          Alcotest.test_case "parametric offsets" `Quick test_fig2_param_pair;
+        ] );
+      ( "example2",
+        [
+          Alcotest.test_case "A/B matrices" `Quick test_example2_pair;
+          Alcotest.test_case "non-uniform" `Quick test_example2_nonuniform;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "classification" `Quick test_corpus_classes;
+          Alcotest.test_case "coupled detection" `Quick test_coupled_detection;
+        ] );
+      ( "unified",
+        [
+          Alcotest.test_case "space (example 3)" `Quick
+            test_unified_space_example3;
+          Alcotest.test_case "vectors" `Quick test_unified_vector;
+          Alcotest.test_case "statement-level Rd" `Quick
+            test_unified_rd_example3;
+        ] );
+      ( "dtests",
+        [
+          Alcotest.test_case "GCD test" `Quick test_gcd_test;
+          Alcotest.test_case "Banerjee test" `Quick test_banerjee_test;
+          Alcotest.test_case "example 1 equations" `Quick
+            test_dtests_on_example1;
+          QCheck_alcotest.to_alcotest prop_dtests_conservative;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "prefix sum chain" `Quick test_trace_prefix_sum;
+          Alcotest.test_case "vecadd parallel" `Quick test_trace_vecadd;
+          Alcotest.test_case "wavefront diagonals" `Quick test_trace_wavefront;
+          Alcotest.test_case "fig2 two levels" `Quick test_trace_fig2;
+          Alcotest.test_case "negative step" `Quick test_trace_negative_step;
+          Alcotest.test_case "direct DAG" `Quick test_graph_levels_direct;
+        ] );
+    ]

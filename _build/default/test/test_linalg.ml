@@ -1,0 +1,212 @@
+(* Unit and property tests for the linear algebra substrate. *)
+
+module Q = Numeric.Rat
+module Ivec = Linalg.Ivec
+module Imat = Linalg.Imat
+module Qmat = Linalg.Qmat
+module Hnf = Linalg.Hnf
+
+let ivec = Alcotest.testable Ivec.pp Ivec.equal
+let imat = Alcotest.testable Imat.pp Imat.equal
+let qmat = Alcotest.testable Qmat.pp Qmat.equal
+
+(* ------------------------------------------------------------------ *)
+(* Ivec                                                                *)
+
+let test_ivec_ops () =
+  Alcotest.check ivec "add" [| 4; 6 |] (Ivec.add [| 1; 2 |] [| 3; 4 |]);
+  Alcotest.check ivec "sub" [| -2; -2 |] (Ivec.sub [| 1; 2 |] [| 3; 4 |]);
+  Alcotest.check ivec "scale" [| 3; -6 |] (Ivec.scale 3 [| 1; -2 |]);
+  Alcotest.(check int) "dot" 11 (Ivec.dot [| 1; 2 |] [| 3; 4 |]);
+  Alcotest.(check int) "norm2" 25 (Ivec.norm2 [| 3; 4 |]);
+  Alcotest.(check int) "gcd" 6 (Ivec.gcd [| 12; -18; 6 |])
+
+let test_ivec_lex () =
+  Alcotest.(check bool) "(1,2) < (1,3)" true
+    (Ivec.compare_lex [| 1; 2 |] [| 1; 3 |] < 0);
+  Alcotest.(check bool) "(2,0) > (1,9)" true
+    (Ivec.compare_lex [| 2; 0 |] [| 1; 9 |] > 0);
+  Alcotest.(check int) "equal" 0 (Ivec.compare_lex [| 1; 2 |] [| 1; 2 |]);
+  Alcotest.(check bool) "lexpos (0,1)" true (Ivec.is_lex_positive [| 0; 1 |]);
+  Alcotest.(check bool) "lexpos (0,-1)" false
+    (Ivec.is_lex_positive [| 0; -1 |]);
+  Alcotest.(check bool) "lexpos 0" false (Ivec.is_lex_positive [| 0; 0 |])
+
+(* ------------------------------------------------------------------ *)
+(* Imat                                                                *)
+
+let test_imat_mul () =
+  let a = [| [| 1; 2 |]; [| 3; 4 |] |] in
+  let b = [| [| 0; 1 |]; [| 1; 0 |] |] in
+  Alcotest.check imat "swap cols" [| [| 2; 1 |]; [| 4; 3 |] |] (Imat.mul a b);
+  Alcotest.check imat "identity" a (Imat.mul a (Imat.identity 2));
+  Alcotest.check ivec "vecmat" [| 7; 10 |] (Imat.vecmat [| 1; 2 |] a)
+
+let test_imat_det () =
+  Alcotest.(check int) "det [[3,2],[0,1]]" 3
+    (Imat.det [| [| 3; 2 |]; [| 0; 1 |] |]);
+  Alcotest.(check int) "det example2 T" (-2)
+    (Imat.det [| [| -2; 2 |]; [| 2; -1 |] |]);
+  Alcotest.(check int) "det singular" 0 (Imat.det [| [| 1; 2 |]; [| 2; 4 |] |]);
+  Alcotest.(check int) "det identity" 1 (Imat.det (Imat.identity 4));
+  Alcotest.(check int) "det permutation" (-1)
+    (Imat.det [| [| 0; 1 |]; [| 1; 0 |] |]);
+  (* 3x3 with known determinant *)
+  Alcotest.(check int) "det 3x3" (-306)
+    (Imat.det [| [| 6; 1; 1 |]; [| 4; -2; 5 |]; [| 2; 8; 7 |] |])
+
+let test_imat_rank () =
+  Alcotest.(check int) "full" 2 (Imat.rank [| [| 3; 2 |]; [| 0; 1 |] |]);
+  Alcotest.(check int) "deficient" 1 (Imat.rank [| [| 1; 2 |]; [| 2; 4 |] |]);
+  Alcotest.(check int) "zero" 0 (Imat.rank [| [| 0; 0 |]; [| 0; 0 |] |]);
+  Alcotest.(check int) "wide" 2 (Imat.rank [| [| 1; 0; 1 |]; [| 0; 1; 1 |] |])
+
+(* ------------------------------------------------------------------ *)
+(* Qmat                                                                *)
+
+let test_qmat_inv () =
+  (* Example 2 of the paper: B = [[1,1],[2,1]], B^{-1} = [[-1,1],[2,-1]]. *)
+  let b = Qmat.of_imat [| [| 1; 1 |]; [| 2; 1 |] |] in
+  (match Qmat.inv b with
+  | None -> Alcotest.fail "B should be invertible"
+  | Some bi ->
+      Alcotest.check qmat "B^-1"
+        (Qmat.of_imat [| [| -1; 1 |]; [| 2; -1 |] |])
+        bi;
+      Alcotest.check qmat "B*B^-1 = I" (Qmat.identity 2) (Qmat.mul b bi));
+  Alcotest.(check bool) "singular" true
+    (Qmat.inv (Qmat.of_imat [| [| 1; 2 |]; [| 2; 4 |] |]) = None)
+
+let test_qmat_det () =
+  let t = Qmat.of_imat [| [| -2; 2 |]; [| 2; -1 |] |] in
+  Alcotest.(check bool) "det T = -2" true (Q.equal (Q.of_int (-2)) (Qmat.det t));
+  let half = Qmat.make 2 2 (fun i j -> if i = j then Q.make 1 2 else Q.zero) in
+  Alcotest.(check bool) "det 1/4" true (Q.equal (Q.make 1 4) (Qmat.det half))
+
+let test_qmat_vec () =
+  (* Paper Example 1: successor map j = i·T + u with T = A, u = (-2,-2). *)
+  let t = Qmat.of_imat [| [| 3; 2 |]; [| 0; 1 |] |] in
+  let u = [| Q.of_int (-2); Q.of_int (-2) |] in
+  let step i = Qmat.qvec_add (Qmat.ivecmat i t) u in
+  (match Qmat.qvec_to_ivec (step [| 2; 3 |]) with
+  | Some j -> Alcotest.check ivec "(2,3) -> (4,5)" [| 4; 5 |] j
+  | None -> Alcotest.fail "integral expected");
+  match Qmat.qvec_to_ivec [| Q.make 1 2; Q.one |] with
+  | Some _ -> Alcotest.fail "should not be integral"
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Hnf                                                                 *)
+
+let test_hnf_basic () =
+  let b = Hnf.of_rows 2 [ [| 2; 0 |]; [| 0; 3 |] ] in
+  Alcotest.(check int) "rank 2" 2 (Hnf.rank b);
+  Alcotest.(check bool) "mem (4,6)" true (Hnf.mem b [| 4; 6 |]);
+  Alcotest.(check bool) "mem (4,5)" false (Hnf.mem b [| 4; 5 |]);
+  Alcotest.(check bool) "mem (1,0)" false (Hnf.mem b [| 1; 0 |]);
+  Alcotest.(check bool) "mem 0" true (Hnf.mem b [| 0; 0 |])
+
+let test_hnf_gcd_collapse () =
+  (* Rows (2,2) and (3,3) generate the lattice of multiples of (1,1). *)
+  let b = Hnf.of_rows 2 [ [| 2; 2 |]; [| 3; 3 |] ] in
+  Alcotest.(check int) "rank 1" 1 (Hnf.rank b);
+  Alcotest.(check bool) "mem (5,5)" true (Hnf.mem b [| 5; 5 |]);
+  Alcotest.(check bool) "mem (1,1)" true (Hnf.mem b [| 1; 1 |]);
+  Alcotest.(check bool) "mem (1,2)" false (Hnf.mem b [| 1; 2 |])
+
+let test_hnf_decompose () =
+  let b = Hnf.of_rows 2 [ [| 1; 2 |]; [| 0; 5 |] ] in
+  match Hnf.decompose b [| 3; 16 |] with
+  | None -> Alcotest.fail "should decompose"
+  | Some c ->
+      let v =
+        List.fold_left Ivec.add (Ivec.zero 2)
+          (List.mapi (fun k r -> Ivec.scale c.(k) r) (Hnf.rows b))
+      in
+      Alcotest.check ivec "recombines" [| 3; 16 |] v
+
+let test_hnf_empty () =
+  let b = Hnf.of_rows 3 [ [| 0; 0; 0 |] ] in
+  Alcotest.(check int) "rank 0" 0 (Hnf.rank b);
+  Alcotest.(check bool) "only zero" true (Hnf.mem b [| 0; 0; 0 |]);
+  Alcotest.(check bool) "nonzero out" false (Hnf.mem b [| 1; 0; 0 |])
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let gen_mat n =
+  QCheck2.Gen.(
+    array_size (pure n) (array_size (pure n) (int_range (-6) 6)))
+
+let prop_det_transpose =
+  QCheck2.Test.make ~name:"det m = det mᵀ" ~count:200 (gen_mat 3) (fun m ->
+      Imat.det m = Imat.det (Imat.transpose m))
+
+let prop_det_product =
+  QCheck2.Test.make ~name:"det (a·b) = det a · det b" ~count:200
+    QCheck2.Gen.(pair (gen_mat 3) (gen_mat 3))
+    (fun (a, b) -> Imat.det (Imat.mul a b) = Imat.det a * Imat.det b)
+
+let prop_inv_roundtrip =
+  QCheck2.Test.make ~name:"m · m⁻¹ = I when invertible" ~count:200 (gen_mat 3)
+    (fun m ->
+      let qm = Qmat.of_imat m in
+      match Qmat.inv qm with
+      | None -> Imat.det m = 0
+      | Some mi ->
+          Imat.det m <> 0
+          && Qmat.equal (Qmat.mul qm mi) (Qmat.identity 3)
+          && Qmat.equal (Qmat.mul mi qm) (Qmat.identity 3))
+
+let gen_rows =
+  QCheck2.Gen.(list_size (int_range 1 4) (array_size (pure 3) (int_range (-5) 5)))
+
+let prop_hnf_contains_generators =
+  QCheck2.Test.make ~name:"generators lie in their HNF lattice" ~count:200
+    gen_rows (fun rows ->
+      let b = Hnf.of_rows 3 rows in
+      List.for_all (fun r -> Hnf.mem b r) rows)
+
+let prop_hnf_closed_under_sum =
+  QCheck2.Test.make ~name:"lattice closed under combination" ~count:200
+    QCheck2.Gen.(pair gen_rows (pair (int_range (-3) 3) (int_range (-3) 3)))
+    (fun (rows, (k1, k2)) ->
+      match rows with
+      | r1 :: r2 :: _ ->
+          let b = Hnf.of_rows 3 rows in
+          Hnf.mem b (Ivec.add (Ivec.scale k1 r1) (Ivec.scale k2 r2))
+      | _ -> QCheck2.assume_fail ())
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ( "ivec",
+        [
+          Alcotest.test_case "vector ops" `Quick test_ivec_ops;
+          Alcotest.test_case "lexicographic order" `Quick test_ivec_lex;
+        ] );
+      ( "imat",
+        [
+          Alcotest.test_case "multiplication" `Quick test_imat_mul;
+          Alcotest.test_case "determinant" `Quick test_imat_det;
+          Alcotest.test_case "rank" `Quick test_imat_rank;
+          QCheck_alcotest.to_alcotest prop_det_transpose;
+          QCheck_alcotest.to_alcotest prop_det_product;
+        ] );
+      ( "qmat",
+        [
+          Alcotest.test_case "inverse" `Quick test_qmat_inv;
+          Alcotest.test_case "determinant" `Quick test_qmat_det;
+          Alcotest.test_case "affine step (paper ex.1)" `Quick test_qmat_vec;
+          QCheck_alcotest.to_alcotest prop_inv_roundtrip;
+        ] );
+      ( "hnf",
+        [
+          Alcotest.test_case "diagonal lattice" `Quick test_hnf_basic;
+          Alcotest.test_case "gcd collapse" `Quick test_hnf_gcd_collapse;
+          Alcotest.test_case "decompose" `Quick test_hnf_decompose;
+          Alcotest.test_case "empty lattice" `Quick test_hnf_empty;
+          QCheck_alcotest.to_alcotest prop_hnf_contains_generators;
+          QCheck_alcotest.to_alcotest prop_hnf_closed_under_sum;
+        ] );
+    ]

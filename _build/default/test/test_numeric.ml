@@ -1,0 +1,171 @@
+(* Unit and property tests for the numeric substrate. *)
+
+module S = Numeric.Safeint
+module Q = Numeric.Rat
+
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Safeint units                                                       *)
+
+let test_add_basic () =
+  check_int "2+3" 5 (S.add 2 3);
+  check_int "neg" (-7) (S.add (-3) (-4));
+  check_int "mixed" 1 (S.add 4 (-3))
+
+let test_overflow_detected () =
+  Alcotest.check_raises "add max" S.Overflow (fun () ->
+      ignore (S.add max_int 1));
+  Alcotest.check_raises "sub min" S.Overflow (fun () ->
+      ignore (S.sub min_int 1));
+  Alcotest.check_raises "mul big" S.Overflow (fun () ->
+      ignore (S.mul max_int 2));
+  Alcotest.check_raises "neg min" S.Overflow (fun () -> ignore (S.neg min_int));
+  Alcotest.check_raises "abs min" S.Overflow (fun () -> ignore (S.abs min_int))
+
+let test_gcd () =
+  check_int "gcd 12 18" 6 (S.gcd 12 18);
+  check_int "gcd neg" 6 (S.gcd (-12) 18);
+  check_int "gcd 0 5" 5 (S.gcd 0 5);
+  check_int "gcd 0 0" 0 (S.gcd 0 0);
+  check_int "lcm 4 6" 12 (S.lcm 4 6);
+  check_int "lcm 0" 0 (S.lcm 0 7)
+
+let test_egcd () =
+  let cases = [ (12, 18); (-12, 18); (7, 0); (0, 0); (240, 46); (-5, -3) ] in
+  List.iter
+    (fun (a, b) ->
+      let g, x, y = S.egcd a b in
+      check_int "g = gcd" (S.gcd a b) g;
+      check_int "bezout" g ((a * x) + (b * y)))
+    cases
+
+let test_division () =
+  check_int "fdiv 7 2" 3 (S.fdiv 7 2);
+  check_int "fdiv -7 2" (-4) (S.fdiv (-7) 2);
+  check_int "fdiv 7 -2" (-4) (S.fdiv 7 (-2));
+  check_int "fdiv -7 -2" 3 (S.fdiv (-7) (-2));
+  check_int "cdiv 7 2" 4 (S.cdiv 7 2);
+  check_int "cdiv -7 2" (-3) (S.cdiv (-7) 2);
+  check_int "cdiv 7 -2" (-3) (S.cdiv 7 (-2));
+  check_int "emod -7 3" 2 (S.emod (-7) 3);
+  check_int "emod 7 3" 1 (S.emod 7 3);
+  Alcotest.check_raises "fdiv by zero" Division_by_zero (fun () ->
+      ignore (S.fdiv 1 0))
+
+let test_pow () =
+  check_int "3^4" 81 (S.pow 3 4);
+  check_int "x^0" 1 (S.pow 99 0);
+  check_int "0^0" 1 (S.pow 0 0);
+  check_int "(-2)^3" (-8) (S.pow (-2) 3);
+  Alcotest.check_raises "neg exponent"
+    (Invalid_argument "Safeint.pow: negative exponent") (fun () ->
+      ignore (S.pow 2 (-1)))
+
+(* ------------------------------------------------------------------ *)
+(* Safeint properties                                                  *)
+
+let gen_i = QCheck2.Gen.int_range (-10000) 10000
+
+let prop_fdiv_emod =
+  QCheck2.Test.make ~name:"a = b*fdiv(a,b) + emod(a,b) for b>0" ~count:500
+    QCheck2.Gen.(pair gen_i (int_range 1 1000))
+    (fun (a, b) ->
+      let q = S.fdiv a b and r = S.emod a b in
+      a = (b * q) + r && 0 <= r && r < b)
+
+let prop_gcd_divides =
+  QCheck2.Test.make ~name:"gcd divides both" ~count:500
+    QCheck2.Gen.(pair gen_i gen_i)
+    (fun (a, b) ->
+      let g = S.gcd a b in
+      if a = 0 && b = 0 then g = 0 else a mod g = 0 && b mod g = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Rat units                                                           *)
+
+let rat = Alcotest.testable Q.pp Q.equal
+
+let test_rat_normalization () =
+  Alcotest.check rat "6/4 = 3/2" (Q.make 3 2) (Q.make 6 4);
+  Alcotest.check rat "neg den" (Q.make (-3) 2) (Q.make 3 (-2));
+  Alcotest.check rat "0/5 = 0" Q.zero (Q.make 0 5);
+  check_int "den positive" 2 (Q.den (Q.make 3 (-2)));
+  Alcotest.check_raises "zero denominator" Division_by_zero (fun () ->
+      ignore (Q.make 1 0))
+
+let test_rat_arith () =
+  Alcotest.check rat "1/2 + 1/3" (Q.make 5 6) (Q.add (Q.make 1 2) (Q.make 1 3));
+  Alcotest.check rat "1/2 - 1/3" (Q.make 1 6) (Q.sub (Q.make 1 2) (Q.make 1 3));
+  Alcotest.check rat "2/3 * 3/4" (Q.make 1 2) (Q.mul (Q.make 2 3) (Q.make 3 4));
+  Alcotest.check rat "(1/2) / (1/4)" (Q.of_int 2)
+    (Q.div (Q.make 1 2) (Q.make 1 4));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Q.div Q.one Q.zero))
+
+let test_rat_floor_ceil () =
+  check_int "floor 7/2" 3 (Q.floor (Q.make 7 2));
+  check_int "ceil 7/2" 4 (Q.ceil (Q.make 7 2));
+  check_int "floor -7/2" (-4) (Q.floor (Q.make (-7) 2));
+  check_int "ceil -7/2" (-3) (Q.ceil (Q.make (-7) 2));
+  check_int "floor 4" 4 (Q.floor (Q.of_int 4));
+  check_int "ceil 4" 4 (Q.ceil (Q.of_int 4))
+
+let test_rat_compare () =
+  Alcotest.(check bool) "1/2 < 2/3" true (Q.compare (Q.make 1 2) (Q.make 2 3) < 0);
+  Alcotest.(check bool) "eq" true (Q.equal (Q.make 2 4) (Q.make 1 2));
+  check_int "sign neg" (-1) (Q.sign (Q.make (-1) 5));
+  Alcotest.check rat "min" (Q.make 1 2) (Q.min (Q.make 1 2) (Q.make 2 3));
+  Alcotest.check rat "max" (Q.make 2 3) (Q.max (Q.make 1 2) (Q.make 2 3))
+
+let test_rat_to_int () =
+  check_int "to_int 8/4" 2 (Q.to_int_exn (Q.make 8 4));
+  Alcotest.(check bool) "is_integer" false (Q.is_integer (Q.make 1 2));
+  Alcotest.check_raises "not integer"
+    (Invalid_argument "Rat.to_int_exn: not an integer") (fun () ->
+      ignore (Q.to_int_exn (Q.make 1 2)))
+
+let gen_rat =
+  QCheck2.Gen.map
+    (fun (n, d) -> Q.make n d)
+    QCheck2.Gen.(pair (int_range (-1000) 1000) (int_range 1 1000))
+
+let prop_rat_field =
+  QCheck2.Test.make ~name:"rational field laws" ~count:300
+    QCheck2.Gen.(triple gen_rat gen_rat gen_rat)
+    (fun (a, b, c) ->
+      Q.equal (Q.add a b) (Q.add b a)
+      && Q.equal (Q.add (Q.add a b) c) (Q.add a (Q.add b c))
+      && Q.equal (Q.mul a (Q.add b c)) (Q.add (Q.mul a b) (Q.mul a c))
+      && Q.equal (Q.sub a a) Q.zero)
+
+let prop_rat_floor =
+  QCheck2.Test.make ~name:"floor ≤ q < floor+1" ~count:300 gen_rat (fun q ->
+      let f = Q.floor q in
+      Q.compare (Q.of_int f) q <= 0 && Q.compare q (Q.of_int (f + 1)) < 0)
+
+let () =
+  Alcotest.run "numeric"
+    [
+      ( "safeint",
+        [
+          Alcotest.test_case "add basics" `Quick test_add_basic;
+          Alcotest.test_case "overflow detected" `Quick test_overflow_detected;
+          Alcotest.test_case "gcd/lcm" `Quick test_gcd;
+          Alcotest.test_case "egcd bezout" `Quick test_egcd;
+          Alcotest.test_case "floor/ceil div" `Quick test_division;
+          Alcotest.test_case "pow" `Quick test_pow;
+          QCheck_alcotest.to_alcotest prop_fdiv_emod;
+          QCheck_alcotest.to_alcotest prop_gcd_divides;
+        ] );
+      ( "rat",
+        [
+          Alcotest.test_case "normalization" `Quick test_rat_normalization;
+          Alcotest.test_case "arithmetic" `Quick test_rat_arith;
+          Alcotest.test_case "floor/ceil" `Quick test_rat_floor_ceil;
+          Alcotest.test_case "compare/min/max" `Quick test_rat_compare;
+          Alcotest.test_case "to_int" `Quick test_rat_to_int;
+          QCheck_alcotest.to_alcotest prop_rat_field;
+          QCheck_alcotest.to_alcotest prop_rat_floor;
+        ] );
+    ]

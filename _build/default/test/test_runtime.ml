@@ -1,0 +1,268 @@
+(* Tests for the execution substrate: dense array store, interpreter,
+   schedules (legality + semantics), cost simulator, domain executor. *)
+
+module Sched = Runtime.Sched
+module Interp = Runtime.Interp
+module Arrays = Runtime.Arrays
+module Sim = Runtime.Sim
+module Exec = Runtime.Exec
+module Trace = Depend.Trace
+module Partition = Core.Partition
+module Dataflow = Core.Dataflow
+
+(* ------------------------------------------------------------------ *)
+(* Arrays                                                               *)
+
+let test_arrays_basic () =
+  let s = Arrays.create () in
+  Arrays.note_bounds s "a" [ -3; 2 ];
+  Arrays.note_bounds s "a" [ 5; 7 ];
+  Arrays.freeze s;
+  Alcotest.(check (float 0.0))
+    "initial value deterministic"
+    (Arrays.initial_value "a" [ 0; 3 ])
+    (Arrays.get s "a" [ 0; 3 ]);
+  Arrays.set s "a" [ -3; 7 ] 42.0;
+  Alcotest.(check (float 0.0)) "set/get" 42.0 (Arrays.get s "a" [ -3; 7 ]);
+  (* out-of-extent read falls back to the deterministic initial value *)
+  Alcotest.(check (float 0.0))
+    "out-of-extent read"
+    (Arrays.initial_value "a" [ 100; 100 ])
+    (Arrays.get s "a" [ 100; 100 ])
+
+let test_arrays_equal () =
+  let mk () =
+    let s = Arrays.create () in
+    Arrays.note_bounds s "x" [ 0 ];
+    Arrays.note_bounds s "x" [ 4 ];
+    Arrays.freeze s;
+    s
+  in
+  let a = mk () and b = mk () in
+  Alcotest.(check bool) "fresh equal" true (Arrays.equal a b);
+  Arrays.set a "x" [ 2 ] 1.0;
+  Alcotest.(check bool) "diverged" false (Arrays.equal a b)
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter                                                          *)
+
+let test_interp_prefix_sum () =
+  let prog = List.assoc "prefix_sum" Loopir.Builtin.corpus in
+  let env = Interp.prepare prog ~params:[ ("n", 5) ] in
+  let store = Interp.run_sequential env in
+  (* s(i) = s(i-1) + a(i): check the recurrence holds on the result. *)
+  let s i = Arrays.get store "s" [ i ] in
+  let a i = Arrays.get store "a" [ i ] in
+  let expected = ref (Arrays.initial_value "s" [ 1 ]) in
+  for i = 2 to 5 do
+    expected := !expected +. a i;
+    Alcotest.(check (float 1e-9)) (Printf.sprintf "s(%d)" i) !expected (s i)
+  done
+
+let test_interp_schedule_equivalence_fig2 () =
+  let env = Interp.prepare Loopir.Builtin.fig2 ~params:[] in
+  let tr = Trace.build Loopir.Builtin.fig2 ~params:[] in
+  let sched = Sched.sequential_of_trace tr in
+  match Interp.check_schedule env sched with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let rec_schedule prog params_assoc params_arr =
+  match Partition.choose prog with
+  | Partition.Rec_chains rp ->
+      let c = Partition.materialize_rec rp ~params:params_arr in
+      (Interp.prepare prog ~params:params_assoc, Sched.of_rec ~stmt:0 c)
+  | _ -> Alcotest.fail "REC plan expected"
+
+let test_rec_schedule_semantics_ex1 () =
+  let env, sched =
+    rec_schedule Loopir.Builtin.example1
+      [ ("n1", 10); ("n2", 10) ]
+      [| 10; 10 |]
+  in
+  (match Interp.check_schedule env sched with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("interp: " ^ m));
+  let tr =
+    Trace.build Loopir.Builtin.example1 ~params:[ ("n1", 10); ("n2", 10) ]
+  in
+  match Sched.check_legal sched tr with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("legality: " ^ m)
+
+let test_rec_schedule_semantics_ex2 () =
+  let env, sched =
+    rec_schedule Loopir.Builtin.example2 [ ("n", 12) ] [| 12 |]
+  in
+  (match Interp.check_schedule env sched with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("interp: " ^ m));
+  let tr = Trace.build Loopir.Builtin.example2 ~params:[ ("n", 12) ] in
+  match Sched.check_legal sched tr with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("legality: " ^ m)
+
+let test_fronts_schedule_cholesky () =
+  let params = [ ("nmat", 2); ("m", 2); ("n", 5); ("nrhs", 1) ] in
+  let c = Dataflow.peel_concrete Loopir.Builtin.cholesky ~params in
+  let sched = Sched.of_fronts c in
+  let env = Interp.prepare Loopir.Builtin.cholesky ~params in
+  (match Interp.check_schedule env sched with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("interp: " ^ m));
+  let tr = Trace.build Loopir.Builtin.cholesky ~params in
+  match Sched.check_legal sched tr with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("legality: " ^ m)
+
+let test_illegal_schedule_detected () =
+  (* Reverse the sequential order of a serial chain: must be caught both by
+     the legality checker and by the interpreter. *)
+  let prog = List.assoc "prefix_sum" Loopir.Builtin.corpus in
+  let tr = Trace.build prog ~params:[ ("n", 6) ] in
+  let rev_task =
+    Array.of_list
+      (List.rev
+         (Array.to_list
+            (Array.map
+               (fun (i : Trace.instance) ->
+                 { Sched.stmt = i.Trace.stmt; iter = i.Trace.iter })
+               tr.Trace.instances)))
+  in
+  let bad = Sched.of_phases [ Sched.Tasks { label = "bad"; tasks = [| rev_task |] } ] in
+  (match Sched.check_legal bad tr with
+  | Ok () -> Alcotest.fail "legality checker missed reversal"
+  | Error _ -> ());
+  let env = Interp.prepare prog ~params:[ ("n", 6) ] in
+  match Interp.check_schedule env bad with
+  | Ok () -> Alcotest.fail "interpreter missed reversal"
+  | Error _ -> ()
+
+let test_duplicate_instance_detected () =
+  let prog = List.assoc "vecadd" Loopir.Builtin.corpus in
+  let tr = Trace.build prog ~params:[ ("n", 3) ] in
+  let inst k = { Sched.stmt = 0; iter = [| k |] } in
+  let bad =
+    Sched.of_phases
+      [ Sched.Doall { label = "dup"; instances = [| inst 1; inst 2; inst 3; inst 2 |] } ]
+  in
+  match Sched.check_legal bad tr with
+  | Ok () -> Alcotest.fail "duplicate not detected"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Simulator                                                            *)
+
+let test_lpt_makespan () =
+  Alcotest.(check (float 1e-9)) "balanced" 6.0
+    (Sim.lpt_makespan 2 [| 4.0; 3.0; 3.0; 2.0 |]);
+  Alcotest.(check (float 1e-9)) "one proc" 12.0
+    (Sim.lpt_makespan 1 [| 4.0; 3.0; 3.0; 2.0 |]);
+  Alcotest.(check (float 1e-9)) "dominant task" 9.0
+    (Sim.lpt_makespan 4 [| 9.0; 1.0; 1.0; 1.0 |])
+
+let test_sim_speedup_monotone () =
+  let env, sched =
+    rec_schedule Loopir.Builtin.example1
+      [ ("n1", 30); ("n2", 40) ]
+      [| 30; 40 |]
+  in
+  ignore env;
+  let cost = Sim.base in
+  let s p = Sim.speedup cost ~threads:p ~n_seq:(30 * 40) sched in
+  Alcotest.(check bool) "2 ≥ 1" true (s 2 >= s 1);
+  Alcotest.(check bool) "4 ≥ 2" true (s 4 >= s 2);
+  Alcotest.(check bool) "speedup positive" true (s 1 > 0.0)
+
+let test_sim_code_factor () =
+  let env, sched =
+    rec_schedule Loopir.Builtin.example1
+      [ ("n1", 30); ("n2", 40) ]
+      [| 30; 40 |]
+  in
+  ignore env;
+  let fast = Sim.with_factor 0.8 and slow = Sim.with_factor 1.2 in
+  Alcotest.(check bool) "cheaper code is faster" true
+    (Sim.time fast ~threads:2 sched < Sim.time slow ~threads:2 sched)
+
+let test_pipeline_time () =
+  let c = { Sim.base with Sim.fork = 0.0; barrier = 0.0 } in
+  (* 4 stages, no delay, 4 threads: all parallel → one stage time. *)
+  Alcotest.(check (float 1e-9)) "no delay" 10.0
+    (Sim.pipeline_time c ~threads:4 ~stages:4 ~stage_work:10.0 ~delay:0.0);
+  (* delay ≥ stage_work on one thread: serialized by delay. *)
+  let t = Sim.pipeline_time c ~threads:4 ~stages:4 ~stage_work:1.0 ~delay:5.0 in
+  Alcotest.(check (float 1e-9)) "delay bound" 16.0 t
+
+(* ------------------------------------------------------------------ *)
+(* Domain executor                                                      *)
+
+let test_exec_parallel_matches_sequential () =
+  let env, sched =
+    rec_schedule Loopir.Builtin.example1
+      [ ("n1", 12); ("n2", 12) ]
+      [| 12; 12 |]
+  in
+  List.iter
+    (fun threads ->
+      match Exec.check env ~threads sched with
+      | Ok () -> ()
+      | Error m ->
+          Alcotest.fail (Printf.sprintf "threads=%d: %s" threads m))
+    [ 1; 2; 4 ]
+
+let test_exec_fronts_parallel () =
+  let params = [ ("nmat", 2); ("m", 2); ("n", 4); ("nrhs", 1) ] in
+  let c = Dataflow.peel_concrete Loopir.Builtin.cholesky ~params in
+  let sched = Sched.of_fronts c in
+  let env = Interp.prepare Loopir.Builtin.cholesky ~params in
+  match Exec.check env ~threads:4 sched with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "arrays",
+        [
+          Alcotest.test_case "extents and values" `Quick test_arrays_basic;
+          Alcotest.test_case "equality" `Quick test_arrays_equal;
+        ] );
+      ( "interp",
+        [
+          Alcotest.test_case "prefix sum semantics" `Quick
+            test_interp_prefix_sum;
+          Alcotest.test_case "sequential schedule ≡ program" `Quick
+            test_interp_schedule_equivalence_fig2;
+        ] );
+      ( "schedules",
+        [
+          Alcotest.test_case "REC semantics (ex1)" `Quick
+            test_rec_schedule_semantics_ex1;
+          Alcotest.test_case "REC semantics (ex2)" `Quick
+            test_rec_schedule_semantics_ex2;
+          Alcotest.test_case "dataflow fronts (cholesky)" `Quick
+            test_fronts_schedule_cholesky;
+          Alcotest.test_case "illegal schedule detected" `Quick
+            test_illegal_schedule_detected;
+          Alcotest.test_case "duplicate instance detected" `Quick
+            test_duplicate_instance_detected;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "LPT makespan" `Quick test_lpt_makespan;
+          Alcotest.test_case "speedup monotone in threads" `Quick
+            test_sim_speedup_monotone;
+          Alcotest.test_case "code factor" `Quick test_sim_code_factor;
+          Alcotest.test_case "pipeline model" `Quick test_pipeline_time;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "domains ≡ sequential (ex1)" `Quick
+            test_exec_parallel_matches_sequential;
+          Alcotest.test_case "domains ≡ sequential (cholesky fronts)" `Quick
+            test_exec_fronts_parallel;
+        ] );
+    ]
