@@ -21,6 +21,13 @@ let quick =
   Sys.getenv_opt "BENCH_QUICK" <> None
   || Array.exists (fun a -> a = "--quick") Sys.argv
 
+(* All strategy selection goes through the pipeline layer; panels that
+   need the raw REC plan unwrap the typed plan. *)
+let rec_plan_exn name prog =
+  match Pipeline.Driver.classify prog with
+  | Ok (Pipeline.Plan.Rec_chains rp) -> rp
+  | Ok _ | Error _ -> failwith (name ^ " must take the REC branch")
+
 let section name =
   Printf.printf "\n%s\n== %s\n%s\n" (String.make 64 '=') name (String.make 64 '=')
 
@@ -106,11 +113,7 @@ let fig2 () =
 (* ------------------------------------------------------------------ *)
 (* E3 — Example 1 partition + Theorem 1                                 *)
 
-let ex1_plan =
-  lazy
-    (match Partition.choose Loopir.Builtin.example1 with
-    | Partition.Rec_chains rp -> rp
-    | _ -> failwith "example1 must take the REC branch")
+let ex1_plan = lazy (rec_plan_exn "example1" Loopir.Builtin.example1)
 
 let ex1 () =
   section "E3 / Example 1: REC partitioning";
@@ -139,29 +142,27 @@ let ex1 () =
 
 let ex2 () =
   section "E4 / Example 2 (Ju et al): REC vs UNIQUE";
-  match Partition.choose Loopir.Builtin.example2 with
-  | Partition.Rec_chains rp ->
-      let p2 =
-        Enum.points (Iset.bind_params rp.Partition.three.Threeset.p2 [| 12 |])
-      in
-      Printf.printf "intermediate set at N=12: {%s}   (paper: {(2,6)})\n"
-        (String.concat "; "
-           (List.map (fun p -> Printf.sprintf "(%d,%d)" p.(0) p.(1)) p2));
-      let c = Partition.materialize_rec rp ~params:[| 12 |] in
-      Printf.printf "REC regions: 3 (P1 %d ∥ / chains %d / P3 %d ∥)\n"
-        (List.length c.Partition.p1_pts)
-        (Core.Chain.total_points c.Partition.chains)
-        (List.length c.Partition.p3_pts);
-      let u =
-        Baselines.Unique.partition rp.Partition.simple ~three:rp.Partition.three
-      in
-      Printf.printf "UNIQUE regions: %d (paper: 5, third sequential)\n"
-        (Baselines.Unique.n_regions u ~params:[| 12 |]);
-      Printf.printf "Theorem 1: growth %g, chain bound %s\n" c.Partition.growth
-        (match c.Partition.theorem_bound with
-        | Some b -> string_of_int b
-        | None -> "-")
-  | _ -> failwith "example2 must take the REC branch"
+  let rp = rec_plan_exn "example2" Loopir.Builtin.example2 in
+  let p2 =
+    Enum.points (Iset.bind_params rp.Partition.three.Threeset.p2 [| 12 |])
+  in
+  Printf.printf "intermediate set at N=12: {%s}   (paper: {(2,6)})\n"
+    (String.concat "; "
+       (List.map (fun p -> Printf.sprintf "(%d,%d)" p.(0) p.(1)) p2));
+  let c = Partition.materialize_rec rp ~params:[| 12 |] in
+  Printf.printf "REC regions: 3 (P1 %d ∥ / chains %d / P3 %d ∥)\n"
+    (List.length c.Partition.p1_pts)
+    (Core.Chain.total_points c.Partition.chains)
+    (List.length c.Partition.p3_pts);
+  let u =
+    Baselines.Unique.partition rp.Partition.simple ~three:rp.Partition.three
+  in
+  Printf.printf "UNIQUE regions: %d (paper: 5, third sequential)\n"
+    (Baselines.Unique.n_regions u ~params:[| 12 |]);
+  Printf.printf "Theorem 1: growth %g, chain bound %s\n" c.Partition.growth
+    (match c.Partition.theorem_bound with
+    | Some b -> string_of_int b
+    | None -> "-")
 
 (* ------------------------------------------------------------------ *)
 (* E5 — Example 3                                                       *)
@@ -273,30 +274,26 @@ let fig3_panel1 () =
 
 let fig3_panel2 () =
   let n = if quick then 100 else 300 in
-  match Partition.choose Loopir.Builtin.example2 with
-  | Partition.Rec_chains rp ->
-      let c = Partition.materialize_rec_scan rp ~params:[| n |] in
-      let rec_a = Sim.abstract (Sched.of_rec ~stmt:0 c) in
-      let n_seq = n * n in
-      let u =
-        Baselines.Unique.partition rp.Partition.simple
-          ~three:rp.Partition.three
-      in
-      let uniq_a =
-        Sim.abstract (Baselines.Unique.schedule u ~stmt:0 ~params:[| n |])
-      in
-      print_panel
-        (Printf.sprintf
-           "panel 2: Example 2, N=%d (paper: REC ≥ UNIQUE, both ≥ linear at 1)"
-           n)
-        "   REC  UNIQUE  linear"
-        [
-          (fun p -> Sim.speedup_abstract rec_ex2_cost ~threads:p ~n_seq rec_a);
-          (fun p ->
-            Sim.speedup_abstract unique_ex2_cost ~threads:p ~n_seq uniq_a);
-          (fun p -> float_of_int p);
-        ]
-  | _ -> failwith "example2 REC expected"
+  let rp = rec_plan_exn "example2" Loopir.Builtin.example2 in
+  let c = Partition.materialize_rec_scan rp ~params:[| n |] in
+  let rec_a = Sim.abstract (Sched.of_rec ~stmt:0 c) in
+  let n_seq = n * n in
+  let u =
+    Baselines.Unique.partition rp.Partition.simple ~three:rp.Partition.three
+  in
+  let uniq_a =
+    Sim.abstract (Baselines.Unique.schedule u ~stmt:0 ~params:[| n |])
+  in
+  print_panel
+    (Printf.sprintf
+       "panel 2: Example 2, N=%d (paper: REC ≥ UNIQUE, both ≥ linear at 1)"
+       n)
+    "   REC  UNIQUE  linear"
+    [
+      (fun p -> Sim.speedup_abstract rec_ex2_cost ~threads:p ~n_seq rec_a);
+      (fun p -> Sim.speedup_abstract unique_ex2_cost ~threads:p ~n_seq uniq_a);
+      (fun p -> float_of_int p);
+    ]
 
 let fig3_panel3 () =
   let n = if quick then 80 else 150 in
@@ -378,29 +375,25 @@ let theorem1 () =
         c.Partition.chains.Core.Chain.longest b
         (c.Partition.chains.Core.Chain.longest <= b))
     [ (10, 10); (40, 40); (100, 100); (300, 1000) ];
-  (match Partition.choose Loopir.Builtin.example2 with
-  | Partition.Rec_chains rp2 ->
-      List.iter
-        (fun n ->
-          let c = Partition.materialize_rec_scan rp2 ~params:[| n |] in
-          let b = Option.value ~default:(-1) c.Partition.theorem_bound in
-          Printf.printf "%-10s %-14s %-8d %-8d %b\n" "example2"
-            (Printf.sprintf "n=%d" n)
-            c.Partition.chains.Core.Chain.longest b
-            (c.Partition.chains.Core.Chain.longest <= b))
-        [ 12; 32; 64; 128; 256 ]
-  | _ -> ());
-  match
-    Partition.choose
-      (Loopir.Parser.parse ~name:"q" "DO i = 1, 4000\n  a(3*i + 1) = a(2*i)\nENDDO")
-  with
-  | Partition.Rec_chains rp ->
-      let c = Partition.materialize_rec rp ~params:[||] in
+  let rp2 = rec_plan_exn "example2" Loopir.Builtin.example2 in
+  List.iter
+    (fun n ->
+      let c = Partition.materialize_rec_scan rp2 ~params:[| n |] in
       let b = Option.value ~default:(-1) c.Partition.theorem_bound in
-      Printf.printf "%-10s %-14s %-8d %-8d %b   (growth 3/2)\n" "stretch1d"
-        "n=4000" c.Partition.chains.Core.Chain.longest b
-        (c.Partition.chains.Core.Chain.longest <= b)
-  | _ -> ()
+      Printf.printf "%-10s %-14s %-8d %-8d %b\n" "example2"
+        (Printf.sprintf "n=%d" n)
+        c.Partition.chains.Core.Chain.longest b
+        (c.Partition.chains.Core.Chain.longest <= b))
+    [ 12; 32; 64; 128; 256 ];
+  let rp =
+    rec_plan_exn "stretch1d"
+      (Loopir.Parser.parse ~name:"q" "DO i = 1, 4000\n  a(3*i + 1) = a(2*i)\nENDDO")
+  in
+  let c = Partition.materialize_rec rp ~params:[||] in
+  let b = Option.value ~default:(-1) c.Partition.theorem_bound in
+  Printf.printf "%-10s %-14s %-8d %-8d %b   (growth 3/2)\n" "stretch1d"
+    "n=4000" c.Partition.chains.Core.Chain.longest b
+    (c.Partition.chains.Core.Chain.longest <= b)
 
 (* ------------------------------------------------------------------ *)
 (* E9 — corpus survey                                                   *)
@@ -485,8 +478,7 @@ let ablation () =
   (* 2. Barrier structure per scheme on Example 2 (N=64): phases = barrier
      count, plus the largest sequential task (critical path inside a
      phase). *)
-  (match Partition.choose Loopir.Builtin.example2 with
-  | Partition.Rec_chains rp ->
+  (let rp = rec_plan_exn "example2" Loopir.Builtin.example2 in
       let n = 64 in
       let c = Partition.materialize_rec_scan rp ~params:[| n |] in
       let rec_sched = Sched.of_rec ~stmt:0 c in
@@ -521,8 +513,7 @@ let ablation () =
           ("UNIQUE", u_sched);
           ("PDM", pdm_sched);
           ("MINDIST", md_sched);
-        ]
-  | _ -> ());
+        ]);
 
   (* 3. Redundancy elimination: disjunct counts of P1 with and without
      simplification (raw difference vs simplified). *)
@@ -549,6 +540,103 @@ let ablation () =
     (constr_count raw)
     (List.length (Iset.polys simplified))
     (constr_count simplified)
+
+(* ------------------------------------------------------------------ *)
+(* E10 — pipeline reports → BENCH_pipeline.json                         *)
+
+let pipeline_json () =
+  section "E10 / pipeline reports: BENCH_pipeline.json";
+  let sc = if quick then 1 else 2 in
+  let programs =
+    [
+      ("example1", Loopir.Builtin.example1,
+       [ ("n1", 30 * sc); ("n2", 50 * sc) ]);
+      ("fig2", Loopir.Builtin.fig2, []);
+      ("example2", Loopir.Builtin.example2, [ ("n", 32 * sc) ]);
+      ("example3", Loopir.Builtin.example3, [ ("n", 24 * sc) ]);
+      ("cholesky", Loopir.Builtin.cholesky,
+       [ ("nmat", 8 * sc); ("m", 4); ("n", 10 * sc); ("nrhs", 2) ]);
+    ]
+  in
+  let thread_counts = [ 1; 2; 4 ] in
+  let entries =
+    List.filter_map
+      (fun (name, prog, params) ->
+        let runs =
+          List.filter_map
+            (fun threads ->
+              let options =
+                { Pipeline.Driver.default_options with threads }
+              in
+              match Pipeline.Driver.run ~options ~name ~params prog with
+              | Ok o -> Some (threads, o.Pipeline.Driver.report)
+              | Error e ->
+                  Printf.printf "  %s (t=%d): %s\n" name threads
+                    (Pipeline.Driver.error_to_string e);
+                  None)
+            thread_counts
+        in
+        match runs with
+        | [] -> None
+        | (_, r0) :: _ ->
+            let open Pipeline in
+            Printf.printf "  %-10s %-9s %s\n" name r0.Report.strategy
+              (String.concat "  "
+                 (List.map
+                    (fun (t, r) ->
+                      Printf.sprintf "t=%d %s/%s" t
+                        (Report.check_result_string r.Report.legality)
+                        (Report.check_result_string r.Report.semantics))
+                    runs));
+            Some
+              (Json.Obj
+                 [
+                   ("program", Json.Str name);
+                   ( "params",
+                     Json.Obj
+                       (List.map (fun (k, v) -> (k, Json.Int v)) params) );
+                   ("strategy", Json.Str r0.Report.strategy);
+                   ( "phases",
+                     match r0.Report.n_phases with
+                     | Some n -> Json.Int n
+                     | None -> Json.Null );
+                   ( "instances",
+                     match r0.Report.n_instances with
+                     | Some n -> Json.Int n
+                     | None -> Json.Null );
+                   ( "runs",
+                     Json.List
+                       (List.map
+                          (fun (t, r) ->
+                            Json.Obj
+                              [
+                                ("threads", Json.Int t);
+                                ( "seq_seconds",
+                                  match r.Report.seq_seconds with
+                                  | Some s -> Json.Float s
+                                  | None -> Json.Null );
+                                ( "par_seconds",
+                                  match r.Report.par_seconds with
+                                  | Some s -> Json.Float s
+                                  | None -> Json.Null );
+                                ( "legality",
+                                  Json.Str
+                                    (Report.check_result_string
+                                       r.Report.legality) );
+                                ( "semantics",
+                                  Json.Str
+                                    (Report.check_result_string
+                                       r.Report.semantics) );
+                              ])
+                          runs) );
+                 ]))
+      programs
+  in
+  let oc = open_out "BENCH_pipeline.json" in
+  output_string oc (Pipeline.Json.to_string_pretty (Pipeline.Json.List entries));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_pipeline.json (%d programs)\n" (List.length entries)
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (bechamel)                                          *)
@@ -658,5 +746,6 @@ let () =
   theorem1 ();
   corpus ();
   ablation ();
+  pipeline_json ();
   micro ();
   print_endline "\nall sections completed."

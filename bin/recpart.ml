@@ -2,9 +2,13 @@
 
    Programs are given either as a builtin name (see `recpart list`) or as a
    path to a mini-Fortran source file.  Symbolic loop bounds are set with
-   repeated `-p name=value` options. *)
+   repeated `-p name=value` options.  Every subcommand goes through the
+   pipeline layer (classify → materialize → schedule → execute); `--strategy`
+   forces a scheme, `--json` emits the structured report. *)
 
 open Cmdliner
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
 
 let load_program spec =
   match List.assoc_opt spec Loopir.Builtin.all with
@@ -15,27 +19,29 @@ let load_program spec =
         let n = in_channel_length ic in
         let src = really_input_string ic n in
         close_in ic;
-        Loopir.Parser.parse ~name:(Filename.basename spec) src
+        match Loopir.Parser.parse ~name:(Filename.basename spec) src with
+        | p -> p
+        | exception Loopir.Parser.Error (msg, line) ->
+            die "recpart: %s:%d: parse error: %s" spec line msg
       end
       else
-        failwith
-          (Printf.sprintf
-             "unknown program %S (not a builtin — see `recpart list` — and \
-              not a file)"
-             spec)
+        die
+          "recpart: unknown program %S (not a builtin — see `recpart list` — \
+           and not a file)"
+          spec
 
 let params_of_assoc prog assoc =
   List.map
     (fun p ->
       match List.assoc_opt p assoc with
       | Some v -> (p, v)
-      | None ->
-          failwith
-            (Printf.sprintf "parameter %s not set (use -p %s=<int>)" p p))
+      | None -> die "recpart: parameter %s not set (use -p %s=<int>)" p p)
     prog.Loopir.Ast.params
 
-let params_array prog assoc =
-  Array.of_list (List.map snd (params_of_assoc prog assoc))
+let ok_or_die ~stage = function
+  | Ok v -> v
+  | Error e ->
+      die "recpart: %s failed: %s" (Diag.stage_name stage) (Diag.to_string e)
 
 (* ---- common arguments ------------------------------------------------ *)
 
@@ -64,6 +70,31 @@ let params_arg =
 let threads_arg =
   let doc = "Number of threads/domains." in
   Arg.(value & opt int 4 & info [ "t"; "threads" ] ~doc)
+
+let strategy_arg =
+  let doc =
+    "Force a partitioning strategy instead of Algorithm 1 selection. One of "
+    ^ String.concat ", "
+        (List.map Pipeline.Plan.strategy_name Pipeline.Plan.all_strategies)
+    ^ "."
+  in
+  let sconv =
+    Arg.enum
+      (List.map
+         (fun s -> (Pipeline.Plan.strategy_name s, s))
+         Pipeline.Plan.all_strategies)
+  in
+  Arg.(value & opt (some sconv) None & info [ "s"; "strategy" ] ~docv:"NAME" ~doc)
+
+let classify ?strategy prog =
+  ok_or_die ~stage:Diag.Classify (Pipeline.Driver.classify ?strategy prog)
+
+let materialize plan ~prog ~params =
+  ok_or_die ~stage:Diag.Materialize
+    (Pipeline.Driver.materialize plan ~prog ~params)
+
+let schedule_of conc =
+  ok_or_die ~stage:Diag.Schedule (Pipeline.Driver.schedule conc)
 
 (* ---- list ------------------------------------------------------------ *)
 
@@ -95,8 +126,8 @@ let show_cmd =
 let analyze_cmd =
   let run spec passoc =
     let prog = load_program spec in
-    match Depend.Solve.analyze_simple prog with
-    | a ->
+    match Pipeline.Driver.analyze prog with
+    | Ok a ->
         Printf.printf "perfect nest, depth %d, iteration space:\n  %s\n"
           (Array.length a.Depend.Solve.iters)
           (Format.asprintf "%a" Presburger.Iset.pp a.Depend.Solve.phi);
@@ -112,7 +143,9 @@ let analyze_cmd =
                else "")
         | None -> print_endline "no single coupled pair");
         if passoc <> [] then begin
-          let params = params_array prog passoc in
+          let params =
+            Array.of_list (List.map snd (params_of_assoc prog passoc))
+          in
           let ds = Depend.Distance.distances a.Depend.Solve.rd ~params in
           Printf.printf "distance set at %s: %s\n"
             (String.concat ", "
@@ -123,13 +156,14 @@ let analyze_cmd =
                (Depend.Distance.classify a.Depend.Solve.rd
                   ~phi:a.Depend.Solve.phi ~params))
         end
-    | exception Invalid_argument _ ->
+    | Error (Diag.Unsupported _) ->
         let u = Depend.Solve.analyze_unified prog in
         Printf.printf
           "imperfect nest / multiple statements: unified space depth %d, %d \
            dependence disjuncts\n"
           u.Depend.Solve.unified.Depend.Space.depth
           (List.length (Presburger.Rel.polys u.Depend.Solve.urd))
+    | Error e -> die "recpart: analysis failed: %s" (Diag.to_string e)
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Exact dependence analysis")
     Term.(const run $ prog_arg $ params_arg)
@@ -137,136 +171,145 @@ let analyze_cmd =
 (* ---- partition -------------------------------------------------------- *)
 
 let partition_cmd =
-  let run spec passoc =
+  let run spec passoc strategy =
     let prog = load_program spec in
-    match Core.Partition.choose prog with
-    | Core.Partition.Rec_chains rp ->
-        print_endline "Algorithm 1 branch: recurrence chains (REC)";
+    let plan = classify ?strategy prog in
+    Printf.printf "%s: %s\n"
+      (match strategy with
+      | None -> "Algorithm 1 branch"
+      | Some _ -> "forced strategy")
+      (Pipeline.Plan.describe plan);
+    (match plan with
+    | Pipeline.Plan.Rec_chains rp | Pipeline.Plan.Unique_sets { rp; _ } ->
         let three = rp.Core.Partition.three in
         Printf.printf "P1:\n  %s\n"
           (Format.asprintf "%a" Presburger.Iset.pp three.Core.Threeset.p1);
         Printf.printf "P2:\n  %s\n"
           (Format.asprintf "%a" Presburger.Iset.pp three.Core.Threeset.p2);
         Printf.printf "P3:\n  %s\n"
-          (Format.asprintf "%a" Presburger.Iset.pp three.Core.Threeset.p3);
-        if passoc <> [] then begin
-          let params = params_array prog passoc in
-          let c = Core.Partition.materialize_rec_scan rp ~params in
-          Printf.printf
-            "at %s: |P1| = %d, chains = %d (%d pts, longest %d), |P3| = %d\n"
+          (Format.asprintf "%a" Presburger.Iset.pp three.Core.Threeset.p3)
+    | _ -> ());
+    if passoc <> [] || prog.Loopir.Ast.params = [] then begin
+      let params = params_of_assoc prog passoc in
+      let conc = materialize plan ~prog ~params in
+      let at =
+        if passoc = [] then ""
+        else
+          Printf.sprintf "at %s: "
             (String.concat ", "
                (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) passoc))
+      in
+      match conc with
+      | Pipeline.Driver.Rec { c; _ } ->
+          Printf.printf
+            "%s|P1| = %d, chains = %d (%d pts, longest %d), |P3| = %d\n" at
             (List.length c.Core.Partition.p1_pts)
             (List.length c.Core.Partition.chains.Core.Chain.chains)
             (Core.Chain.total_points c.Core.Partition.chains)
             c.Core.Partition.chains.Core.Chain.longest
             (List.length c.Core.Partition.p3_pts);
-          match c.Core.Partition.theorem_bound with
+          (match c.Core.Partition.theorem_bound with
           | Some b ->
               Printf.printf "Theorem 1: growth %g, chain bound %d\n"
                 c.Core.Partition.growth b
-          | None -> ()
-        end
-    | Core.Partition.Dataflow_const ->
-        print_endline "Algorithm 1 branch: dataflow partitioning (constant bounds)";
-        let c = Core.Dataflow.peel_concrete prog ~params:[] in
-        Printf.printf "steps: %d over %d instances\n" c.Core.Dataflow.steps
-          (Array.length c.Core.Dataflow.instances)
-    | Core.Partition.Pdm_fallback why ->
-        Printf.printf "Algorithm 1 branch: PDM fallback (%s)\n" why;
-        if passoc <> [] then begin
-          let c = Core.Dataflow.peel_concrete prog ~params:(params_of_assoc prog passoc) in
-          Printf.printf "dataflow at bound parameters: %d steps over %d instances\n"
-            c.Core.Dataflow.steps
-            (Array.length c.Core.Dataflow.instances)
-        end
+          | None -> ())
+      | Pipeline.Driver.Fronts d ->
+          Printf.printf "%s%d steps over %d instances\n" at
+            d.Core.Dataflow.steps
+            (Array.length d.Core.Dataflow.instances)
+      | Pipeline.Driver.Tasks { sched } ->
+          Printf.printf "%s%d phases, %d instances\n" at
+            (Runtime.Sched.n_phases sched)
+            (Runtime.Sched.n_instances sched)
+      | Pipeline.Driver.Model { tr } ->
+          Printf.printf "%scost model over %d instances (no schedule)\n" at
+            (Array.length tr.Depend.Trace.instances)
+    end
   in
   Cmd.v (Cmd.info "partition" ~doc:"Run Algorithm 1 and show the partition")
-    Term.(const run $ prog_arg $ params_arg)
+    Term.(const run $ prog_arg $ params_arg $ strategy_arg)
 
 (* ---- codegen ----------------------------------------------------------- *)
 
 let codegen_cmd =
-  let run spec =
+  let run spec strategy =
     let prog = load_program spec in
-    match Core.Partition.choose prog with
-    | Core.Partition.Rec_chains rp ->
-        print_string (Codegen.Emit.rec_partitioning rp)
-    | Core.Partition.Dataflow_const ->
-        let a = Depend.Solve.analyze_simple prog in
-        let fronts =
-          Core.Dataflow.peel_symbolic ~phi:a.Depend.Solve.phi
-            ~rd:a.Depend.Solve.rd ~max_steps:64
-        in
-        print_string
-          (Codegen.Emit.dataflow_listing fronts
-             ~names:(Presburger.Iset.names a.Depend.Solve.phi))
-    | Core.Partition.Pdm_fallback why ->
-        Printf.printf "! PDM fallback (%s): no REC listing\n" why
+    let plan = classify ?strategy prog in
+    match Pipeline.Driver.codegen plan ~prog with
+    | Ok listing -> print_string listing
+    | Error e ->
+        Printf.printf "! %s: %s\n"
+          (Pipeline.Plan.strategy_name (Pipeline.Plan.strategy plan))
+          (Diag.to_string e)
   in
   Cmd.v (Cmd.info "codegen" ~doc:"Emit the partitioned pseudo-Fortran")
-    Term.(const run $ prog_arg)
+    Term.(const run $ prog_arg $ strategy_arg)
 
 (* ---- run --------------------------------------------------------------- *)
 
 let run_cmd =
-  let run spec passoc threads =
+  let json_arg =
+    let doc = "Emit the run report as JSON instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run spec passoc threads strategy json =
     let prog = load_program spec in
     let params = params_of_assoc prog passoc in
-    let env = Runtime.Interp.prepare prog ~params in
-    let sched =
-      match Core.Partition.choose prog with
-      | Core.Partition.Rec_chains rp ->
-          Runtime.Sched.of_rec ~stmt:0
-            (Core.Partition.materialize_rec_scan rp
-               ~params:(params_array prog passoc))
-      | Core.Partition.Dataflow_const | Core.Partition.Pdm_fallback _ ->
-          Runtime.Sched.of_fronts (Core.Dataflow.peel_concrete prog ~params)
+    let options =
+      { Pipeline.Driver.default_options with threads; strategy }
     in
-    Printf.printf "schedule: %d phases, %d instances\n"
-      (Runtime.Sched.n_phases sched)
-      (Runtime.Sched.n_instances sched);
-    let tr = Depend.Trace.build prog ~params in
-    (match Runtime.Sched.check_legal sched tr with
-    | Ok () -> print_endline "legality : OK"
-    | Error m -> Printf.printf "legality : FAILED (%s)\n" m);
-    (match Runtime.Exec.check env ~threads sched with
-    | Ok () -> Printf.printf "execution: OK on %d domain(s)\n" threads
-    | Error m -> Printf.printf "execution: FAILED (%s)\n" m);
-    Printf.printf "wall time: %.4fs (sequential interp: %.4fs)\n"
-      (Runtime.Exec.wall_time env ~threads sched)
-      (Runtime.Exec.wall_time env ~threads:1 sched)
+    match Pipeline.Driver.run ~options ~name:spec ~params prog with
+    | Error e -> die "recpart: %s" (Pipeline.Driver.error_to_string e)
+    | Ok { report; _ } ->
+        if json then
+          print_endline
+            (Pipeline.Json.to_string_pretty (Pipeline.Report.to_json report))
+        else print_string (Pipeline.Report.to_text report);
+        (match report.Pipeline.Report.legality with
+        | Pipeline.Report.Failed _ -> exit 1
+        | _ -> ());
+        (match report.Pipeline.Report.semantics with
+        | Pipeline.Report.Failed _ -> exit 1
+        | _ -> ())
   in
   Cmd.v
     (Cmd.info "run"
-       ~doc:"Partition, execute on domains, and validate against sequential")
-    Term.(const run $ prog_arg $ params_arg $ threads_arg)
+       ~doc:
+         "Run the full pipeline: partition, execute on domains, validate \
+          against sequential, and report per-stage timings")
+    Term.(const run $ prog_arg $ params_arg $ threads_arg $ strategy_arg
+          $ json_arg)
 
 (* ---- simulate ---------------------------------------------------------- *)
 
 let simulate_cmd =
-  let run spec passoc max_threads =
+  let run spec passoc max_threads strategy =
     let prog = load_program spec in
     let params = params_of_assoc prog passoc in
-    let sched =
-      match Core.Partition.choose prog with
-      | Core.Partition.Rec_chains rp ->
-          Runtime.Sched.of_rec ~stmt:0
-            (Core.Partition.materialize_rec_scan rp
-               ~params:(params_array prog passoc))
-      | Core.Partition.Dataflow_const | Core.Partition.Pdm_fallback _ ->
-          Runtime.Sched.of_fronts (Core.Dataflow.peel_concrete prog ~params)
-    in
-    let n = Runtime.Sched.n_instances sched in
-    Printf.printf "threads  speedup (simulated SMP, REC code factor 0.8)\n";
-    for p = 1 to max_threads do
-      Printf.printf "   %2d    %.2f\n" p
-        (Runtime.Sim.speedup (Runtime.Sim.with_factor 0.8) ~threads:p ~n_seq:n
-           sched)
-    done
+    let plan = classify ?strategy prog in
+    let conc = materialize plan ~prog ~params in
+    match conc with
+    | Pipeline.Driver.Model { tr } ->
+        Printf.printf "threads  makespan (DOACROSS pipeline model)\n";
+        for p = 1 to max_threads do
+          let r =
+            Baselines.Doacross.pipeline tr ~threads:p ~w_iter:1.0
+              ~delay_factor:0.5
+          in
+          Printf.printf "   %2d    %.1f\n" p r.Baselines.Doacross.makespan
+        done
+    | _ ->
+        let sched = schedule_of conc in
+        let n = Runtime.Sched.n_instances sched in
+        Printf.printf "threads  speedup (simulated SMP, REC code factor 0.8)\n";
+        for p = 1 to max_threads do
+          Printf.printf "   %2d    %.2f\n" p
+            (Runtime.Sim.speedup (Runtime.Sim.with_factor 0.8) ~threads:p
+               ~n_seq:n sched)
+        done
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Predicted speedup on the SMP cost model")
-    Term.(const run $ prog_arg $ params_arg $ threads_arg)
+    Term.(const run $ prog_arg $ params_arg $ threads_arg $ strategy_arg)
 
 (* ---- viz ---------------------------------------------------------------- *)
 
@@ -285,23 +328,25 @@ let viz_cmd =
         let tr = Depend.Trace.build prog ~params in
         print_string (Codegen.Viz.dot_of_trace tr)
     | `Chains -> (
-        match Core.Partition.choose prog with
-        | Core.Partition.Rec_chains rp ->
-            let c =
-              Core.Partition.materialize_rec_scan rp
-                ~params:(params_array prog passoc)
-            in
-            print_string (Codegen.Viz.dot_of_chains c.Core.Partition.chains)
+        match classify prog with
+        | Pipeline.Plan.Rec_chains _ as plan -> (
+            let params = params_of_assoc prog passoc in
+            match materialize plan ~prog ~params with
+            | Pipeline.Driver.Rec { c; _ } ->
+                print_string
+                  (Codegen.Viz.dot_of_chains c.Core.Partition.chains)
+            | _ -> assert false)
         | _ -> prerr_endline "chains are only available for REC plans")
     | `Ascii -> (
-        match Core.Partition.choose prog with
-        | Core.Partition.Rec_chains rp
+        match classify prog with
+        | Pipeline.Plan.Rec_chains rp
           when Array.length rp.Core.Partition.simple.Depend.Solve.iters = 2 ->
-            let params = params_array prog passoc in
+            let passoc = params_of_assoc prog passoc in
+            let params = Array.of_list (List.map snd passoc) in
             (* Use the bounding box of the scanned space. *)
             let pts =
               Depend.Scan.iter_space rp.Core.Partition.simple.Depend.Solve.stmt
-                ~params:(params_of_assoc prog passoc)
+                ~params:passoc
             in
             let xs = List.map (fun p -> p.(0)) pts
             and ys = List.map (fun p -> p.(1)) pts in

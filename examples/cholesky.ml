@@ -12,10 +12,10 @@ let () =
   print_endline "=== source (paper Example 4, NASA Cholesky kernel) ===";
   print_string (Loopir.Pretty.program_to_string prog);
 
-  (match Core.Partition.choose prog with
-  | Core.Partition.Pdm_fallback why ->
+  (match Pipeline.Driver.classify prog with
+  | Ok (Pipeline.Plan.Pdm_fallback { reason; _ }) ->
       Printf.printf
-        "\nAlgorithm 1 branch: PDM fallback for symbolic bounds (%s)\n" why
+        "\nAlgorithm 1 branch: PDM fallback for symbolic bounds (%s)\n" reason
   | _ -> print_endline "\nunexpected branch");
 
   let full = Array.length Sys.argv > 1 && Sys.argv.(1) = "full" in

@@ -41,8 +41,8 @@ let () =
            arrows);
 
   (* ASCII iteration space: mark P1/P2/P3 as in the partitioned loop. *)
-  match Core.Partition.choose prog with
-  | Core.Partition.Rec_chains rp ->
+  match Pipeline.Driver.classify prog with
+  | Ok (Pipeline.Plan.Rec_chains rp) ->
       let c = Core.Partition.materialize_rec rp ~params:[| 10; 10 |] in
       print_endline "\n=== iteration space 10×10 (1=P1, 2=intermediate, 3=final) ===";
       for i2 = 10 downto 1 do

@@ -14,8 +14,8 @@ let () =
   print_endline "=== source (paper Example 2) ===";
   print_string (Loopir.Pretty.program_to_string prog);
 
-  match Core.Partition.choose prog with
-  | Core.Partition.Rec_chains rp ->
+  match Pipeline.Driver.classify prog with
+  | Ok (Pipeline.Plan.Rec_chains rp) ->
       let three = rp.Core.Partition.three in
       let p2_12 = Enum.points (Iset.bind_params three.Core.Threeset.p2 [| 12 |]) in
       Printf.printf "\nintermediate set at N=12: {%s}   (paper: {(2,6)})\n"

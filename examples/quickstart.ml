@@ -1,6 +1,6 @@
-(* Quickstart: parse a loop with non-uniform dependences, partition it with
-   recurrence chains (Algorithm 1), print the generated code, and validate
-   the parallel schedule against sequential execution.
+(* Quickstart: parse a loop with non-uniform dependences, run it through the
+   pipeline (classify → materialize → schedule → validate → execute), print
+   the generated code and the structured run report.
 
    Run with:  dune exec examples/quickstart.exe *)
 
@@ -12,7 +12,11 @@ let () =
   let prog = Loopir.Parser.parse ~name:"quickstart" source in
 
   (* 1. Exact dependence analysis (Omega-style). *)
-  let a = Depend.Solve.analyze_simple prog in
+  let a =
+    match Pipeline.Driver.analyze prog with
+    | Ok a -> a
+    | Error e -> failwith (Diag.to_string e)
+  in
   let pairs =
     Presburger.Enum.points
       (Presburger.Iset.bind_params (Presburger.Rel.to_set a.Depend.Solve.rd) [||])
@@ -23,62 +27,61 @@ let () =
     (fun k p -> if k < 10 then Printf.printf "  %d -> %d\n" p.(0) p.(1))
     pairs;
 
-  (* 2. Algorithm 1: this loop has a single coupled pair with full-rank
-        coefficients, so the recurrence-chain branch applies. *)
-  match Core.Partition.choose prog with
-  | Core.Partition.Rec_chains rp ->
-      let c = Core.Partition.materialize_rec rp ~params:[||] in
-      Printf.printf "\n=== three-set partition ===\n";
-      Printf.printf "P1 (independent + initial): %d iterations\n"
-        (List.length c.Core.Partition.p1_pts);
-      Printf.printf "P2 (chains)               : %d chains, %d iterations\n"
-        (List.length c.Core.Partition.chains.Core.Chain.chains)
-        (Core.Chain.total_points c.Core.Partition.chains);
-      List.iteri
-        (fun k chain ->
-          if k < 8 then
-            Printf.printf "    chain:%s\n"
-              (String.concat " ->"
-                 (List.map (fun p -> Printf.sprintf " %d" p.(0)) chain)))
-        c.Core.Partition.chains.Core.Chain.chains;
-      if List.length c.Core.Partition.chains.Core.Chain.chains > 8 then
-        print_endline "    ... (chains with irregular strides, ratio 3/2)";
-      Printf.printf "P3 (final)                : %d iterations\n"
-        (List.length c.Core.Partition.p3_pts);
-      (match c.Core.Partition.theorem_bound with
-      | Some b ->
-          Printf.printf "Theorem 1: growth a = %g, chain length ≤ %d (measured %d)\n"
-            c.Core.Partition.growth b c.Core.Partition.chains.Core.Chain.longest
-      | None -> ());
+  (* 2. The whole pipeline in one call: Algorithm 1 picks the
+        recurrence-chain branch (single coupled pair, full-rank
+        coefficients), the schedule is validated against the exact instance
+        graph and executed on 4 domains. *)
+  match Pipeline.Driver.run ~name:"quickstart" ~params:[] prog with
+  | Error e -> failwith (Pipeline.Driver.error_to_string e)
+  | Ok { plan; concrete; sched; report } ->
+      (match concrete with
+      | Pipeline.Driver.Rec { c; _ } ->
+          Printf.printf "\n=== three-set partition ===\n";
+          Printf.printf "P1 (independent + initial): %d iterations\n"
+            (List.length c.Core.Partition.p1_pts);
+          Printf.printf "P2 (chains)               : %d chains, %d iterations\n"
+            (List.length c.Core.Partition.chains.Core.Chain.chains)
+            (Core.Chain.total_points c.Core.Partition.chains);
+          List.iteri
+            (fun k chain ->
+              if k < 8 then
+                Printf.printf "    chain:%s\n"
+                  (String.concat " ->"
+                     (List.map (fun p -> Printf.sprintf " %d" p.(0)) chain)))
+            c.Core.Partition.chains.Core.Chain.chains;
+          if List.length c.Core.Partition.chains.Core.Chain.chains > 8 then
+            print_endline "    ... (chains with irregular strides, ratio 3/2)";
+          Printf.printf "P3 (final)                : %d iterations\n"
+            (List.length c.Core.Partition.p3_pts);
+          (match c.Core.Partition.theorem_bound with
+          | Some b ->
+              Printf.printf
+                "Theorem 1: growth a = %g, chain length ≤ %d (measured %d)\n"
+                c.Core.Partition.growth b
+                c.Core.Partition.chains.Core.Chain.longest
+          | None -> ())
+      | _ -> print_endline "\nunexpected: quickstart should take the REC branch");
 
       (* 3. Generated code. *)
-      print_endline "\n=== generated code ===";
-      print_string (Codegen.Emit.rec_partitioning rp);
+      (match Pipeline.Driver.codegen plan ~prog with
+      | Ok listing ->
+          print_endline "\n=== generated code ===";
+          print_string listing
+      | Error e -> Printf.printf "\nno listing: %s\n" (Diag.to_string e));
 
-      (* 4. Validate: the parallel schedule computes exactly what the
-            sequential loop computes, and respects every dependence. *)
-      let sched = Runtime.Sched.of_rec ~stmt:0 c in
-      let env = Runtime.Interp.prepare prog ~params:[] in
-      let tr = Depend.Trace.build prog ~params:[] in
-      (match Runtime.Sched.check_legal sched tr with
-      | Ok () -> print_endline "\nschedule legality : OK (all dependences respected)"
-      | Error m -> Printf.printf "\nschedule legality : FAILED (%s)\n" m);
-      (match Runtime.Interp.check_schedule env sched with
-      | Ok () -> print_endline "schedule semantics: OK (arrays identical to sequential run)"
-      | Error m -> Printf.printf "schedule semantics: FAILED (%s)\n" m);
-      (match Runtime.Exec.check env ~threads:4 sched with
-      | Ok () -> print_endline "4-domain execution: OK"
-      | Error m -> Printf.printf "4-domain execution: FAILED (%s)\n" m);
+      (* 4. The structured report: per-stage wall time, legality and
+            semantic validation, per-phase execution profile. *)
+      print_endline "\n=== pipeline report ===";
+      print_string (Pipeline.Report.to_text report);
 
       (* 5. Predicted speedup on the simulated SMP. *)
-      print_endline "\n=== simulated speedup (REC) ===";
-      List.iter
-        (fun p ->
-          Printf.printf "  %d thread(s): %.2f\n" p
-            (Runtime.Sim.speedup (Runtime.Sim.with_factor 0.8) ~threads:p
-               ~n_seq:(Runtime.Sched.n_instances sched) sched))
-        [ 1; 2; 3; 4 ]
-  | Core.Partition.Dataflow_const ->
-      print_endline "constant bounds: dataflow partitioning branch"
-  | Core.Partition.Pdm_fallback why ->
-      Printf.printf "PDM fallback: %s\n" why
+      (match sched with
+      | Some sched ->
+          print_endline "\n=== simulated speedup (REC) ===";
+          List.iter
+            (fun p ->
+              Printf.printf "  %d thread(s): %.2f\n" p
+                (Runtime.Sim.speedup (Runtime.Sim.with_factor 0.8) ~threads:p
+                   ~n_seq:(Runtime.Sched.n_instances sched) sched))
+            [ 1; 2; 3; 4 ]
+      | None -> ())

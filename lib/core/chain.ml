@@ -22,10 +22,12 @@ let decompose ~three ~rec_ ~phi ~params =
     List.map
       (fun start ->
         if not (in_p2 start) then
-          failwith "Chain: W start point not in P2";
+          Diag.fail
+            (Diag.Outside_partition
+               ("chain start " ^ Ivec.to_string start ^ " not in P2"));
         let rec walk x acc =
           if VSet.mem x !seen then
-            failwith "Chain: chains intersect — Lemma 1 violated";
+            Diag.fail (Diag.Lemma1_violation "chains intersect");
           seen := VSet.add x !seen;
           match Recurrence.successor rec_ ~in_phi x with
           | Some y when in_p2 y -> walk y (x :: acc)
@@ -36,9 +38,8 @@ let decompose ~three ~rec_ ~phi ~params =
   in
   let covered = VSet.cardinal !seen in
   if covered <> List.length p2_points then
-    failwith
-      (Printf.sprintf "Chain: chains cover %d of %d intermediate iterations"
-         covered (List.length p2_points));
+    Diag.fail
+      (Diag.Chain_cover { covered; expected = List.length p2_points });
   let longest = List.fold_left (fun m c -> max m (List.length c)) 0 chains in
   { chains; longest }
 

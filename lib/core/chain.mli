@@ -21,7 +21,8 @@ val decompose :
   t
 (** [decompose ~three ~rec_ ~phi ~params] walks each start point of [W]
     forward through {!Recurrence.successor} while it stays intermediate.
-    Raises [Failure] when the walk violates Lemma 1 (bifurcation) or fails
-    to cover [P2] — callers fall back to dataflow partitioning. *)
+    Raises {!Diag.Error} ([Lemma1_violation]/[Chain_cover]/
+    [Outside_partition]) when the walk violates Lemma 1 (bifurcation) or
+    fails to cover [P2] — callers fall back to dataflow partitioning. *)
 
 val total_points : t -> int

@@ -49,10 +49,11 @@ let choose prog =
 
 let materialize_rec rp ~params =
   let np = Array.length rp.simple.Solve.params in
-  if Array.length params <> np then invalid_arg "materialize_rec: params";
+  if Array.length params <> np then
+    Diag.fail (Diag.Param_arity { expected = np; got = Array.length params });
   let param_env name =
     let rec find k =
-      if k = np then failwith ("unbound parameter " ^ name)
+      if k = np then Diag.fail (Diag.Unbound_parameter name)
       else if rp.simple.Solve.params.(k) = name then params.(k)
       else find (k + 1)
     in
@@ -61,7 +62,8 @@ let materialize_rec rp ~params =
   let rec_ =
     match Recurrence.of_pair rp.pair ~params:param_env with
     | Some r -> r
-    | None -> failwith "materialize_rec: singular coefficient matrix"
+    | None ->
+        Diag.fail (Diag.Singular_recurrence "coefficient matrix not invertible")
   in
   let chains =
     Chain.decompose ~three:rp.three ~rec_ ~phi:rp.simple.Solve.phi ~params
@@ -75,19 +77,21 @@ let materialize_rec rp ~params =
 
 let materialize_rec_scan rp ~params =
   let np = Array.length rp.simple.Solve.params in
-  if Array.length params <> np then invalid_arg "materialize_rec_scan: params";
+  if Array.length params <> np then
+    Diag.fail (Diag.Param_arity { expected = np; got = Array.length params });
   let passoc =
     Array.to_list (Array.mapi (fun k n -> (n, params.(k))) rp.simple.Solve.params)
   in
   let param_env name =
     match List.assoc_opt name passoc with
     | Some v -> v
-    | None -> failwith ("unbound parameter " ^ name)
+    | None -> Diag.fail (Diag.Unbound_parameter name)
   in
   let rec_ =
     match Recurrence.of_pair rp.pair ~params:param_env with
     | Some r -> r
-    | None -> failwith "materialize_rec_scan: singular coefficient matrix"
+    | None ->
+        Diag.fail (Diag.Singular_recurrence "coefficient matrix not invertible")
   in
   let pts = Depend.Scan.iter_space rp.simple.Solve.stmt ~params:passoc in
   let p1 = ref [] and p3 = ref [] and w = ref [] and n_p2 = ref 0 in
@@ -112,7 +116,9 @@ let materialize_rec_scan rp ~params =
           incr n_p2;
           if Iset.mem rp.three.Threeset.w (Array.append x params) then
             w := x :: !w
-      | `Outside -> failwith "materialize_rec_scan: point outside partition")
+      | `Outside ->
+          Diag.fail
+            (Diag.Outside_partition (Linalg.Ivec.to_string x)))
     pts;
   let in_phi x = Iset.mem rp.simple.Solve.phi (Array.append x params) in
   let in_p2 x =
@@ -131,9 +137,7 @@ let materialize_rec_scan rp ~params =
   in
   let covered = List.fold_left (fun acc c -> acc + List.length c) 0 chains in
   if covered <> !n_p2 then
-    failwith
-      (Printf.sprintf "materialize_rec_scan: chains cover %d of %d" covered
-         !n_p2);
+    Diag.fail (Diag.Chain_cover { covered; expected = !n_p2 });
   let longest = List.fold_left (fun m c -> max m (List.length c)) 0 chains in
   let growth = Recurrence.growth rec_ in
   let diameter =
@@ -155,6 +159,16 @@ let materialize_rec_scan rp ~params =
     growth;
     theorem_bound = Theorem.bound ~growth ~diameter;
   }
+
+let materialize ?(engine = `Scan) rp ~params =
+  match
+    match engine with
+    | `Enum -> materialize_rec rp ~params
+    | `Scan -> materialize_rec_scan rp ~params
+  with
+  | c -> Ok c
+  | exception Diag.Error e -> Error e
+  | exception Presburger.Omega.Blowup m -> Error (Diag.Set_blowup m)
 
 let rec_points_in_order c =
   c.p1_pts @ List.concat c.chains.Chain.chains @ c.p3_pts

@@ -38,12 +38,24 @@ val choose : Loopir.Ast.program -> plan
 val materialize_rec : rec_plan -> params:int array -> concrete_rec
 (** Instantiates the symbolic three-set partition at concrete parameters:
     enumerates [P1]/[P3], decomposes [P2] into chains, and evaluates the
-    Theorem 1 bound. *)
+    Theorem 1 bound.  Raises {!Diag.Error} ([Param_arity],
+    [Singular_recurrence], [Lemma1_violation], [Chain_cover], …) when the
+    Lemma 1 hypotheses fail for this instance. *)
 
 val materialize_rec_scan : rec_plan -> params:int array -> concrete_rec
 (** Like {!materialize_rec} but classifying a direct scan of the iteration
     space against the symbolic sets (constraint evaluation only, no
-    projection) — linear in [|Φ|], for paper-scale instances. *)
+    projection) — linear in [|Φ|], for paper-scale instances.  Raises
+    {!Diag.Error} like {!materialize_rec}. *)
+
+val materialize :
+  ?engine:[ `Enum | `Scan ] ->
+  rec_plan ->
+  params:int array ->
+  (concrete_rec, Diag.error) result
+(** Result-based materialization — the pipeline entry point.  [`Scan]
+    (default) is {!materialize_rec_scan}, [`Enum] is {!materialize_rec};
+    {!Diag.Error} and symbolic blowups are threaded as [Error]. *)
 
 val rec_points_in_order : concrete_rec -> Linalg.Ivec.t list
 (** Every iteration exactly once, in a legal execution order

@@ -50,8 +50,9 @@ let pick r ~in_phi ~dir x =
   | [] -> None
   | [ y ] -> Some y
   | _ ->
-      failwith
-        "Recurrence: two distinct successors — Lemma 1 hypothesis violated"
+      Diag.fail
+        (Diag.Lemma1_violation
+           "two distinct successors for one intermediate iteration")
 
 let successor r ~in_phi x = pick r ~in_phi ~dir:1 x
 let predecessor r ~in_phi x = pick r ~in_phi ~dir:(-1) x

@@ -35,8 +35,8 @@ val neighbors : t -> Linalg.Ivec.t -> Linalg.Ivec.t list
 val successor :
   t -> in_phi:(Linalg.Ivec.t -> bool) -> Linalg.Ivec.t -> Linalg.Ivec.t option
 (** The unique lexicographically-greater integral in-bounds neighbour;
-    raises [Failure] if two distinct candidates exist (Lemma 1 violation —
-    the caller must fall back to dataflow partitioning). *)
+    raises {!Diag.Error} ([Lemma1_violation]) if two distinct candidates
+    exist — the caller must fall back to dataflow partitioning. *)
 
 val predecessor :
   t -> in_phi:(Linalg.Ivec.t -> bool) -> Linalg.Ivec.t -> Linalg.Ivec.t option

@@ -10,7 +10,7 @@ let walk (s : Prog.stmt_info) ~params visit =
           | None -> (
               match List.assoc_opt name params with
               | Some v -> v
-              | None -> failwith ("Scan: unbound variable " ^ name))
+              | None -> Diag.fail (Diag.Unbound_variable name))
         in
         let lo = Loopir.Eval_int.eval env ctx.Prog.lo
         and hi = Loopir.Eval_int.eval env ctx.Prog.hi in

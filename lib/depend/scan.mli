@@ -5,6 +5,8 @@
 
 val iter_space :
   Loopir.Prog.stmt_info -> params:(string * int) list -> int array list
-(** Iteration vectors in lexicographic (execution) order. *)
+(** Iteration vectors in lexicographic (execution) order.  Raises
+    {!Diag.Error} ([Unbound_variable]) when a loop bound mentions a name
+    that is neither an enclosing index nor a bound parameter. *)
 
 val count : Loopir.Prog.stmt_info -> params:(string * int) list -> int

@@ -42,7 +42,7 @@ let build prog ~params =
   List.iter
     (fun p ->
       if not (List.mem_assoc p params) then
-        failwith (Printf.sprintf "Trace.build: unbound parameter %s" p))
+        Diag.fail (Diag.Unbound_parameter p))
     prog.Ast.params;
   (* Annotate every Assign with its static id, numbering in the same
      textual order as Prog.stmts_of. *)
@@ -111,7 +111,7 @@ let build prog ~params =
   let env0 name =
     match List.assoc_opt name params with
     | Some v -> v
-    | None -> failwith (Printf.sprintf "Trace: unbound variable %s" name)
+    | None -> Diag.fail (Diag.Unbound_variable name)
   in
   List.iter (run env0 []) annotated;
   {
@@ -119,3 +119,5 @@ let build prog ~params =
     edge_src = Array.sub eb.src 0 eb.len;
     edge_dst = Array.sub eb.dst 0 eb.len;
   }
+
+let build_result prog ~params = Diag.result (fun () -> build prog ~params)

@@ -28,5 +28,9 @@ val edges : t -> (int * int) list
 
 val build : Loopir.Ast.program -> params:(string * int) list -> t
 (** [build prog ~params] normalizes [prog], binds its parameters, and builds
-    the exact instance-level dependence graph.  Raises [Failure] for unbound
-    parameters. *)
+    the exact instance-level dependence graph.  Raises {!Diag.Error}
+    ([Unbound_parameter]/[Unbound_variable]) for unbound names. *)
+
+val build_result :
+  Loopir.Ast.program -> params:(string * int) list -> (t, Diag.error) result
+(** {!build} with the failure threaded as a result. *)

@@ -1,0 +1,325 @@
+let ( let* ) = Result.bind
+
+type materialized =
+  | Rec of {
+      rp : Core.Partition.rec_plan;
+      c : Core.Partition.concrete_rec;
+    }
+  | Fronts of Core.Dataflow.concrete
+  | Tasks of { sched : Runtime.Sched.t }
+  | Model of { tr : Depend.Trace.t }
+
+type error = { stage : Diag.stage; error : Diag.error }
+
+let error_to_string { stage; error } =
+  Printf.sprintf "%s: %s" (Diag.stage_name stage) (Diag.to_string error)
+
+(* Runs [f], threading typed failures and the known library exceptions
+   (symbolic blowup, dataflow step limit) into the result. *)
+let guarded f =
+  match f () with
+  | v -> Ok v
+  | exception Diag.Error e -> Error e
+  | exception Presburger.Omega.Blowup m -> Error (Diag.Set_blowup m)
+  | exception Core.Dataflow.Did_not_terminate n ->
+      Error (Diag.Dataflow_step_limit n)
+  | exception Invalid_argument m -> Error (Diag.Unsupported m)
+  | exception Depend.Space.Unsupported m -> Error (Diag.Unsupported m)
+
+(* ---- individual stages ---------------------------------------------- *)
+
+let analyze = Strategy.analyze_simple
+
+let classify ?strategy prog =
+  match strategy with
+  | None -> Strategy.auto prog
+  | Some s ->
+      let (module M : Strategy.S) = Strategy.find s in
+      M.plan prog
+
+let check_params prog ~params =
+  List.iter
+    (fun p ->
+      if not (List.mem_assoc p params) then
+        Diag.fail (Diag.Unbound_parameter p))
+    prog.Loopir.Ast.params
+
+let param_array ~names ~params =
+  Array.map
+    (fun n ->
+      match List.assoc_opt n params with
+      | Some v -> v
+      | None -> Diag.fail (Diag.Unbound_parameter n))
+    names
+
+let materialize plan ~prog ~params =
+  guarded (fun () ->
+      check_params prog ~params;
+      match plan with
+      | Plan.Rec_chains rp ->
+          let arr =
+            param_array ~names:rp.Core.Partition.simple.Depend.Solve.params
+              ~params
+          in
+          let c =
+            match Core.Partition.materialize rp ~params:arr with
+            | Ok c -> c
+            | Error e -> Diag.fail e
+          in
+          Rec { rp; c }
+      | Plan.Dataflow_fronts _ ->
+          Fronts (Core.Dataflow.peel_concrete prog ~params)
+      | Plan.Pdm_fallback { simple = Some a; _ } ->
+          let arr = param_array ~names:a.Depend.Solve.params ~params in
+          let pdm = Baselines.Pdm.of_simple a ~params:arr in
+          let pts = Depend.Scan.iter_space a.Depend.Solve.stmt ~params in
+          let stmt = a.Depend.Solve.stmt.Loopir.Prog.id in
+          Tasks { sched = Baselines.Pdm.schedule pdm ~stmt pts }
+      | Plan.Pdm_fallback { simple = None; _ } ->
+          (* No single-statement summary to uniformize: fall back to the
+             exact instance graph, like Algorithm 1 does for Cholesky. *)
+          Fronts (Core.Dataflow.peel_concrete prog ~params)
+      | Plan.Unique_sets { rp; u } ->
+          let arr =
+            param_array ~names:rp.Core.Partition.simple.Depend.Solve.params
+              ~params
+          in
+          let stmt =
+            rp.Core.Partition.simple.Depend.Solve.stmt.Loopir.Prog.id
+          in
+          Tasks { sched = Baselines.Unique.schedule u ~stmt ~params:arr }
+      | Plan.Mindist_tiles { simple = a } ->
+          let arr = param_array ~names:a.Depend.Solve.params ~params in
+          let md = Baselines.Mindist.of_simple a ~params:arr in
+          let pts = Depend.Scan.iter_space a.Depend.Solve.stmt ~params in
+          let stmt = a.Depend.Solve.stmt.Loopir.Prog.id in
+          Tasks { sched = Baselines.Mindist.schedule md ~stmt pts }
+      | Plan.Doacross_model _ -> Model { tr = Depend.Trace.build prog ~params })
+
+let schedule = function
+  | Rec { rp; c } ->
+      let stmt = rp.Core.Partition.simple.Depend.Solve.stmt.Loopir.Prog.id in
+      Ok (Runtime.Sched.of_rec ~stmt c)
+  | Fronts d -> Ok (Runtime.Sched.of_fronts d)
+  | Tasks { sched } -> Ok sched
+  | Model _ ->
+      Error
+        (Diag.Unsupported
+           "DOACROSS is cost-model only: P/V synchronization has no \
+            barrier schedule")
+
+let codegen plan ~prog =
+  match plan with
+  | Plan.Rec_chains rp -> Ok (Codegen.Emit.rec_partitioning rp)
+  | Plan.Dataflow_fronts _ ->
+      let* a = Strategy.analyze_simple prog in
+      guarded (fun () ->
+          let fronts =
+            Core.Dataflow.peel_symbolic ~phi:a.Depend.Solve.phi
+              ~rd:a.Depend.Solve.rd ~max_steps:64
+          in
+          Codegen.Emit.dataflow_listing fronts
+            ~names:a.Depend.Solve.iters)
+  | p ->
+      Error
+        (Diag.Unsupported
+           (Printf.sprintf "no code generator for the %s strategy"
+              (Plan.strategy_name (Plan.strategy p))))
+
+let stats = function
+  | Rec { c; _ } ->
+      let n_chains = List.length c.Core.Partition.chains.Core.Chain.chains in
+      {
+        Report.empty_stats with
+        p1 = Some (List.length c.Core.Partition.p1_pts);
+        p2 = Some (Core.Chain.total_points c.Core.Partition.chains);
+        p3 = Some (List.length c.Core.Partition.p3_pts);
+        n_chains = Some n_chains;
+        longest_chain = Some c.Core.Partition.chains.Core.Chain.longest;
+        growth = Some c.Core.Partition.growth;
+        theorem_bound = c.Core.Partition.theorem_bound;
+        n_tasks = Some n_chains;
+      }
+  | Fronts d -> { Report.empty_stats with n_fronts = Some d.Core.Dataflow.steps }
+  | Tasks { sched } ->
+      let n_tasks =
+        List.fold_left
+          (fun acc ph ->
+            match ph with
+            | Runtime.Sched.Tasks { tasks; _ } -> acc + Array.length tasks
+            | Runtime.Sched.Doall _ -> acc)
+          0 sched.Runtime.Sched.phases
+      in
+      {
+        Report.empty_stats with
+        n_tasks = (if n_tasks > 0 then Some n_tasks else None);
+      }
+  | Model _ -> Report.empty_stats
+
+(* ---- composed, instrumented run ------------------------------------- *)
+
+type options = {
+  threads : int;
+  check : bool;
+  measure : bool;
+  strategy : Plan.strategy option;
+  engine : [ `Enum | `Scan ];
+}
+
+let default_options =
+  { threads = 4; check = true; measure = true; strategy = None; engine = `Scan }
+
+type outcome = {
+  plan : Plan.t;
+  concrete : materialized;
+  sched : Runtime.Sched.t option;
+  report : Report.t;
+}
+
+(* The engine option only affects REC materialization; route it through
+   [Core.Partition.materialize] by re-dispatching here. *)
+let materialize_with ~engine plan ~prog ~params =
+  match plan with
+  | Plan.Rec_chains rp ->
+      guarded (fun () ->
+          check_params prog ~params;
+          let arr =
+            param_array ~names:rp.Core.Partition.simple.Depend.Solve.params
+              ~params
+          in
+          match Core.Partition.materialize ~engine rp ~params:arr with
+          | Ok c -> Rec { rp; c }
+          | Error e -> Diag.fail e)
+  | _ -> materialize plan ~prog ~params
+
+let run ?(options = default_options) ~name ~params prog =
+  if options.threads <= 0 then
+    Error
+      { stage = Diag.Execute; error = Diag.Invalid_thread_count options.threads }
+  else begin
+    let timings = ref [] in
+    let timed label f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      timings := (label, Unix.gettimeofday () -. t0) :: !timings;
+      r
+    in
+    let at stage r = Result.map_error (fun error -> { stage; error }) r in
+    let* plan =
+      at Diag.Classify
+        (timed "classify" (fun () -> classify ?strategy:options.strategy prog))
+    in
+    let* concrete =
+      at Diag.Materialize
+        (timed "materialize" (fun () ->
+             materialize_with ~engine:options.engine plan ~prog ~params))
+    in
+    let sched =
+      match concrete with
+      | Model _ -> None
+      | m -> (
+          match timed "schedule" (fun () -> schedule m) with
+          | Ok s -> Some s
+          | Error _ -> None)
+    in
+    (* Legality: replay the exact instance graph against the schedule. *)
+    let* legality =
+      match (sched, concrete) with
+      | Some s, _ when options.check ->
+          at Diag.Validate
+            (guarded (fun () ->
+                 timed "validate" (fun () ->
+                     let tr = Depend.Trace.build prog ~params in
+                     match Runtime.Sched.check_legal s tr with
+                     | Ok () -> Report.Passed
+                     | Error m -> Report.Failed m)))
+      | _ -> Ok Report.Skipped
+    in
+    (* Execution: sequential ground truth + instrumented parallel run, or
+       the DOACROSS cost model. *)
+    let* semantics, seq_seconds, par_seconds, model_makespan, loads, profiles =
+      match (concrete, sched) with
+      | Model { tr }, _ ->
+          at Diag.Execute
+            (guarded (fun () ->
+                 let r =
+                   timed "execute" (fun () ->
+                       Baselines.Doacross.pipeline tr ~threads:options.threads
+                         ~w_iter:1.0 ~delay_factor:0.5)
+                 in
+                 ( Report.Skipped,
+                   None,
+                   None,
+                   Some r.Baselines.Doacross.makespan,
+                   None,
+                   [] )))
+      | _, Some s when options.check || options.measure ->
+          at Diag.Execute
+            (guarded (fun () ->
+                 timed "execute" (fun () ->
+                     let env = Runtime.Interp.prepare prog ~params in
+                     let t0 = Unix.gettimeofday () in
+                     let seq = Runtime.Interp.run_sequential env in
+                     let seq_s = Unix.gettimeofday () -. t0 in
+                     let tmd =
+                       Runtime.Exec.run_timed env ~threads:options.threads s
+                     in
+                     let semantics =
+                       if not options.check then Report.Skipped
+                       else if Runtime.Arrays.equal seq tmd.Runtime.Exec.store
+                       then Report.Passed
+                       else
+                         Report.Failed
+                           "parallel store differs from the sequential run"
+                     in
+                     let profiles =
+                       List.map
+                         (fun p ->
+                           {
+                             Report.label = p.Runtime.Exec.label;
+                             instances = p.Runtime.Exec.n_instances;
+                             units = p.Runtime.Exec.n_units;
+                             seconds = p.Runtime.Exec.seconds;
+                           })
+                         tmd.Runtime.Exec.phase_stats
+                     in
+                     ( semantics,
+                       Some seq_s,
+                       Some tmd.Runtime.Exec.seconds,
+                       None,
+                       Some
+                         (Runtime.Exec.thread_loads tmd
+                            ~threads:options.threads),
+                       profiles ))))
+      | _ -> Ok (Report.Skipped, None, None, None, None, [])
+    in
+    let n_instances, n_phases =
+      match (concrete, sched) with
+      | Model { tr }, _ ->
+          (Some (Array.length tr.Depend.Trace.instances), None)
+      | _, Some s ->
+          (Some (Runtime.Sched.n_instances s), Some (Runtime.Sched.n_phases s))
+      | _ -> (None, None)
+    in
+    let report =
+      {
+        Report.program = name;
+        params;
+        strategy = Plan.strategy_name (Plan.strategy plan);
+        reason = Plan.reason plan;
+        timings = List.rev !timings;
+        n_instances;
+        n_phases;
+        stats = Some (stats concrete);
+        threads = options.threads;
+        legality;
+        semantics;
+        seq_seconds;
+        par_seconds;
+        model_makespan;
+        thread_loads = loads;
+        phases = profiles;
+      }
+    in
+    Ok { plan; concrete; sched; report }
+  end

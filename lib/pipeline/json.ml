@@ -1,0 +1,77 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_str f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.9g" f
+
+let rec emit buf ~indent ~level v =
+  let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in
+  let sep_open l r items emit_item =
+    match items with
+    | [] -> Buffer.add_string buf (l ^ r)
+    | _ ->
+        Buffer.add_string buf l;
+        if indent then Buffer.add_char buf '\n';
+        List.iteri
+          (fun k item ->
+            if k > 0 then begin
+              Buffer.add_char buf ',';
+              if indent then Buffer.add_char buf '\n'
+            end;
+            pad (level + 1);
+            emit_item item)
+          items;
+        if indent then begin
+          Buffer.add_char buf '\n';
+          pad level
+        end;
+        Buffer.add_string buf r
+  in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (float_str f)
+      else Buffer.add_string buf "null"
+  | Str s -> escape buf s
+  | List items ->
+      sep_open "[" "]" items (fun item ->
+          emit buf ~indent ~level:(level + 1) item)
+  | Obj fields ->
+      sep_open "{" "}" fields (fun (k, item) ->
+          escape buf k;
+          Buffer.add_string buf (if indent then ": " else ":");
+          emit buf ~indent ~level:(level + 1) item)
+
+let render ~indent v =
+  let buf = Buffer.create 256 in
+  emit buf ~indent ~level:0 v;
+  Buffer.contents buf
+
+let to_string v = render ~indent:false v
+let to_string_pretty v = render ~indent:true v

@@ -1,0 +1,20 @@
+(** Minimal JSON tree and printer — just enough for machine-readable
+    pipeline reports and benchmark trajectories, without pulling a JSON
+    dependency into the build. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering (RFC 8259 string escaping; non-finite
+    floats render as [null]). *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering, for files meant to be read by humans and
+    diffed across PRs. *)

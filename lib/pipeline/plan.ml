@@ -1,0 +1,55 @@
+type strategy = Rec | Dataflow | Pdm | Unique | Mindist | Doacross
+
+let strategy_name = function
+  | Rec -> "rec"
+  | Dataflow -> "dataflow"
+  | Pdm -> "pdm"
+  | Unique -> "unique"
+  | Mindist -> "mindist"
+  | Doacross -> "doacross"
+
+let all_strategies = [ Rec; Dataflow; Pdm; Unique; Mindist; Doacross ]
+
+let strategy_of_string s =
+  let s = String.lowercase_ascii (String.trim s) in
+  List.find_opt (fun st -> strategy_name st = s) all_strategies
+
+type t =
+  | Rec_chains of Core.Partition.rec_plan
+  | Dataflow_fronts of { reason : string }
+  | Pdm_fallback of { simple : Depend.Solve.simple option; reason : string }
+  | Unique_sets of { rp : Core.Partition.rec_plan; u : Baselines.Unique.t }
+  | Mindist_tiles of { simple : Depend.Solve.simple }
+  | Doacross_model of { reason : string }
+
+let strategy = function
+  | Rec_chains _ -> Rec
+  | Dataflow_fronts _ -> Dataflow
+  | Pdm_fallback _ -> Pdm
+  | Unique_sets _ -> Unique
+  | Mindist_tiles _ -> Mindist
+  | Doacross_model _ -> Doacross
+
+let describe = function
+  | Rec_chains _ ->
+      "recurrence chains (REC): three-set partition, chains in P2"
+  | Dataflow_fronts { reason } ->
+      Printf.sprintf "dataflow partitioning (%s)" reason
+  | Pdm_fallback { simple; reason } ->
+      Printf.sprintf "PDM %s (%s)"
+        (match simple with
+        | Some _ -> "uniformization over lattice cosets"
+        | None -> "fallback via the exact instance graph")
+        reason
+  | Unique_sets _ -> "unique-set oriented partitioning (five regions)"
+  | Mindist_tiles _ -> "minimum-distance tiling"
+  | Doacross_model { reason } ->
+      Printf.sprintf "DOACROSS synchronization model (%s)" reason
+
+let reason = function
+  | Rec_chains _ -> None
+  | Dataflow_fronts { reason }
+  | Pdm_fallback { reason; _ }
+  | Doacross_model { reason } ->
+      Some reason
+  | Unique_sets _ | Mindist_tiles _ -> None

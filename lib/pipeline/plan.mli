@@ -1,0 +1,54 @@
+(** Typed strategy plans — the artifact produced by the pipeline's
+    classification stage.
+
+    A plan is {e symbolic}: it fixes the partitioning strategy and carries
+    every strategy-specific symbolic artifact (three-set partition, unique
+    sets, …) but binds no loop-bound parameters.  Materialization at
+    concrete parameters happens in {!Driver.materialize}.
+
+    The variant covers the paper's Algorithm 1 branches (REC chains,
+    constant-bound dataflow fronts, PDM fallback) {e and} the comparison
+    strategies of the evaluation ([unique], [mindist], [doacross]), so
+    every frontend — CLI, benchmarks, examples, tests — selects strategies
+    through one type instead of re-stitching [Core.Partition] matches. *)
+
+(** Strategy names, used by [--strategy] flags and reports. *)
+type strategy =
+  | Rec  (** recurrence chains (Algorithm 1 branch 1) *)
+  | Dataflow  (** successive dataflow fronts (branch 2) *)
+  | Pdm  (** pseudo-distance-matrix uniformization (branch 3 / [27]) *)
+  | Unique  (** unique-set oriented partitioning (Ju & Chaudhary) *)
+  | Mindist  (** minimum-distance tiling (Punyamurtula et al.) *)
+  | Doacross  (** P/V-synchronized DOACROSS (Tzen & Ni) — cost model only *)
+
+val strategy_name : strategy -> string
+val strategy_of_string : string -> strategy option
+val all_strategies : strategy list
+
+type t =
+  | Rec_chains of Core.Partition.rec_plan
+      (** three-set partition + disjoint monotonic chains in [P2] *)
+  | Dataflow_fronts of { reason : string }
+      (** peel [Φ \ ran Rd] fronts on the exact instance graph *)
+  | Pdm_fallback of {
+      simple : Depend.Solve.simple option;
+      reason : string;
+    }
+      (** PDM uniformization when the analysis produced a single-statement
+          summary ([simple = Some _] → true lattice cosets); otherwise the
+          exact instance graph stands in for the uniformized schedule *)
+  | Unique_sets of {
+      rp : Core.Partition.rec_plan;
+      u : Baselines.Unique.t;
+    }  (** five-region unique-set partitioning over the three sets *)
+  | Mindist_tiles of { simple : Depend.Solve.simple }
+      (** minimum-distance tiles, internally fully parallel *)
+  | Doacross_model of { reason : string }
+      (** simulation-only: DOACROSS has no barrier schedule *)
+
+val strategy : t -> strategy
+val describe : t -> string
+(** One-line human description, e.g. for [recpart partition]. *)
+
+val reason : t -> string option
+(** Why this plan was selected (fallback reasons, forced strategies). *)

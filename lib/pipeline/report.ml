@@ -1,0 +1,200 @@
+type partition_stats = {
+  p1 : int option;
+  p2 : int option;
+  p3 : int option;
+  n_chains : int option;
+  longest_chain : int option;
+  growth : float option;
+  theorem_bound : int option;
+  n_fronts : int option;
+  n_tasks : int option;
+}
+
+let empty_stats =
+  {
+    p1 = None;
+    p2 = None;
+    p3 = None;
+    n_chains = None;
+    longest_chain = None;
+    growth = None;
+    theorem_bound = None;
+    n_fronts = None;
+    n_tasks = None;
+  }
+
+type check_result = Passed | Failed of string | Skipped
+
+type phase_profile = {
+  label : string;
+  instances : int;
+  units : int;
+  seconds : float;
+}
+
+type t = {
+  program : string;
+  params : (string * int) list;
+  strategy : string;
+  reason : string option;
+  timings : (string * float) list;
+  n_instances : int option;
+  n_phases : int option;
+  stats : partition_stats option;
+  threads : int;
+  legality : check_result;
+  semantics : check_result;
+  seq_seconds : float option;
+  par_seconds : float option;
+  model_makespan : float option;
+  thread_loads : int array option;
+  phases : phase_profile list;
+}
+
+let check_result_string = function
+  | Passed -> "ok"
+  | Failed m -> "FAILED: " ^ m
+  | Skipped -> "skipped"
+
+(* ---- text ------------------------------------------------------------ *)
+
+let to_text r =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "program  : %s%s" r.program
+    (match r.params with
+    | [] -> ""
+    | ps ->
+        "  ["
+        ^ String.concat ", "
+            (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) ps)
+        ^ "]");
+  line "strategy : %s%s" r.strategy
+    (match r.reason with None -> "" | Some why -> "  (" ^ why ^ ")");
+  (match (r.n_phases, r.n_instances) with
+  | Some np, Some ni -> line "schedule : %d phases, %d instances" np ni
+  | _ -> ());
+  (match r.stats with
+  | None -> ()
+  | Some s ->
+      let parts =
+        List.filter_map Fun.id
+          [
+            Option.map (Printf.sprintf "|P1| = %d") s.p1;
+            Option.map (Printf.sprintf "|P2| = %d") s.p2;
+            Option.map (Printf.sprintf "|P3| = %d") s.p3;
+            Option.map (Printf.sprintf "chains = %d") s.n_chains;
+            Option.map (Printf.sprintf "longest = %d") s.longest_chain;
+            Option.map (Printf.sprintf "fronts = %d") s.n_fronts;
+            Option.map (Printf.sprintf "tasks = %d") s.n_tasks;
+          ]
+      in
+      if parts <> [] then line "partition: %s" (String.concat ", " parts);
+      match (s.growth, s.theorem_bound) with
+      | Some g, Some b -> line "theorem 1: growth %g, chain bound %d" g b
+      | Some g, None -> line "theorem 1: growth %g (unbounded)" g
+      | _ -> ());
+  line "stages   :%s"
+    (String.concat ""
+       (List.map
+          (fun (name, sec) -> Printf.sprintf "  %s %.4fs" name sec)
+          r.timings));
+  line "legality : %s" (check_result_string r.legality);
+  line "semantics: %s" (check_result_string r.semantics);
+  (match (r.par_seconds, r.seq_seconds) with
+  | Some par, Some seq ->
+      line "wall time: %.4fs on %d thread(s) (sequential interp: %.4fs)" par
+        r.threads seq
+  | Some par, None -> line "wall time: %.4fs on %d thread(s)" par r.threads
+  | None, Some seq -> line "wall time: sequential interp %.4fs" seq
+  | None, None -> ());
+  (match r.model_makespan with
+  | Some m -> line "model    : DOACROSS makespan %.1f (unit work per instance)" m
+  | None -> ());
+  (match r.thread_loads with
+  | Some loads ->
+      line "loads    : %s"
+        (String.concat " "
+           (Array.to_list (Array.map string_of_int loads)))
+  | None -> ());
+  List.iter
+    (fun p ->
+      line "  phase %-12s %7d inst %5d unit(s) %.4fs" p.label p.instances
+        p.units p.seconds)
+    r.phases;
+  Buffer.contents buf
+
+(* ---- json ------------------------------------------------------------ *)
+
+let opt f = function None -> [] | Some v -> [ f v ]
+
+let stats_json s =
+  let field name conv v = opt (fun x -> (name, conv x)) v in
+  Json.Obj
+    (List.concat
+       [
+         field "p1" (fun n -> Json.Int n) s.p1;
+         field "p2" (fun n -> Json.Int n) s.p2;
+         field "p3" (fun n -> Json.Int n) s.p3;
+         field "chains" (fun n -> Json.Int n) s.n_chains;
+         field "longest_chain" (fun n -> Json.Int n) s.longest_chain;
+         field "growth" (fun g -> Json.Float g) s.growth;
+         field "theorem_bound" (fun n -> Json.Int n) s.theorem_bound;
+         field "fronts" (fun n -> Json.Int n) s.n_fronts;
+         field "tasks" (fun n -> Json.Int n) s.n_tasks;
+       ])
+
+let check_json = function
+  | Passed -> Json.Str "ok"
+  | Failed m -> Json.Obj [ ("failed", Json.Str m) ]
+  | Skipped -> Json.Str "skipped"
+
+let to_json r =
+  Json.Obj
+    (List.concat
+       [
+         [ ("program", Json.Str r.program) ];
+         [
+           ( "params",
+             Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.params) );
+         ];
+         [ ("strategy", Json.Str r.strategy) ];
+         opt (fun why -> ("reason", Json.Str why)) r.reason;
+         [
+           ( "stages",
+             Json.Obj
+               (List.map (fun (name, s) -> (name, Json.Float s)) r.timings) );
+         ];
+         opt (fun n -> ("instances", Json.Int n)) r.n_instances;
+         opt (fun n -> ("phases", Json.Int n)) r.n_phases;
+         opt (fun s -> ("partition", stats_json s)) r.stats;
+         [ ("threads", Json.Int r.threads) ];
+         [ ("legality", check_json r.legality) ];
+         [ ("semantics", check_json r.semantics) ];
+         opt (fun s -> ("seq_seconds", Json.Float s)) r.seq_seconds;
+         opt (fun s -> ("par_seconds", Json.Float s)) r.par_seconds;
+         opt (fun s -> ("model_makespan", Json.Float s)) r.model_makespan;
+         opt
+           (fun loads ->
+             ( "thread_loads",
+               Json.List
+                 (Array.to_list (Array.map (fun l -> Json.Int l) loads)) ))
+           r.thread_loads;
+         (match r.phases with
+         | [] -> []
+         | ps ->
+             [
+               ( "phase_profile",
+                 Json.List
+                   (List.map
+                      (fun p ->
+                        Json.Obj
+                          [
+                            ("label", Json.Str p.label);
+                            ("instances", Json.Int p.instances);
+                            ("units", Json.Int p.units);
+                            ("seconds", Json.Float p.seconds);
+                          ])
+                      ps) );
+             ]);
+       ])

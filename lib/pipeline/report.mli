@@ -1,0 +1,55 @@
+(** Per-run diagnostics: what strategy ran, how long each stage took, how
+    big the partition artifacts were, and how the execution behaved —
+    renderable as text ([recpart run]) or JSON ([recpart run --json],
+    [BENCH_pipeline.json]).
+
+    Every field that only applies to some strategies is an option; [None]
+    fields are omitted from the JSON rendering. *)
+
+type partition_stats = {
+  p1 : int option;  (** |P1| — independent/initial iterations *)
+  p2 : int option;  (** |P2| — intermediate iterations (on chains) *)
+  p3 : int option;  (** |P3| — final iterations *)
+  n_chains : int option;  (** number of recurrence chains *)
+  longest_chain : int option;
+  growth : float option;  (** Theorem 1 growth factor a *)
+  theorem_bound : int option;  (** Theorem 1 chain-length bound *)
+  n_fronts : int option;  (** dataflow fronts (= partitioning steps) *)
+  n_tasks : int option;  (** parallel sequential tasks (cosets, tiles, …) *)
+}
+
+val empty_stats : partition_stats
+
+type check_result = Passed | Failed of string | Skipped
+
+type phase_profile = {
+  label : string;
+  instances : int;
+  units : int;  (** non-empty parallel work units in the phase *)
+  seconds : float;
+}
+
+type t = {
+  program : string;
+  params : (string * int) list;
+  strategy : string;
+  reason : string option;
+  timings : (string * float) list;
+      (** stage name → wall seconds, in pipeline order *)
+  n_instances : int option;
+  n_phases : int option;
+  stats : partition_stats option;
+  threads : int;
+  legality : check_result;  (** every dependence edge respected? *)
+  semantics : check_result;  (** arrays identical to the sequential run? *)
+  seq_seconds : float option;  (** sequential interpreter wall time *)
+  par_seconds : float option;  (** instrumented schedule execution *)
+  model_makespan : float option;  (** DOACROSS cost-model makespan *)
+  thread_loads : int array option;
+      (** instances executed per domain, across phases *)
+  phases : phase_profile list;  (** per-phase execution profile *)
+}
+
+val to_text : t -> string
+val to_json : t -> Json.t
+val check_result_string : check_result -> string

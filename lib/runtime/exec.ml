@@ -1,14 +1,18 @@
 (* Partition an array of work items into [threads] buckets: blocks for
-   DOALL instance arrays, longest-first round-robin for tasks. *)
+   DOALL instance arrays, longest-first round-robin for tasks.  A thread
+   count ≤ 1 always degrades to one bucket (never raises). *)
 let doall_buckets threads instances =
+  let threads = max 1 threads in
   let n = Array.length instances in
-  let size = (n + threads - 1) / max threads 1 in
+  let size = (n + threads - 1) / threads in
   List.init threads (fun t ->
       let lo = t * size in
       let hi = min n (lo + size) in
       if lo >= hi then [||] else Array.sub instances lo (hi - lo))
+  |> List.filter (fun b -> Array.length b > 0)
 
 let task_buckets threads tasks =
+  let threads = max 1 threads in
   let order = Array.copy tasks in
   Array.sort (fun a b -> compare (Array.length b) (Array.length a)) order;
   let buckets = Array.make threads [] in
@@ -24,36 +28,90 @@ let task_buckets threads tasks =
     order;
   Array.to_list (Array.map List.rev buckets)
 
-let run_phase env store ~threads phase =
-  let work =
-    match phase with
-    | Sched.Doall { instances; _ } ->
-        List.map (fun b -> [ b ]) (doall_buckets threads instances)
-    | Sched.Tasks { tasks; _ } -> task_buckets threads tasks
-  in
-  let run_bucket tasks =
-    List.iter (Array.iter (Interp.exec_instance env store)) tasks
-  in
-  match work with
-  | [] -> ()
-  | first :: rest ->
-      let domains = List.map (fun b -> Domain.spawn (fun () -> run_bucket b)) rest in
-      run_bucket first;
-      List.iter Domain.join domains
+type phase_stat = {
+  label : string;
+  n_instances : int;
+  n_units : int;
+  loads : int array;
+  seconds : float;
+}
 
-let run env ~threads s =
+type timed = { store : Arrays.t; seconds : float; phase_stats : phase_stat list }
+
+(* The single execution path: every phase — sequential or parallel — goes
+   through here, so instrumentation (per-phase wall time and per-domain
+   load) is measured on exactly the code that runs. *)
+let run_phase_timed env store ~threads phase =
+  let threads = max 1 threads in
+  let label = Sched.phase_label phase in
+  let n_instances = Sched.phase_size phase in
+  let t0 = Unix.gettimeofday () in
+  let n_units, loads =
+    if threads = 1 then begin
+      Array.iter (Interp.exec_instance env store) (Sched.phase_instances phase);
+      let units =
+        match phase with
+        | Sched.Doall _ -> if n_instances = 0 then 0 else 1
+        | Sched.Tasks { tasks; _ } ->
+            Array.fold_left
+              (fun acc t -> if Array.length t = 0 then acc else acc + 1)
+              0 tasks
+      in
+      (units, [| n_instances |])
+    end
+    else begin
+      let work =
+        match phase with
+        | Sched.Doall { instances; _ } ->
+            List.map (fun b -> [ b ]) (doall_buckets threads instances)
+        | Sched.Tasks { tasks; _ } -> task_buckets threads tasks
+      in
+      let loads =
+        Array.of_list
+          (List.map
+             (List.fold_left (fun acc t -> acc + Array.length t) 0)
+             work)
+      in
+      let n_units =
+        match phase with
+        | Sched.Doall _ -> Array.fold_left (fun acc l -> if l > 0 then acc + 1 else acc) 0 loads
+        | Sched.Tasks { tasks; _ } ->
+            Array.fold_left
+              (fun acc t -> if Array.length t = 0 then acc else acc + 1)
+              0 tasks
+      in
+      let run_bucket tasks =
+        List.iter (Array.iter (Interp.exec_instance env store)) tasks
+      in
+      (* Spawn domains only for buckets that hold work: empty buckets would
+         pay the domain fork/join cost for nothing. *)
+      (match
+         List.filter
+           (fun b -> List.exists (fun t -> Array.length t > 0) b)
+           work
+       with
+      | [] -> ()
+      | first :: rest ->
+          let domains =
+            List.map (fun b -> Domain.spawn (fun () -> run_bucket b)) rest
+          in
+          run_bucket first;
+          List.iter Domain.join domains);
+      (n_units, loads)
+    end
+  in
+  { label; n_instances; n_units; loads; seconds = Unix.gettimeofday () -. t0 }
+
+let run_timed env ~threads s =
   let store = Interp.scan_bounds env in
-  if threads <= 1 then begin
-    List.iter
-      (fun phase ->
-        Array.iter (Interp.exec_instance env store) (Sched.phase_instances phase))
-      s.Sched.phases;
-    store
-  end
-  else begin
-    List.iter (run_phase env store ~threads) s.Sched.phases;
-    store
-  end
+  let t0 = Unix.gettimeofday () in
+  let phase_stats =
+    List.map (run_phase_timed env store ~threads) s.Sched.phases
+  in
+  { store; seconds = Unix.gettimeofday () -. t0; phase_stats }
+
+let run env ~threads s = (run_timed env ~threads s).store
+let wall_time env ~threads s = (run_timed env ~threads s).seconds
 
 let check env ~threads s =
   let seq = Interp.run_sequential env in
@@ -64,13 +122,13 @@ let check env ~threads s =
       (Printf.sprintf "parallel execution diverged (max abs diff %g)"
          (Arrays.max_abs_diff seq got))
 
-let wall_time env ~threads s =
-  let store = Interp.scan_bounds env in
-  let t0 = Unix.gettimeofday () in
-  if threads <= 1 then
-    List.iter
-      (fun phase ->
-        Array.iter (Interp.exec_instance env store) (Sched.phase_instances phase))
-      s.Sched.phases
-  else List.iter (run_phase env store ~threads) s.Sched.phases;
-  Unix.gettimeofday () -. t0
+let thread_loads timed ~threads =
+  let threads = max 1 threads in
+  let acc = Array.make threads 0 in
+  List.iter
+    (fun ps ->
+      Array.iteri
+        (fun k l -> if k < threads then acc.(k) <- acc.(k) + l)
+        ps.loads)
+    timed.phase_stats;
+  acc

@@ -6,14 +6,53 @@
 
     Phases are separated by joins (barriers).  Within a phase, DOALL
     instances are block-distributed and sequential tasks are dealt
-    round-robin by decreasing length. *)
+    round-robin by decreasing length.
+
+    All entry points accept any thread count: values ≤ 1 run sequentially
+    on the calling domain (never raise), and domains are only spawned for
+    buckets that actually hold work.
+
+    Every run goes through one instrumented path ({!run_timed}); {!run},
+    {!wall_time} and {!check} are thin views of it, and the pipeline layer
+    turns the per-phase statistics into its report. *)
+
+type phase_stat = {
+  label : string;  (** the phase's {!Sched.phase_label} *)
+  n_instances : int;  (** statement instances executed in the phase *)
+  n_units : int;  (** non-empty parallel work units (buckets or tasks) *)
+  loads : int array;
+      (** instances executed per domain (length = effective thread count
+          for parallel runs, [[| n |]] for sequential runs) *)
+  seconds : float;  (** wall time of the phase, barrier included *)
+}
+
+type timed = {
+  store : Arrays.t;  (** final array store *)
+  seconds : float;  (** total wall time (store setup excluded) *)
+  phase_stats : phase_stat list;  (** one entry per phase, in order *)
+}
+
+val run_timed : Interp.env -> threads:int -> Sched.t -> timed
+(** Executes the schedule on [threads] domains (sequential on the calling
+    domain when [threads ≤ 1]) and records per-phase wall time and
+    per-domain load. *)
 
 val run : Interp.env -> threads:int -> Sched.t -> Arrays.t
-(** Executes the schedule on [threads] domains (sequential fallback when
-    [threads ≤ 1]). *)
+(** [run_timed]'s final store. *)
 
 val check : Interp.env -> threads:int -> Sched.t -> (unit, string) result
 (** Parallel run vs sequential run array equality. *)
 
 val wall_time : Interp.env -> threads:int -> Sched.t -> float
 (** Seconds for one parallel run (store setup excluded). *)
+
+val thread_loads : timed -> threads:int -> int array
+(** Total instances executed per domain across all phases — the bucket
+    load balance statistic of the pipeline report. *)
+
+(**/**)
+
+val doall_buckets : int -> 'a array -> 'a array list
+(** Exposed for tests: block distribution; thread counts ≤ 1 (including
+    negative) yield a single bucket, and empty buckets are dropped (an
+    empty input yields no buckets at all). *)

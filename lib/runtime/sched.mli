@@ -18,6 +18,9 @@ val n_instances : t -> int
 val n_phases : t -> int
 val phase_label : phase -> string
 
+val phase_size : phase -> int
+(** Number of statement instances in the phase. *)
+
 val phase_instances : phase -> instance array
 (** All instances of the phase, flattened in task order. *)
 

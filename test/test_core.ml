@@ -314,7 +314,7 @@ let legal_2d ((c1, c2, c3, c4, c5, c6), (d1, d2, d3, d4, d5, d6), n) =
           let pts = Partition.rec_points_in_order c in
           List.length pts = n * n
           && List.length (List.sort_uniq Ivec.compare_lex pts) = n * n
-      | exception Failure _ ->
+      | exception Diag.Error _ ->
           (* Lemma 1 diagnostics must not fire for full-rank pairs. *)
           false
       | exception Presburger.Omega.Blowup _ ->

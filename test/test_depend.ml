@@ -298,10 +298,15 @@ let gen_equation =
 let prop_dtests_conservative =
   QCheck2.Test.make ~name:"GCD/Banerjee never contradict the exact test"
     ~count:400 gen_equation (fun eq ->
-      match (Dtests.gcd_test eq, Dtests.banerjee_test eq, Dtests.exact eq) with
-      | Dtests.Independent, _, ex -> ex = Dtests.Independent
-      | _, Dtests.Independent, ex -> ex = Dtests.Independent
-      | Dtests.Maybe_dependent, Dtests.Maybe_dependent, _ -> true)
+      (* The exact test can exhaust Omega's emptiness budget on adversarial
+         random coefficients; that is inconclusive, not a contradiction. *)
+      match Dtests.exact eq with
+      | exception Presburger.Omega.Blowup _ -> true
+      | ex -> (
+          match (Dtests.gcd_test eq, Dtests.banerjee_test eq) with
+          | Dtests.Independent, _ -> ex = Dtests.Independent
+          | _, Dtests.Independent -> ex = Dtests.Independent
+          | Dtests.Maybe_dependent, Dtests.Maybe_dependent -> true))
 
 let () =
   Alcotest.run "depend"

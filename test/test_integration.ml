@@ -7,6 +7,20 @@ module Sched = Runtime.Sched
 module Interp = Runtime.Interp
 module Sim = Runtime.Sim
 module Ivec = Linalg.Ivec
+module Driver = Pipeline.Driver
+module Plan = Pipeline.Plan
+module Report = Pipeline.Report
+
+(* Strategy selection through the pipeline layer. *)
+let rec_plan prog =
+  match Driver.classify prog with
+  | Ok (Plan.Rec_chains rp) -> Some rp
+  | Ok _ | Error _ -> None
+
+let rec_plan_exn prog =
+  match rec_plan prog with
+  | Some rp -> rp
+  | None -> Alcotest.fail "REC expected"
 
 (* ------------------------------------------------------------------ *)
 (* Scan-based materialization agrees with enumeration-based             *)
@@ -19,30 +33,26 @@ let same_concrete (a : Partition.concrete_rec) (b : Partition.concrete_rec) =
   && a.Partition.theorem_bound = b.Partition.theorem_bound
 
 let test_scan_vs_enum_ex1 () =
-  match Partition.choose Loopir.Builtin.example1 with
-  | Partition.Rec_chains rp ->
-      List.iter
-        (fun (n1, n2) ->
-          let a = Partition.materialize_rec rp ~params:[| n1; n2 |] in
-          let b = Partition.materialize_rec_scan rp ~params:[| n1; n2 |] in
-          Alcotest.(check bool)
-            (Printf.sprintf "%dx%d identical" n1 n2)
-            true (same_concrete a b))
-        [ (10, 10); (17, 23); (30, 40) ]
-  | _ -> Alcotest.fail "REC expected"
+  let rp = rec_plan_exn Loopir.Builtin.example1 in
+  List.iter
+    (fun (n1, n2) ->
+      let a = Partition.materialize_rec rp ~params:[| n1; n2 |] in
+      let b = Partition.materialize_rec_scan rp ~params:[| n1; n2 |] in
+      Alcotest.(check bool)
+        (Printf.sprintf "%dx%d identical" n1 n2)
+        true (same_concrete a b))
+    [ (10, 10); (17, 23); (30, 40) ]
 
 let test_scan_vs_enum_ex2 () =
-  match Partition.choose Loopir.Builtin.example2 with
-  | Partition.Rec_chains rp ->
-      List.iter
-        (fun n ->
-          let a = Partition.materialize_rec rp ~params:[| n |] in
-          let b = Partition.materialize_rec_scan rp ~params:[| n |] in
-          Alcotest.(check bool)
-            (Printf.sprintf "n=%d identical" n)
-            true (same_concrete a b))
-        [ 8; 12; 25 ]
-  | _ -> Alcotest.fail "REC expected"
+  let rp = rec_plan_exn Loopir.Builtin.example2 in
+  List.iter
+    (fun n ->
+      let a = Partition.materialize_rec rp ~params:[| n |] in
+      let b = Partition.materialize_rec_scan rp ~params:[| n |] in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d identical" n)
+        true (same_concrete a b))
+    [ 8; 12; 25 ]
 
 let test_scan_iter_space () =
   (* Triangular nest: scan order and content match the exact enumerator. *)
@@ -59,19 +69,17 @@ let test_scan_iter_space () =
 (* Abstract simulator agrees with the concrete one                       *)
 
 let test_abstract_sim_consistent () =
-  match Partition.choose Loopir.Builtin.example1 with
-  | Partition.Rec_chains rp ->
-      let c = Partition.materialize_rec rp ~params:[| 20; 30 |] in
-      let sched = Sched.of_rec ~stmt:0 c in
-      let a = Sim.abstract sched in
-      List.iter
-        (fun p ->
-          Alcotest.(check (float 1e-9))
-            (Printf.sprintf "threads=%d" p)
-            (Sim.time Sim.base ~threads:p sched)
-            (Sim.time_abstract Sim.base ~threads:p a))
-        [ 1; 2; 3; 4; 7 ]
-  | _ -> Alcotest.fail "REC expected"
+  let rp = rec_plan_exn Loopir.Builtin.example1 in
+  let c = Partition.materialize_rec rp ~params:[| 20; 30 |] in
+  let sched = Sched.of_rec ~stmt:0 c in
+  let a = Sim.abstract sched in
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "threads=%d" p)
+        (Sim.time Sim.base ~threads:p sched)
+        (Sim.time_abstract Sim.base ~threads:p a))
+    [ 1; 2; 3; 4; 7 ]
 
 (* ------------------------------------------------------------------ *)
 (* DOACROSS pipeline model sanity                                        *)
@@ -112,17 +120,20 @@ let prop_e2e_semantics =
           n alpha beta gamma delta
       in
       let prog = Loopir.Parser.parse ~name:"rand" src in
-      match Partition.choose prog with
-      | Partition.Rec_chains rp -> (
-          match Partition.materialize_rec_scan rp ~params:[||] with
-          | c -> (
+      match Driver.classify prog with
+      | Ok (Plan.Rec_chains _ as plan) -> (
+          match Driver.materialize plan ~prog ~params:[] with
+          | Ok (Driver.Rec { c; _ }) -> (
               let sched = Sched.of_rec ~stmt:0 c in
               let env = Interp.prepare prog ~params:[] in
               match Interp.check_schedule env sched with
               | Ok () -> true
               | Error _ -> false)
-          | exception Presburger.Omega.Blowup _ -> true)
-      | Partition.Dataflow_const | Partition.Pdm_fallback _ -> true)
+          | Ok _ -> false
+          | Error (Diag.Set_blowup _) -> true
+          | Error _ -> false)
+      | Ok _ | Error (Diag.Set_blowup _) -> true
+      | Error _ -> false)
 
 let prop_dataflow_semantics =
   QCheck2.Test.make ~name:"dataflow schedules preserve semantics (random 2-D)"
@@ -155,27 +166,40 @@ let prop_dataflow_semantics =
 
 let test_paper_pipeline () =
   (* example1: REC with exact three sets *)
-  (match Partition.choose Loopir.Builtin.example1 with
-  | Partition.Rec_chains rp ->
-      Alcotest.(check bool) "ex1 cover" true
-        (Core.Threeset.check_cover rp.Partition.three
-           ~phi:rp.Partition.simple.Depend.Solve.phi)
-  | _ -> Alcotest.fail "ex1 REC");
-  (* example2 validated at N=20 through domains *)
-  (match Partition.choose Loopir.Builtin.example2 with
-  | Partition.Rec_chains rp ->
-      let c = Partition.materialize_rec_scan rp ~params:[| 20 |] in
-      let sched = Sched.of_rec ~stmt:0 c in
-      let env = Interp.prepare Loopir.Builtin.example2 ~params:[ ("n", 20) ] in
-      Alcotest.(check bool) "ex2 domains" true
-        (Runtime.Exec.check env ~threads:3 sched = Ok ())
-  | _ -> Alcotest.fail "ex2 REC");
-  (* cholesky small through fronts + domains *)
-  let params = [ ("nmat", 3); ("m", 2); ("n", 6); ("nrhs", 1) ] in
-  let c = Core.Dataflow.peel_concrete Loopir.Builtin.cholesky ~params in
-  let env = Interp.prepare Loopir.Builtin.cholesky ~params in
-  Alcotest.(check bool) "cholesky domains" true
-    (Runtime.Exec.check env ~threads:2 (Sched.of_fronts c) = Ok ())
+  let rp = rec_plan_exn Loopir.Builtin.example1 in
+  Alcotest.(check bool) "ex1 cover" true
+    (Core.Threeset.check_cover rp.Partition.three
+       ~phi:rp.Partition.simple.Depend.Solve.phi);
+  (* example2 and cholesky end to end through Driver.run: legality checked
+     against the exact instance graph, execution on domains compared to the
+     sequential interpreter. *)
+  let run name prog ~params ~threads =
+    let options = { Driver.default_options with threads } in
+    match Driver.run ~options ~name ~params prog with
+    | Error e -> Alcotest.fail (name ^ ": " ^ Driver.error_to_string e)
+    | Ok o ->
+        Alcotest.(check string)
+          (name ^ " legality") "ok"
+          (Report.check_result_string o.Driver.report.Report.legality);
+        Alcotest.(check string)
+          (name ^ " semantics") "ok"
+          (Report.check_result_string o.Driver.report.Report.semantics);
+        o
+  in
+  let o2 =
+    run "example2" Loopir.Builtin.example2 ~params:[ ("n", 20) ] ~threads:3
+  in
+  Alcotest.(check string)
+    "ex2 strategy" "rec"
+    o2.Driver.report.Report.strategy;
+  let o4 =
+    run "cholesky" Loopir.Builtin.cholesky
+      ~params:[ ("nmat", 3); ("m", 2); ("n", 6); ("nrhs", 1) ]
+      ~threads:2
+  in
+  Alcotest.(check string)
+    "cholesky strategy" "pdm"
+    o4.Driver.report.Report.strategy
 
 let () =
   Alcotest.run "integration"

@@ -1,0 +1,302 @@
+(* Tests for the pipeline layer: strategy classification, typed plans,
+   result-based error threading, the instrumented driver, and the
+   Report/Json renderers. *)
+
+module Driver = Pipeline.Driver
+module Plan = Pipeline.Plan
+module Report = Pipeline.Report
+module Json = Pipeline.Json
+
+let strategy_of plan = Plan.strategy_name (Plan.strategy plan)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Classification (Algorithm 1 selection through the pipeline)          *)
+
+let test_classify_builtins () =
+  List.iter
+    (fun (name, prog, expected) ->
+      match Driver.classify prog with
+      | Ok plan -> Alcotest.(check string) name expected (strategy_of plan)
+      | Error e -> Alcotest.fail (name ^ ": " ^ Diag.to_string e))
+    [
+      ("example1", Loopir.Builtin.example1, "rec");
+      ("fig2", Loopir.Builtin.fig2, "rec");
+      ("example2", Loopir.Builtin.example2, "rec");
+      ("example3", Loopir.Builtin.example3, "pdm");
+      ("cholesky", Loopir.Builtin.cholesky, "pdm");
+    ]
+
+let test_forced_strategy_roundtrip () =
+  (* strategy_of_string ∘ strategy_name = identity, and find returns the
+     matching module. *)
+  List.iter
+    (fun s ->
+      let name = Plan.strategy_name s in
+      Alcotest.(check bool)
+        ("roundtrip " ^ name) true
+        (Plan.strategy_of_string name = Some s);
+      let (module M : Pipeline.Strategy.S) = Pipeline.Strategy.find s in
+      Alcotest.(check string) ("find " ^ name) name (Plan.strategy_name M.strategy))
+    Plan.all_strategies;
+  Alcotest.(check bool) "unknown name" true
+    (Plan.strategy_of_string "nope" = None)
+
+let test_forced_rec_outside_hypotheses () =
+  (* Cholesky has no single full-rank coupled pair: forcing REC must fail
+     with a typed error, not an exception. *)
+  match Driver.classify ~strategy:Plan.Rec Loopir.Builtin.cholesky with
+  | Ok _ -> Alcotest.fail "REC should not apply to cholesky"
+  | Error (Diag.Unsupported _) -> ()
+  | Error e -> Alcotest.fail ("unexpected error: " ^ Diag.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Driver.run: every strategy end to end on Example 2                   *)
+
+let run_ex2 ?strategy ?(threads = 4) () =
+  let options = { Driver.default_options with threads; strategy } in
+  Driver.run ~options ~name:"example2" ~params:[ ("n", 12) ]
+    Loopir.Builtin.example2
+
+let check_ok name = function
+  | Report.Passed -> ()
+  | Report.Failed m -> Alcotest.fail (name ^ " failed: " ^ m)
+  | Report.Skipped -> Alcotest.fail (name ^ " unexpectedly skipped")
+
+let test_run_all_strategies_ex2 () =
+  List.iter
+    (fun strategy ->
+      let name = Plan.strategy_name strategy in
+      match run_ex2 ~strategy () with
+      | Error e -> Alcotest.fail (name ^ ": " ^ Driver.error_to_string e)
+      | Ok { sched; report; _ } ->
+          Alcotest.(check string) (name ^ " strategy") name
+            report.Report.strategy;
+          if strategy = Plan.Doacross then begin
+            Alcotest.(check bool) "doacross has no schedule" true (sched = None);
+            Alcotest.(check bool) "doacross has a makespan" true
+              (report.Report.model_makespan <> None)
+          end
+          else begin
+            check_ok (name ^ " legality") report.Report.legality;
+            check_ok (name ^ " semantics") report.Report.semantics;
+            Alcotest.(check bool) (name ^ " instances") true
+              (report.Report.n_instances = Some 144)
+          end)
+    Plan.all_strategies
+
+let test_run_report_contents () =
+  match run_ex2 () with
+  | Error e -> Alcotest.fail (Driver.error_to_string e)
+  | Ok { report; _ } ->
+      (* Per-stage timings in pipeline order. *)
+      let stages = List.map fst report.Report.timings in
+      Alcotest.(check (list string))
+        "stage order"
+        [ "classify"; "materialize"; "schedule"; "validate"; "execute" ]
+        stages;
+      List.iter
+        (fun (name, s) ->
+          Alcotest.(check bool) (name ^ " non-negative") true (s >= 0.0))
+        report.Report.timings;
+      (* REC partition statistics: the three sets cover all 144 points. *)
+      (match report.Report.stats with
+      | Some { Report.p1 = Some p1; p2 = Some p2; p3 = Some p3; _ } ->
+          Alcotest.(check int) "three sets cover" 144 (p1 + p2 + p3)
+      | _ -> Alcotest.fail "missing REC stats");
+      (* Thread loads account for every instance. *)
+      (match report.Report.thread_loads with
+      | Some loads ->
+          Alcotest.(check int) "loads sum" 144 (Array.fold_left ( + ) 0 loads)
+      | None -> Alcotest.fail "missing thread loads");
+      (* Phase profile matches the schedule shape. *)
+      Alcotest.(check bool) "phase profile matches phases" true
+        (report.Report.n_phases = Some (List.length report.Report.phases));
+      Alcotest.(check int) "profile instances sum" 144
+        (List.fold_left
+           (fun acc p -> acc + p.Report.instances)
+           0 report.Report.phases)
+
+let test_run_text_and_json () =
+  match run_ex2 () with
+  | Error e -> Alcotest.fail (Driver.error_to_string e)
+  | Ok { report; _ } ->
+      let text = Report.to_text report in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool)
+            ("text mentions " ^ needle) true
+            (contains ~needle text))
+        [ "example2"; "strategy : rec"; "legality : ok"; "semantics: ok" ];
+      let json = Json.to_string (Report.to_json report) in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool)
+            ("json mentions " ^ needle) true
+            (contains ~needle json))
+        [
+          "\"program\":\"example2\"";
+          "\"strategy\":\"rec\"";
+          "\"stages\":{\"classify\":";
+          "\"legality\":\"ok\"";
+          "\"partition\":{";
+        ]
+
+(* ------------------------------------------------------------------ *)
+(* Error threading: typed Diag errors instead of failwith strings       *)
+
+let test_unbound_parameter () =
+  match Driver.run ~name:"example2" ~params:[] Loopir.Builtin.example2 with
+  | Error { Driver.stage = Diag.Materialize; error = Diag.Unbound_parameter p }
+    ->
+      Alcotest.(check string) "which parameter" "n" p
+  | Error e -> Alcotest.fail ("unexpected: " ^ Driver.error_to_string e)
+  | Ok _ -> Alcotest.fail "missing parameter not reported"
+
+let test_invalid_thread_count () =
+  let options = { Driver.default_options with threads = 0 } in
+  match Driver.run ~options ~name:"fig2" ~params:[] Loopir.Builtin.fig2 with
+  | Error { Driver.error = Diag.Invalid_thread_count 0; _ } -> ()
+  | Error e -> Alcotest.fail ("unexpected: " ^ Driver.error_to_string e)
+  | Ok _ -> Alcotest.fail "threads=0 accepted"
+
+let test_trace_unbound_parameter_result () =
+  match Depend.Trace.build_result Loopir.Builtin.example2 ~params:[] with
+  | Error (Diag.Unbound_parameter "n") -> ()
+  | Error e -> Alcotest.fail ("unexpected: " ^ Diag.to_string e)
+  | Ok _ -> Alcotest.fail "unbound parameter not reported"
+
+let test_materialize_result_param_arity () =
+  match Driver.classify Loopir.Builtin.example1 with
+  | Ok (Plan.Rec_chains rp) -> (
+      match Core.Partition.materialize rp ~params:[| 10 |] with
+      | Error (Diag.Param_arity { expected = 2; got = 1 }) -> ()
+      | Error e -> Alcotest.fail ("unexpected: " ^ Diag.to_string e)
+      | Ok _ -> Alcotest.fail "arity mismatch not reported")
+  | _ -> Alcotest.fail "example1 REC expected"
+
+let test_error_labels_stable () =
+  (* Kebab-case labels are part of the tooling interface. *)
+  List.iter
+    (fun (e, label) -> Alcotest.(check string) label label (Diag.label e))
+    [
+      (Diag.Unsupported "x", "unsupported");
+      (Diag.Unbound_parameter "n", "unbound-parameter");
+      (Diag.Param_arity { expected = 1; got = 2 }, "param-arity");
+      (Diag.Singular_recurrence "t", "singular-recurrence");
+      (Diag.Set_blowup "b", "set-blowup");
+      (Diag.Invalid_thread_count 0, "invalid-thread-count");
+    ];
+  (* Every stage has a printable name. *)
+  List.iter
+    (fun s -> Alcotest.(check bool) "stage name" true (Diag.stage_name s <> ""))
+    Diag.all_stages
+
+(* ------------------------------------------------------------------ *)
+(* Engine equivalence through the driver                                *)
+
+let test_engines_agree () =
+  let run engine =
+    let options = { Driver.default_options with engine; measure = false } in
+    match
+      Driver.run ~options ~name:"example2" ~params:[ ("n", 10) ]
+        Loopir.Builtin.example2
+    with
+    | Ok { concrete = Driver.Rec { c; _ }; _ } -> c
+    | Ok _ -> Alcotest.fail "REC expected"
+    | Error e -> Alcotest.fail (Driver.error_to_string e)
+  in
+  let a = run `Enum and b = run `Scan in
+  Alcotest.(check bool) "same P1" true
+    (a.Core.Partition.p1_pts = b.Core.Partition.p1_pts);
+  Alcotest.(check bool) "same chains" true
+    (List.sort compare a.Core.Partition.chains.Core.Chain.chains
+    = List.sort compare b.Core.Partition.chains.Core.Chain.chains)
+
+(* ------------------------------------------------------------------ *)
+(* Codegen through the pipeline                                         *)
+
+let test_codegen_rec_and_unsupported () =
+  (match Driver.classify Loopir.Builtin.example1 with
+  | Ok plan -> (
+      match Driver.codegen plan ~prog:Loopir.Builtin.example1 with
+      | Ok listing ->
+          Alcotest.(check bool) "REC listing non-empty" true
+            (String.length listing > 0)
+      | Error e -> Alcotest.fail (Diag.to_string e))
+  | Error e -> Alcotest.fail (Diag.to_string e));
+  match Driver.classify ~strategy:Plan.Doacross Loopir.Builtin.example2 with
+  | Ok plan -> (
+      match Driver.codegen plan ~prog:Loopir.Builtin.example2 with
+      | Error (Diag.Unsupported _) -> ()
+      | Error e -> Alcotest.fail ("unexpected: " ^ Diag.to_string e)
+      | Ok _ -> Alcotest.fail "doacross has no listing")
+  | Error e -> Alcotest.fail (Diag.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Json renderer                                                        *)
+
+let test_json_rendering () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.Str "a\"b\n");
+        ("n", Json.Int (-3));
+        ("f", Json.Float 0.5);
+        ("b", Json.Bool true);
+        ("z", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.Int 2 ]);
+      ]
+  in
+  Alcotest.(check string)
+    "compact"
+    "{\"s\":\"a\\\"b\\n\",\"n\":-3,\"f\":0.5,\"b\":true,\"z\":null,\"l\":[1,2]}"
+    (Json.to_string v);
+  (* Non-finite floats degrade to null rather than emitting invalid JSON. *)
+  Alcotest.(check string) "nan" "null" (Json.to_string (Json.Float nan));
+  (* Pretty output keeps the same keys. *)
+  let pretty = Json.to_string_pretty v in
+  Alcotest.(check bool) "pretty contains key" true
+    (contains ~needle:"\"n\": -3" pretty)
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "classify",
+        [
+          Alcotest.test_case "Algorithm 1 on the builtins" `Quick
+            test_classify_builtins;
+          Alcotest.test_case "strategy name roundtrip" `Quick
+            test_forced_strategy_roundtrip;
+          Alcotest.test_case "forced REC outside hypotheses" `Quick
+            test_forced_rec_outside_hypotheses;
+        ] );
+      ( "run",
+        [
+          Alcotest.test_case "all strategies on example2" `Quick
+            test_run_all_strategies_ex2;
+          Alcotest.test_case "report contents" `Quick test_run_report_contents;
+          Alcotest.test_case "text and JSON rendering" `Quick
+            test_run_text_and_json;
+          Alcotest.test_case "enum ≡ scan engines" `Quick test_engines_agree;
+          Alcotest.test_case "codegen availability" `Quick
+            test_codegen_rec_and_unsupported;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "unbound parameter" `Quick test_unbound_parameter;
+          Alcotest.test_case "invalid thread count" `Quick
+            test_invalid_thread_count;
+          Alcotest.test_case "trace build_result" `Quick
+            test_trace_unbound_parameter_result;
+          Alcotest.test_case "materialize arity" `Quick
+            test_materialize_result_param_arity;
+          Alcotest.test_case "stable error labels" `Quick
+            test_error_labels_stable;
+        ] );
+      ( "json", [ Alcotest.test_case "rendering" `Quick test_json_rendering ] );
+    ]

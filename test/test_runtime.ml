@@ -150,6 +150,39 @@ let test_duplicate_instance_detected () =
   | Ok () -> Alcotest.fail "duplicate not detected"
   | Error _ -> ()
 
+let test_duplicate_across_tasks_detected () =
+  (* The same instance appearing in two tasks of one phase must be caught
+     even though each task alone is fine. *)
+  let prog = List.assoc "vecadd" Loopir.Builtin.corpus in
+  let tr = Trace.build prog ~params:[ ("n", 3) ] in
+  let inst k = { Sched.stmt = 0; iter = [| k |] } in
+  let bad =
+    Sched.of_phases
+      [
+        Sched.Tasks
+          { label = "dup"; tasks = [| [| inst 1; inst 2 |]; [| inst 2; inst 3 |] |] };
+      ]
+  in
+  match Sched.check_legal bad tr with
+  | Ok () -> Alcotest.fail "cross-task duplicate not detected"
+  | Error _ -> ()
+
+let test_edge_violation_same_doall_detected () =
+  (* Putting a dependent pair in the same DOALL phase breaks the edge even
+     though every instance appears exactly once and in source order. *)
+  let prog = List.assoc "prefix_sum" Loopir.Builtin.corpus in
+  let tr = Trace.build prog ~params:[ ("n", 4) ] in
+  let all =
+    Array.map
+      (fun (i : Trace.instance) ->
+        { Sched.stmt = i.Trace.stmt; iter = i.Trace.iter })
+      tr.Trace.instances
+  in
+  let bad = Sched.of_phases [ Sched.Doall { label = "flat"; instances = all } ] in
+  match Sched.check_legal bad tr with
+  | Ok () -> Alcotest.fail "same-phase dependence edge not detected"
+  | Error _ -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Simulator                                                            *)
 
@@ -220,6 +253,66 @@ let test_exec_fronts_parallel () =
   | Ok () -> ()
   | Error m -> Alcotest.fail m
 
+let test_exec_determinism_paper_examples () =
+  (* Every paper example, every thread count: the domain executor must land
+     on exactly the sequential store (same float results, no races). *)
+  let cases =
+    [
+      ("example1", Loopir.Builtin.example1, [ ("n1", 10); ("n2", 10) ]);
+      ("fig2", Loopir.Builtin.fig2, []);
+      ("example2", Loopir.Builtin.example2, [ ("n", 12) ]);
+      ( "cholesky",
+        Loopir.Builtin.cholesky,
+        [ ("nmat", 2); ("m", 2); ("n", 5); ("nrhs", 1) ] );
+    ]
+  in
+  List.iter
+    (fun (name, prog, params) ->
+      let sched =
+        match Partition.choose prog with
+        | Partition.Rec_chains rp ->
+            let arr = Array.of_list (List.map snd params) in
+            Sched.of_rec ~stmt:0 (Partition.materialize_rec_scan rp ~params:arr)
+        | Partition.Dataflow_const | Partition.Pdm_fallback _ ->
+            Sched.of_fronts (Dataflow.peel_concrete prog ~params)
+      in
+      let env = Interp.prepare prog ~params in
+      List.iter
+        (fun threads ->
+          match Exec.check env ~threads sched with
+          | Ok () -> ()
+          | Error m ->
+              Alcotest.fail
+                (Printf.sprintf "%s at %d thread(s): %s" name threads m))
+        [ 1; 2; 4; 8 ])
+    cases
+
+let test_exec_degenerate_threads () =
+  (* threads ≤ 0 must clamp to sequential execution, not crash or spawn. *)
+  let prog = List.assoc "vecadd" Loopir.Builtin.corpus in
+  let params = [ ("n", 4) ] in
+  let tr = Trace.build prog ~params in
+  let sched = Sched.sequential_of_trace tr in
+  let env = Interp.prepare prog ~params in
+  List.iter
+    (fun threads ->
+      match Exec.check env ~threads sched with
+      | Ok () -> ()
+      | Error m ->
+          Alcotest.fail (Printf.sprintf "threads=%d: %s" threads m))
+    [ 0; -1 ];
+  (* Bucketing never produces empty buckets to spawn for. *)
+  Alcotest.(check int) "no buckets for empty input" 0
+    (List.length (Exec.doall_buckets 4 [||]));
+  List.iter
+    (fun threads ->
+      let buckets = Exec.doall_buckets threads [| 1; 2; 3 |] in
+      Alcotest.(check int) "all elements kept" 3
+        (List.fold_left (fun acc b -> acc + Array.length b) 0 buckets);
+      Alcotest.(check bool) "no empty bucket" true
+        (List.for_all (fun b -> Array.length b > 0) buckets))
+    [ -3; 0; 1; 2; 7 ]
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -249,6 +342,10 @@ let () =
             test_illegal_schedule_detected;
           Alcotest.test_case "duplicate instance detected" `Quick
             test_duplicate_instance_detected;
+          Alcotest.test_case "cross-task duplicate detected" `Quick
+            test_duplicate_across_tasks_detected;
+          Alcotest.test_case "same-phase edge violation detected" `Quick
+            test_edge_violation_same_doall_detected;
         ] );
       ( "sim",
         [
@@ -264,5 +361,9 @@ let () =
             test_exec_parallel_matches_sequential;
           Alcotest.test_case "domains ≡ sequential (cholesky fronts)" `Quick
             test_exec_fronts_parallel;
+          Alcotest.test_case "determinism at 1/2/4/8 threads" `Quick
+            test_exec_determinism_paper_examples;
+          Alcotest.test_case "degenerate thread counts" `Quick
+            test_exec_degenerate_threads;
         ] );
     ]
