@@ -544,6 +544,57 @@ let ablation () =
 (* ------------------------------------------------------------------ *)
 (* E10 — pipeline reports → BENCH_pipeline.json                         *)
 
+(* Helpers for the per-run observability blocks of BENCH_pipeline.json. *)
+let stages_json (r : Pipeline.Report.t) =
+  Pipeline.Json.Obj
+    (List.map
+       (fun (label, s) -> (label, Pipeline.Json.Float s))
+       r.Pipeline.Report.timings)
+
+let phase_profile_json (r : Pipeline.Report.t) =
+  Pipeline.Json.List
+    (List.map
+       (fun (p : Pipeline.Report.phase_profile) ->
+         Pipeline.Json.Obj
+           [
+             ("label", Pipeline.Json.Str p.Pipeline.Report.label);
+             ("instances", Pipeline.Json.Int p.Pipeline.Report.instances);
+             ("units", Pipeline.Json.Int p.Pipeline.Report.units);
+             ("seconds", Pipeline.Json.Float p.Pipeline.Report.seconds);
+           ])
+       r.Pipeline.Report.phases)
+
+let metrics_json (m : Obs.Metrics.t) =
+  Pipeline.Json.Obj
+    [
+      ( "counters",
+        Pipeline.Json.Obj
+          (List.map
+             (fun (n, v) -> (n, Pipeline.Json.Int v))
+             m.Obs.Metrics.counters) );
+      ( "histograms",
+        Pipeline.Json.Obj
+          (List.map
+             (fun (n, (h : Obs.Histogram.snap)) ->
+               ( n,
+                 Pipeline.Json.Obj
+                   [
+                     ("count", Pipeline.Json.Int h.Obs.Histogram.count);
+                     ("sum", Pipeline.Json.Int h.Obs.Histogram.sum);
+                     ( "buckets",
+                       Pipeline.Json.List
+                         (List.map
+                            (fun (le, c) ->
+                              Pipeline.Json.Obj
+                                [
+                                  ("le", Pipeline.Json.Int le);
+                                  ("count", Pipeline.Json.Int c);
+                                ])
+                            h.Obs.Histogram.buckets) );
+                   ] ))
+             m.Obs.Metrics.histograms) );
+    ]
+
 let pipeline_json () =
   section "E10 / pipeline reports: BENCH_pipeline.json";
   let sc = if quick then 1 else 2 in
@@ -559,6 +610,9 @@ let pipeline_json () =
     ]
   in
   let thread_counts = [ 1; 2; 4 ] in
+  (* One recording sink across the whole section: the resulting
+     BENCH_trace.json shows every program × thread-count run end to end. *)
+  let sink = Obs.Sink.make () in
   let entries =
     List.filter_map
       (fun (name, prog, params) ->
@@ -566,8 +620,9 @@ let pipeline_json () =
           List.filter_map
             (fun threads ->
               let options =
-                { Pipeline.Driver.default_options with threads }
+                { Pipeline.Driver.default_options with threads; sink }
               in
+              let name = Printf.sprintf "%s@t%d" name threads in
               match Pipeline.Driver.run ~options ~name ~params prog with
               | Ok o -> Some (threads, o.Pipeline.Driver.report)
               | Error e ->
@@ -627,6 +682,17 @@ let pipeline_json () =
                                   Json.Str
                                     (Report.check_result_string
                                        r.Report.semantics) );
+                                ("stages", stages_json r);
+                                ("phase_profile", phase_profile_json r);
+                                ( "idle_fraction",
+                                  match r.Report.balance with
+                                  | Some b ->
+                                      Json.Float b.Report.idle_fraction
+                                  | None -> Json.Null );
+                                ( "metrics",
+                                  match r.Report.metrics with
+                                  | Some m -> metrics_json m
+                                  | None -> Json.Null );
                               ])
                           runs) );
                  ]))
@@ -636,7 +702,13 @@ let pipeline_json () =
   output_string oc (Pipeline.Json.to_string_pretty (Pipeline.Json.List entries));
   output_char oc '\n';
   close_out oc;
-  Printf.printf "wrote BENCH_pipeline.json (%d programs)\n" (List.length entries)
+  Printf.printf "wrote BENCH_pipeline.json (%d programs)\n" (List.length entries);
+  let oc = open_out "BENCH_trace.json" in
+  output_string oc (Obs.Trace.to_chrome_json ~process:"bench" sink);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_trace.json (%d spans)\n"
+    (List.length (Obs.Sink.spans sink))
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (bechamel)                                          *)

@@ -71,6 +71,44 @@ let threads_arg =
   let doc = "Number of threads/domains." in
   Arg.(value & opt int 4 & info [ "t"; "threads" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Write a Chrome trace_event JSON file of the run; load it in \
+     chrome://tracing or https://ui.perfetto.dev."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let write_trace ?metrics sink = function
+  | None -> ()
+  | Some path ->
+      write_file path (Obs.Trace.to_chrome_json ?metrics sink);
+      Printf.eprintf "trace written to %s (open in ui.perfetto.dev)\n" path
+
+(* The JSON shape for a failed run: the stage that died, the structured
+   error, and the wall time of every stage that completed first. *)
+let error_json (e : Pipeline.Driver.error) =
+  Pipeline.Json.Obj
+    [
+      ("ok", Pipeline.Json.Bool false);
+      ("failed_stage", Pipeline.Json.Str (Diag.stage_name e.Pipeline.Driver.stage));
+      ("error", Pipeline.Json.Str (Diag.to_string e.Pipeline.Driver.error));
+      ( "stages",
+        Pipeline.Json.List
+          (List.map
+             (fun (label, s) ->
+               Pipeline.Json.Obj
+                 [
+                   ("stage", Pipeline.Json.Str label);
+                   ("seconds", Pipeline.Json.Float s);
+                 ])
+             e.Pipeline.Driver.timings) );
+    ]
+
 let strategy_arg =
   let doc =
     "Force a partitioning strategy instead of Algorithm 1 selection. One of "
@@ -252,15 +290,27 @@ let run_cmd =
     let doc = "Emit the run report as JSON instead of text." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run spec passoc threads strategy json =
+  let run spec passoc threads strategy json trace =
     let prog = load_program spec in
     let params = params_of_assoc prog passoc in
+    let sink =
+      if trace = None then Obs.Sink.null else Obs.Sink.make ()
+    in
     let options =
-      { Pipeline.Driver.default_options with threads; strategy }
+      { Pipeline.Driver.default_options with threads; strategy; sink }
     in
     match Pipeline.Driver.run ~options ~name:spec ~params prog with
-    | Error e -> die "recpart: %s" (Pipeline.Driver.error_to_string e)
+    | Error e ->
+        (* The partial trace still shows where time went before the
+           failure. *)
+        write_trace sink trace;
+        if json then begin
+          print_endline (Pipeline.Json.to_string_pretty (error_json e));
+          exit 1
+        end
+        else die "recpart: %s" (Pipeline.Driver.error_to_string e)
     | Ok { report; _ } ->
+        write_trace ?metrics:report.Pipeline.Report.metrics sink trace;
         if json then
           print_endline
             (Pipeline.Json.to_string_pretty (Pipeline.Report.to_json report))
@@ -278,7 +328,36 @@ let run_cmd =
          "Run the full pipeline: partition, execute on domains, validate \
           against sequential, and report per-stage timings")
     Term.(const run $ prog_arg $ params_arg $ threads_arg $ strategy_arg
-          $ json_arg)
+          $ json_arg $ trace_arg)
+
+(* ---- profile ----------------------------------------------------------- *)
+
+let profile_cmd =
+  let run spec passoc threads strategy trace =
+    let prog = load_program spec in
+    let params = params_of_assoc prog passoc in
+    let sink = Obs.Sink.make () in
+    let options =
+      { Pipeline.Driver.default_options with threads; strategy; sink }
+    in
+    match Pipeline.Driver.run ~options ~name:spec ~params prog with
+    | Error e ->
+        write_trace sink trace;
+        die "recpart: %s" (Pipeline.Driver.error_to_string e)
+    | Ok { report; _ } ->
+        print_string (Obs.Trace.to_text sink);
+        print_newline ();
+        print_string (Pipeline.Report.to_text report);
+        write_trace ?metrics:report.Pipeline.Report.metrics sink trace
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run the pipeline with span recording on: print the per-domain \
+          span tree and the report (with load-imbalance and metrics \
+          sections), and optionally write a Chrome trace with $(b,--trace)")
+    Term.(const run $ prog_arg $ params_arg $ threads_arg $ strategy_arg
+          $ trace_arg)
 
 (* ---- simulate ---------------------------------------------------------- *)
 
@@ -367,7 +446,7 @@ let main =
     (Cmd.info "recpart" ~version:"1.0" ~doc)
     [
       list_cmd; show_cmd; analyze_cmd; partition_cmd; codegen_cmd; run_cmd;
-      simulate_cmd; viz_cmd;
+      profile_cmd; simulate_cmd; viz_cmd;
     ]
 
 let () = exit (Cmd.eval main)

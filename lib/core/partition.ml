@@ -22,6 +22,27 @@ type plan =
   | Dataflow_const
   | Pdm_fallback of string
 
+(* Partition-shape metrics, recorded by both materialization engines so a
+   report diff shows |P1|/|P2|/|P3|, the chain count and the chain-length
+   distribution of every run. *)
+let c_p1 = Obs.Counter.make "partition.p1_points"
+let c_p2 = Obs.Counter.make "partition.p2_points"
+let c_p3 = Obs.Counter.make "partition.p3_points"
+let c_chains = Obs.Counter.make "partition.chains"
+let h_chain_len = Obs.Histogram.make "partition.chain_length"
+
+let record_concrete (c : concrete_rec) =
+  Obs.Counter.add c_p1 (List.length c.p1_pts);
+  Obs.Counter.add c_p3 (List.length c.p3_pts);
+  Obs.Counter.add c_chains (List.length c.chains.Chain.chains);
+  List.iter
+    (fun chain ->
+      let len = List.length chain in
+      Obs.Counter.add c_p2 len;
+      Obs.Histogram.observe h_chain_len len)
+    c.chains.Chain.chains;
+  c
+
 let choose prog =
   let single_pair () =
     match Solve.analyze_simple prog with
@@ -73,7 +94,7 @@ let materialize_rec rp ~params =
   let growth = Recurrence.growth rec_ in
   let diameter = Theorem.diameter rp.simple.Solve.phi ~params in
   let theorem_bound = Theorem.bound ~growth ~diameter in
-  { p1_pts; chains; p3_pts; growth; theorem_bound }
+  record_concrete { p1_pts; chains; p3_pts; growth; theorem_bound }
 
 let materialize_rec_scan rp ~params =
   let np = Array.length rp.simple.Solve.params in
@@ -152,13 +173,14 @@ let materialize_rec_scan rp ~params =
         sqrt !acc
     | _ -> 0.0
   in
-  {
-    p1_pts = List.rev !p1;
-    chains = { Chain.chains; longest };
-    p3_pts = List.rev !p3;
-    growth;
-    theorem_bound = Theorem.bound ~growth ~diameter;
-  }
+  record_concrete
+    {
+      p1_pts = List.rev !p1;
+      chains = { Chain.chains; longest };
+      p3_pts = List.rev !p3;
+      growth;
+      theorem_bound = Theorem.bound ~growth ~diameter;
+    }
 
 let materialize ?(engine = `Scan) rp ~params =
   match

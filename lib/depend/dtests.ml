@@ -5,6 +5,23 @@ module P = Presburger.Poly
 
 type verdict = Independent | Maybe_dependent
 
+(* Per-test call + inconclusive counters.  "Inconclusive" means the test
+   returned [Maybe_dependent]: for GCD/Banerjee that is the conservative
+   answer, for the exact Omega test it means a genuine dependence. *)
+let c_gcd = Obs.Counter.make "dtests.gcd"
+let c_gcd_inconclusive = Obs.Counter.make "dtests.gcd_inconclusive"
+let c_banerjee = Obs.Counter.make "dtests.banerjee"
+let c_banerjee_inconclusive = Obs.Counter.make "dtests.banerjee_inconclusive"
+let c_exact = Obs.Counter.make "dtests.exact"
+let c_exact_dependent = Obs.Counter.make "dtests.exact_dependent"
+let c_equations = Obs.Counter.make "dtests.equations_built"
+
+let count_verdict inconclusive = function
+  | Independent -> Independent
+  | Maybe_dependent ->
+      Obs.Counter.incr inconclusive;
+      Maybe_dependent
+
 type equation = {
   a : int array;
   b : int array;
@@ -14,16 +31,19 @@ type equation = {
 }
 
 let gcd_test eq =
+  Obs.Counter.incr c_gcd;
   let g =
     Array.fold_left S.gcd (Array.fold_left S.gcd 0 eq.a) eq.b
   in
-  if g = 0 then if eq.c = 0 then Maybe_dependent else Independent
-  else if eq.c mod g <> 0 then Independent
-  else Maybe_dependent
+  count_verdict c_gcd_inconclusive
+    (if g = 0 then if eq.c = 0 then Maybe_dependent else Independent
+     else if eq.c mod g <> 0 then Independent
+     else Maybe_dependent)
 
 (* Banerjee: the value Σ aᵢ·iᵢ − Σ bⱼ·jⱼ over the bounds spans
    [Σ min(coef·range), Σ max(coef·range)]; no solution when -c is outside. *)
 let banerjee_test eq =
+  Obs.Counter.incr c_banerjee;
   let add_range (mn, mx) coef lo hi =
     if coef >= 0 then (S.add mn (S.mul coef lo), S.add mx (S.mul coef hi))
     else (S.add mn (S.mul coef hi), S.add mx (S.mul coef lo))
@@ -34,7 +54,8 @@ let banerjee_test eq =
     (fun k c -> range := add_range !range (-c) eq.lo.(k) eq.hi.(k))
     eq.b;
   let mn, mx = !range in
-  if -eq.c < mn || -eq.c > mx then Independent else Maybe_dependent
+  count_verdict c_banerjee_inconclusive
+    (if -eq.c < mn || -eq.c > mx then Independent else Maybe_dependent)
 
 let combined eq =
   match gcd_test eq with
@@ -46,6 +67,7 @@ let equations_of_pair (p : Depeq.t) ~params ~lo ~hi =
   if Array.length lo <> m || Array.length hi <> m then
     invalid_arg "Dtests.equations_of_pair: bounds arity";
   List.init m (fun d ->
+      Obs.Counter.incr c_equations;
       let a = Array.init m (fun k -> Linalg.Imat.get p.Depeq.a_mat k d) in
       let b = Array.init m (fun k -> Linalg.Imat.get p.Depeq.b_mat k d) in
       let c =
@@ -56,6 +78,7 @@ let equations_of_pair (p : Depeq.t) ~params ~lo ~hi =
       { a; b; c; lo; hi })
 
 let exact eq =
+  Obs.Counter.incr c_exact;
   let m = Array.length eq.a in
   let n = 2 * m in
   let coef = Array.make n 0 in
@@ -71,4 +94,5 @@ let exact eq =
            ]))
   in
   let p = P.make n (C.Eq (L.make coef eq.c) :: bounds) in
-  if Presburger.Omega.is_empty p then Independent else Maybe_dependent
+  count_verdict c_exact_dependent
+    (if Presburger.Omega.is_empty p then Independent else Maybe_dependent)

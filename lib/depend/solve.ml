@@ -17,19 +17,28 @@ type simple = {
   pair : Depeq.t option;
 }
 
+let c_analyze_simple = Obs.Counter.make "solve.analyze_simple"
+let c_analyze_unified = Obs.Counter.make "solve.analyze_unified"
+let c_dep_pairs = Obs.Counter.make "solve.dep_pairs"
+
 (* Ordered reference pairs with at least one write. *)
 let dep_ref_pairs refs1 refs2 =
-  List.concat_map
-    (fun (a1, s1, k1) ->
-      List.filter_map
-        (fun (a2, s2, k2) ->
-          if a1 = a2 && (k1 = Prog.Write || k2 = Prog.Write) then
-            Some ((a1, s1, k1), (a2, s2, k2))
-          else None)
-        refs2)
-    refs1
+  let pairs =
+    List.concat_map
+      (fun (a1, s1, k1) ->
+        List.filter_map
+          (fun (a2, s2, k2) ->
+            if a1 = a2 && (k1 = Prog.Write || k2 = Prog.Write) then
+              Some ((a1, s1, k1), (a2, s2, k2))
+            else None)
+          refs2)
+      refs1
+  in
+  Obs.Counter.add c_dep_pairs (List.length pairs);
+  pairs
 
 let analyze_simple prog0 =
+  Obs.Counter.incr c_analyze_simple;
   let prog = Loopir.Normalize.unit_strides prog0 in
   let stmt =
     match Prog.stmts_of prog with
@@ -141,6 +150,7 @@ let pair_relation u (s1 : Prog.stmt_info) subs1 (s2 : Prog.stmt_info) subs2 =
   | _ -> None
 
 let analyze_unified prog0 =
+  Obs.Counter.incr c_analyze_unified;
   let prog = Loopir.Normalize.unit_strides prog0 in
   let u, phi = Space.unified_space prog in
   let stmts = Prog.stmts_of prog in

@@ -1,0 +1,22 @@
+(** The single clock every span and phase timing goes through.
+
+    The primary source is [CLOCK_MONOTONIC] (via the bechamel C stub), so
+    timings cannot go backwards under NTP adjustment.  If that clock is
+    unavailable at runtime (it reports a frozen value), readings fall back
+    to {!Unix.gettimeofday} forced monotone by a global high-water mark —
+    documented fallback only, never the preferred path. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on a monotonic timeline.  The origin is unspecified (boot
+    time on Linux); only differences are meaningful. *)
+
+val now_s : unit -> float
+(** [now_ns] in seconds. *)
+
+val elapsed_s : int64 -> float
+(** [elapsed_s t0] is the seconds elapsed since the earlier reading
+    [t0]. *)
+
+val wall_s : unit -> float
+(** Wall-clock epoch seconds ({!Unix.gettimeofday}) — for timestamps
+    meant to be correlated with the outside world, never for durations. *)

@@ -1,0 +1,63 @@
+let n_buckets = 63
+
+type snap = { count : int; sum : int; buckets : (int * int) list }
+
+type t = {
+  name : string;
+  count : int Atomic.t;
+  sum : int Atomic.t;
+  buckets : int Atomic.t array;  (* bucket k: 2^(k-1) < v <= 2^k *)
+}
+
+let registry : t list Atomic.t = Atomic.make []
+
+let make name =
+  let rec go () =
+    let seen = Atomic.get registry in
+    match List.find_opt (fun h -> h.name = name) seen with
+    | Some h -> h
+    | None ->
+        let h =
+          {
+            name;
+            count = Atomic.make 0;
+            sum = Atomic.make 0;
+            buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+          }
+        in
+        if Atomic.compare_and_set registry seen (h :: seen) then h else go ()
+  in
+  go ()
+
+let bucket_of v =
+  if v <= 1 then 0
+  else
+    (* index of the highest set bit of v-1, plus one: 2^(k-1) < v <= 2^k *)
+    let rec go k x = if x = 0 then k else go (k + 1) (x lsr 1) in
+    min (n_buckets - 1) (go 0 (v - 1))
+
+let observe t v =
+  ignore (Atomic.fetch_and_add t.count 1);
+  ignore (Atomic.fetch_and_add t.sum (max 0 v));
+  ignore (Atomic.fetch_and_add t.buckets.(bucket_of v) 1)
+
+let snap t : snap =
+  let buckets = ref [] in
+  for k = n_buckets - 1 downto 0 do
+    let n = Atomic.get t.buckets.(k) in
+    if n > 0 then buckets := ((1 lsl k), n) :: !buckets
+  done;
+  { count = Atomic.get t.count; sum = Atomic.get t.sum; buckets = !buckets }
+
+let snapshot () =
+  Atomic.get registry
+  |> List.map (fun h -> (h.name, snap h))
+  |> List.sort compare
+
+let reset_all () =
+  List.iter
+    (fun h ->
+      Atomic.set h.count 0;
+      Atomic.set h.sum 0;
+      Array.iter (fun b -> Atomic.set b 0) h.buckets)
+    (Atomic.get registry)

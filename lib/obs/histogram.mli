@@ -1,0 +1,26 @@
+(** Process-wide named histograms over non-negative integers, with
+    power-of-two buckets: bucket [k] counts observations [v] with
+    [2^(k-1) < v ≤ 2^k] (bucket 0 counts [v ≤ 0 or v = 1]).  Observation
+    is one atomic fetch-and-add per sample plus two for count/sum. *)
+
+type t
+
+type snap = {
+  count : int;
+  sum : int;
+  buckets : (int * int) list;
+      (** (inclusive upper bound of the bucket, samples in it); empty
+          buckets omitted *)
+}
+
+val make : string -> t
+(** Creates (or returns the existing) histogram with this name. *)
+
+val observe : t -> int -> unit
+
+val snap : t -> snap
+
+val snapshot : unit -> (string * snap) list
+(** Every registered histogram, sorted by name. *)
+
+val reset_all : unit -> unit

@@ -1,0 +1,43 @@
+type t = {
+  counters : (string * int) list;
+  histograms : (string * Histogram.snap) list;
+}
+
+let snapshot () =
+  { counters = Counter.snapshot (); histograms = Histogram.snapshot () }
+
+let diff ~before ~after =
+  let counters =
+    List.filter_map
+      (fun (name, v) ->
+        let v0 =
+          Option.value ~default:0 (List.assoc_opt name before.counters)
+        in
+        if v - v0 = 0 then None else Some (name, v - v0))
+      after.counters
+  in
+  let hist_diff (a : Histogram.snap) (b : Histogram.snap) : Histogram.snap =
+    let bucket (ub, n) =
+      let n0 = Option.value ~default:0 (List.assoc_opt ub b.buckets) in
+      if n - n0 = 0 then None else Some (ub, n - n0)
+    in
+    {
+      Histogram.count = a.Histogram.count - b.Histogram.count;
+      sum = a.Histogram.sum - b.Histogram.sum;
+      buckets = List.filter_map bucket a.Histogram.buckets;
+    }
+  in
+  let histograms =
+    List.filter_map
+      (fun (name, h) ->
+        let d =
+          match List.assoc_opt name before.histograms with
+          | Some h0 -> hist_diff h h0
+          | None -> h
+        in
+        if d.Histogram.count = 0 then None else Some (name, d))
+      after.histograms
+  in
+  { counters; histograms }
+
+let is_empty t = t.counters = [] && t.histograms = []

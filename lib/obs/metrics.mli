@@ -1,0 +1,19 @@
+(** A combined snapshot of every registered counter and histogram —
+    what pipeline reports embed.
+
+    Counters and histograms are cumulative for the process; {!diff} turns
+    two snapshots into the activity between them (a per-run view). *)
+
+type t = {
+  counters : (string * int) list;
+  histograms : (string * Histogram.snap) list;
+}
+
+val snapshot : unit -> t
+
+val diff : before:t -> after:t -> t
+(** Per-name subtraction.  Counters that did not move and histograms that
+    saw no observations are dropped, so a diff only lists the layers the
+    run actually exercised. *)
+
+val is_empty : t -> bool

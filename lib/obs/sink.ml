@@ -1,0 +1,73 @@
+type span = {
+  name : string;
+  args : (string * string) list;
+  tid : int;
+  start_ns : int64;
+  dur_ns : int64;
+  depth : int;
+}
+
+(* One cell per (recording sink, domain): only the owning domain mutates
+   [recorded], so appends need no synchronization.  Registration into the
+   sink's cell list is a CAS loop; domain termination is a memory barrier
+   (Domain.join), so the reader sees complete cells. *)
+type cell = { tid : int; mutable recorded : span list }
+
+type rec_sink = { id : int; cells : cell list Atomic.t }
+type t = Null | Rec of rec_sink
+
+let null = Null
+let next_id = Atomic.make 0
+
+let make () =
+  Rec { id = Atomic.fetch_and_add next_id 1; cells = Atomic.make [] }
+
+let enabled = function Null -> false | Rec _ -> true
+
+(* sink id → this domain's cell for that sink *)
+let cells_key : (int * cell) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let my_cell s =
+  let local = Domain.DLS.get cells_key in
+  match List.assoc_opt s.id !local with
+  | Some c -> c
+  | None ->
+      let c = { tid = (Domain.self () :> int); recorded = [] } in
+      local := (s.id, c) :: !local;
+      let rec register () =
+        let seen = Atomic.get s.cells in
+        if not (Atomic.compare_and_set s.cells seen (c :: seen)) then
+          register ()
+      in
+      register ();
+      c
+
+let record t span =
+  match t with
+  | Null -> ()
+  | Rec s ->
+      let c = my_cell s in
+      c.recorded <- span :: c.recorded
+
+let spans = function
+  | Null -> []
+  | Rec s ->
+      List.concat_map (fun c -> c.recorded) (Atomic.get s.cells)
+      |> List.sort (fun a b ->
+             match Int64.compare a.start_ns b.start_ns with
+             | 0 -> compare (a.depth, a.tid) (b.depth, b.tid)
+             | c -> c)
+
+let clear = function
+  | Null -> ()
+  | Rec s -> List.iter (fun c -> c.recorded <- []) (Atomic.get s.cells)
+
+let ambient_sink = Atomic.make Null
+let ambient () = Atomic.get ambient_sink
+let set_ambient t = Atomic.set ambient_sink t
+
+let with_ambient t f =
+  let prev = Atomic.get ambient_sink in
+  Atomic.set ambient_sink t;
+  Fun.protect ~finally:(fun () -> Atomic.set ambient_sink prev) f

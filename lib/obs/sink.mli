@@ -1,0 +1,48 @@
+(** Where spans go.  A sink is either the no-op {!null} (the default —
+    recording code must cost nothing beyond one branch) or a recording
+    buffer.
+
+    Recording is lock-free on the hot path: every domain appends to its
+    own private cell (created on the domain's first record and registered
+    once with a compare-and-set).  Reading a sink ({!spans}) is meant for
+    after the parallel section has joined. *)
+
+type span = {
+  name : string;
+  args : (string * string) list;  (** free-form key/value labels *)
+  tid : int;  (** id of the domain that ran the span *)
+  start_ns : int64;  (** {!Clock.now_ns} at entry *)
+  dur_ns : int64;  (** duration (≥ 0) *)
+  depth : int;  (** nesting depth within the recording domain *)
+}
+
+type t
+
+val null : t
+(** Drops everything; {!enabled} is [false]. *)
+
+val make : unit -> t
+(** A fresh recording sink. *)
+
+val enabled : t -> bool
+
+val record : t -> span -> unit
+(** No-op on {!null}.  Lock-free; safe from any domain. *)
+
+val spans : t -> span list
+(** Everything recorded so far, sorted by start time (ties by depth so
+    parents precede their children).  Call after joining worker
+    domains. *)
+
+val clear : t -> unit
+(** Forget all recorded spans (the sink remains usable). *)
+
+val ambient : unit -> t
+(** The process-wide default sink used by {!Span.with_} when no explicit
+    sink is given.  Starts as {!null}. *)
+
+val set_ambient : t -> unit
+
+val with_ambient : t -> (unit -> 'a) -> 'a
+(** Runs [f] with the ambient sink swapped to [t], restoring the previous
+    one afterwards (also on exceptions). *)

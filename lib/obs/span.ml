@@ -1,0 +1,45 @@
+(* Per-domain nesting depth: spans never cross domains, so a plain DLS
+   counter is race-free. *)
+let depth_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let with_ ?sink ~name ?(args = []) f =
+  let sink = match sink with Some s -> s | None -> Sink.ambient () in
+  if not (Sink.enabled sink) then f ()
+  else begin
+    let depth = Domain.DLS.get depth_key in
+    let d = !depth in
+    depth := d + 1;
+    let t0 = Clock.now_ns () in
+    let finish () =
+      depth := d;
+      Sink.record sink
+        {
+          Sink.name;
+          args;
+          tid = (Domain.self () :> int);
+          start_ns = t0;
+          dur_ns = Int64.sub (Clock.now_ns ()) t0;
+          depth = d;
+        }
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+let instant ?sink ~name ?(args = []) () =
+  let sink = match sink with Some s -> s | None -> Sink.ambient () in
+  if Sink.enabled sink then
+    Sink.record sink
+      {
+        Sink.name;
+        args;
+        tid = (Domain.self () :> int);
+        start_ns = Clock.now_ns ();
+        dur_ns = 0L;
+        depth = !(Domain.DLS.get depth_key);
+      }

@@ -1,0 +1,19 @@
+(** Nested, monotonic-clock-timed spans.
+
+    [with_ ~name f] times [f] and records one {!Sink.span} into the
+    ambient sink (or [?sink]) when that sink is recording; with the no-op
+    sink the overhead is a single branch.  Nesting depth is tracked per
+    domain, so spans opened inside spawned domains are independent
+    timelines tagged with that domain's id. *)
+
+val with_ :
+  ?sink:Sink.t ->
+  name:string ->
+  ?args:(string * string) list ->
+  (unit -> 'a) ->
+  'a
+(** Runs [f] inside a span.  The span is recorded even when [f] raises
+    (the exception is re-raised); [args] become Chrome-trace [args]. *)
+
+val instant : ?sink:Sink.t -> name:string -> ?args:(string * string) list -> unit -> unit
+(** A zero-duration marker at the current time. *)

@@ -1,0 +1,125 @@
+(* The emitter writes JSON directly: obs sits below the pipeline layer,
+   so it cannot use Pipeline.Json (which is also where the parser used by
+   the round-trip tests lives). *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let us_of_ns ns = Int64.to_float ns /. 1e3
+
+(* Timestamps are shifted so the earliest span starts at 0 — Chrome's UI
+   shows absolute microseconds, and boot-relative values are noise. *)
+let origin spans =
+  List.fold_left
+    (fun acc (s : Sink.span) ->
+      match acc with
+      | None -> Some s.Sink.start_ns
+      | Some t -> Some (min t s.Sink.start_ns))
+    None spans
+  |> Option.value ~default:0L
+
+let event buf ~first ~t0 (s : Sink.span) =
+  if not first then Buffer.add_string buf ",\n    ";
+  Buffer.add_string buf "{\"name\": ";
+  escape buf s.Sink.name;
+  Buffer.add_string buf ", \"cat\": \"recpart\", \"ph\": \"X\"";
+  Printf.bprintf buf ", \"ts\": %.3f" (us_of_ns (Int64.sub s.Sink.start_ns t0));
+  Printf.bprintf buf ", \"dur\": %.3f" (us_of_ns s.Sink.dur_ns);
+  Printf.bprintf buf ", \"pid\": 0, \"tid\": %d" s.Sink.tid;
+  (match s.Sink.args with
+  | [] -> ()
+  | args ->
+      Buffer.add_string buf ", \"args\": {";
+      List.iteri
+        (fun k (key, v) ->
+          if k > 0 then Buffer.add_string buf ", ";
+          escape buf key;
+          Buffer.add_string buf ": ";
+          escape buf v)
+        args;
+      Buffer.add_char buf '}');
+  Buffer.add_char buf '}'
+
+let counter_event buf ~t_us name v =
+  Buffer.add_string buf ",\n    {\"name\": ";
+  escape buf name;
+  Printf.bprintf buf
+    ", \"cat\": \"recpart\", \"ph\": \"C\", \"ts\": %.3f, \"pid\": 0, \
+     \"args\": {\"value\": %d}}"
+    t_us v
+
+let to_chrome_json ?metrics ?(process = "recpart") sink =
+  let spans = Sink.spans sink in
+  let t0 = origin spans in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"traceEvents\": [\n    ";
+  Buffer.add_string buf "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, \"args\": {\"name\": ";
+  escape buf process;
+  Buffer.add_string buf "}}";
+  List.iter (fun s -> event buf ~first:false ~t0 s) spans;
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      let t_end =
+        List.fold_left
+          (fun acc (s : Sink.span) ->
+            max acc (us_of_ns (Int64.sub (Int64.add s.Sink.start_ns s.Sink.dur_ns) t0)))
+          0.0 spans
+      in
+      List.iter
+        (fun (name, v) -> counter_event buf ~t_us:t_end name v)
+        m.Metrics.counters);
+  Buffer.add_string buf "\n  ],\n  \"displayTimeUnit\": \"ms\"\n}\n";
+  Buffer.contents buf
+
+(* ---- text tree ------------------------------------------------------- *)
+
+let fmt_ns ns =
+  let f = Int64.to_float ns in
+  if f >= 1e9 then Printf.sprintf "%8.3f s " (f /. 1e9)
+  else if f >= 1e6 then Printf.sprintf "%8.3f ms" (f /. 1e6)
+  else if f >= 1e3 then Printf.sprintf "%8.3f us" (f /. 1e3)
+  else Printf.sprintf "%8.0f ns" f
+
+let to_text sink =
+  let spans = Sink.spans sink in
+  let tids =
+    List.sort_uniq compare (List.map (fun (s : Sink.span) -> s.Sink.tid) spans)
+  in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun tid ->
+      Printf.bprintf buf "domain %d\n" tid;
+      List.iter
+        (fun (s : Sink.span) ->
+          if s.Sink.tid = tid then begin
+            let indent = String.make (2 * (s.Sink.depth + 1)) ' ' in
+            let label =
+              match s.Sink.args with
+              | [] -> s.Sink.name
+              | args ->
+                  s.Sink.name ^ " ["
+                  ^ String.concat ", "
+                      (List.map (fun (k, v) -> k ^ "=" ^ v) args)
+                  ^ "]"
+            in
+            let pad = max 1 (46 - String.length indent - String.length label) in
+            Printf.bprintf buf "%s%s%s%s\n" indent label (String.make pad ' ')
+              (fmt_ns s.Sink.dur_ns)
+          end)
+        spans)
+    tids;
+  Buffer.contents buf

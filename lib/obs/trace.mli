@@ -1,0 +1,15 @@
+(** Export of recorded spans.
+
+    {!to_chrome_json} renders the Chrome [trace_event] JSON format (an
+    object with a ["traceEvents"] array of complete ["ph":"X"] events,
+    timestamps in microseconds) — load the file in [chrome://tracing] or
+    {{:https://ui.perfetto.dev}Perfetto}.  Spans become one row per domain
+    ([tid]); counters, when given, are appended as ["ph":"C"] counter
+    events so they plot as tracks.
+
+    {!to_text} renders the same spans as an indented per-domain tree for
+    terminals. *)
+
+val to_chrome_json : ?metrics:Metrics.t -> ?process:string -> Sink.t -> string
+
+val to_text : Sink.t -> string

@@ -9,9 +9,13 @@ type materialized =
   | Tasks of { sched : Runtime.Sched.t }
   | Model of { tr : Depend.Trace.t }
 
-type error = { stage : Diag.stage; error : Diag.error }
+type error = {
+  stage : Diag.stage;
+  error : Diag.error;
+  timings : (string * float) list;
+}
 
-let error_to_string { stage; error } =
+let error_to_string { stage; error; _ } =
   Printf.sprintf "%s: %s" (Diag.stage_name stage) (Diag.to_string error)
 
 (* Runs [f], threading typed failures and the known library exceptions
@@ -164,10 +168,18 @@ type options = {
   measure : bool;
   strategy : Plan.strategy option;
   engine : [ `Enum | `Scan ];
+  sink : Obs.Sink.t;
 }
 
 let default_options =
-  { threads = 4; check = true; measure = true; strategy = None; engine = `Scan }
+  {
+    threads = 4;
+    check = true;
+    measure = true;
+    strategy = None;
+    engine = `Scan;
+    sink = Obs.Sink.null;
+  }
 
 type outcome = {
   plan : Plan.t;
@@ -195,16 +207,32 @@ let materialize_with ~engine plan ~prog ~params =
 let run ?(options = default_options) ~name ~params prog =
   if options.threads <= 0 then
     Error
-      { stage = Diag.Execute; error = Diag.Invalid_thread_count options.threads }
+      {
+        stage = Diag.Execute;
+        error = Diag.Invalid_thread_count options.threads;
+        timings = [];
+      }
   else begin
+    let sink = options.sink in
     let timings = ref [] in
     let timed label f =
-      let t0 = Unix.gettimeofday () in
-      let r = f () in
-      timings := (label, Unix.gettimeofday () -. t0) :: !timings;
-      r
+      Obs.Span.with_ ~sink ~name:("stage:" ^ label) (fun () ->
+          let t0 = Obs.Clock.now_ns () in
+          let r = f () in
+          timings := (label, Obs.Clock.elapsed_s t0) :: !timings;
+          r)
     in
-    let at stage r = Result.map_error (fun error -> { stage; error }) r in
+    (* Mid-pipeline failures keep the stage timings collected so far,
+       including the failing stage's own duration (it ran to its typed
+       Error). *)
+    let at stage r =
+      Result.map_error
+        (fun error -> { stage; error; timings = List.rev !timings })
+        r
+    in
+    let metrics_before = Obs.Metrics.snapshot () in
+    Obs.Sink.with_ambient sink @@ fun () ->
+    Obs.Span.with_ ~sink ~name:("run:" ^ name) @@ fun () ->
     let* plan =
       at Diag.Classify
         (timed "classify" (fun () -> classify ?strategy:options.strategy prog))
@@ -237,7 +265,13 @@ let run ?(options = default_options) ~name ~params prog =
     in
     (* Execution: sequential ground truth + instrumented parallel run, or
        the DOACROSS cost model. *)
-    let* semantics, seq_seconds, par_seconds, model_makespan, loads, profiles =
+    let* ( semantics,
+           seq_seconds,
+           par_seconds,
+           model_makespan,
+           loads,
+           profiles,
+           balance ) =
       match (concrete, sched) with
       | Model { tr }, _ ->
           at Diag.Execute
@@ -252,17 +286,22 @@ let run ?(options = default_options) ~name ~params prog =
                    None,
                    Some r.Baselines.Doacross.makespan,
                    None,
-                   [] )))
+                   [],
+                   None )))
       | _, Some s when options.check || options.measure ->
           at Diag.Execute
             (guarded (fun () ->
                  timed "execute" (fun () ->
                      let env = Runtime.Interp.prepare prog ~params in
-                     let t0 = Unix.gettimeofday () in
-                     let seq = Runtime.Interp.run_sequential env in
-                     let seq_s = Unix.gettimeofday () -. t0 in
+                     let t0 = Obs.Clock.now_ns () in
+                     let seq =
+                       Obs.Span.with_ ~sink ~name:"seq-interp" (fun () ->
+                           Runtime.Interp.run_sequential env)
+                     in
+                     let seq_s = Obs.Clock.elapsed_s t0 in
                      let tmd =
-                       Runtime.Exec.run_timed env ~threads:options.threads s
+                       Runtime.Exec.run_timed ~sink env
+                         ~threads:options.threads s
                      in
                      let semantics =
                        if not options.check then Report.Skipped
@@ -283,6 +322,15 @@ let run ?(options = default_options) ~name ~params prog =
                            })
                          tmd.Runtime.Exec.phase_stats
                      in
+                     let balance =
+                       Report.balance_of_phases ~threads:options.threads
+                         (List.map
+                            (fun p ->
+                              ( p.Runtime.Exec.label,
+                                p.Runtime.Exec.busy,
+                                p.Runtime.Exec.seconds ))
+                            tmd.Runtime.Exec.phase_stats)
+                     in
                      ( semantics,
                        Some seq_s,
                        Some tmd.Runtime.Exec.seconds,
@@ -290,8 +338,9 @@ let run ?(options = default_options) ~name ~params prog =
                        Some
                          (Runtime.Exec.thread_loads tmd
                             ~threads:options.threads),
-                       profiles ))))
-      | _ -> Ok (Report.Skipped, None, None, None, None, [])
+                       profiles,
+                       balance ))))
+      | _ -> Ok (Report.Skipped, None, None, None, None, [], None)
     in
     let n_instances, n_phases =
       match (concrete, sched) with
@@ -300,6 +349,9 @@ let run ?(options = default_options) ~name ~params prog =
       | _, Some s ->
           (Some (Runtime.Sched.n_instances s), Some (Runtime.Sched.n_phases s))
       | _ -> (None, None)
+    in
+    let metrics =
+      Obs.Metrics.diff ~before:metrics_before ~after:(Obs.Metrics.snapshot ())
     in
     let report =
       {
@@ -319,6 +371,8 @@ let run ?(options = default_options) ~name ~params prog =
         model_makespan;
         thread_loads = loads;
         phases = profiles;
+        balance;
+        metrics = (if Obs.Metrics.is_empty metrics then None else Some metrics);
       }
     in
     Ok { plan; concrete; sched; report }

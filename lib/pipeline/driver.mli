@@ -22,7 +22,14 @@ type materialized =
   | Model of { tr : Depend.Trace.t }
       (** simulation-only strategies (DOACROSS) *)
 
-type error = { stage : Diag.stage; error : Diag.error }
+type error = {
+  stage : Diag.stage;  (** the stage that failed *)
+  error : Diag.error;
+  timings : (string * float) list;
+      (** wall seconds of every stage that ran, in pipeline order and
+          including the failing stage itself — so a failing run still
+          reports where time went *)
+}
 
 val error_to_string : error -> string
 
@@ -65,10 +72,14 @@ type options = {
   measure : bool;  (** measure seq/parallel wall time *)
   strategy : Plan.strategy option;  (** [None] = Algorithm 1 selection *)
   engine : [ `Enum | `Scan ];  (** REC materialization engine *)
+  sink : Obs.Sink.t;
+      (** where stage/execution spans go; {!Obs.Sink.null} (the default)
+          records nothing and costs one branch per span site *)
 }
 
 val default_options : options
-(** 4 threads, check and measure on, automatic strategy, scan engine. *)
+(** 4 threads, check and measure on, automatic strategy, scan engine,
+    no-op sink. *)
 
 type outcome = {
   plan : Plan.t;

@@ -18,3 +18,14 @@ val to_string : t -> string
 val to_string_pretty : t -> string
 (** Two-space indented rendering, for files meant to be read by humans and
     diffed across PRs. *)
+
+val parse : string -> (t, string) result
+(** Strict RFC 8259 parsing of one value (plus surrounding whitespace).
+    Numbers without a fraction or exponent come back as [Int], everything
+    else as [Float]; [\u] escapes decode to UTF-8.  Round-trips the
+    output of {!to_string}/{!to_string_pretty} and of
+    [Obs.Trace.to_chrome_json]. *)
+
+val member : string -> t -> t option
+(** [member k (Obj fields)] is the value bound to [k]; [None] on missing
+    keys and non-objects. *)

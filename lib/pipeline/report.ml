@@ -32,6 +32,60 @@ type phase_profile = {
   seconds : float;
 }
 
+type balance = {
+  busy : float array;
+  busy_max : float;
+  busy_min : float;
+  busy_mean : float;
+  idle_fraction : float;
+  per_phase_idle : (string * float) list;
+}
+
+let balance_of_phases ~threads stats =
+  match stats with
+  | [] -> None
+  | stats ->
+      let threads = max 1 threads in
+      let slots = Array.make threads 0.0 in
+      let total_wall = ref 0.0 in
+      let per_phase_idle =
+        List.map
+          (fun (label, busy, seconds) ->
+            Array.iteri
+              (fun k b ->
+                let k = min k (threads - 1) in
+                slots.(k) <- slots.(k) +. b)
+              busy;
+            total_wall := !total_wall +. seconds;
+            let n = max 1 (Array.length busy) in
+            let sum = Array.fold_left ( +. ) 0.0 busy in
+            let idle =
+              if seconds <= 0.0 then 0.0
+              else
+                max 0.0 (1.0 -. (sum /. (float_of_int n *. seconds)))
+            in
+            (label, idle))
+          stats
+      in
+      let busy_max = Array.fold_left max slots.(0) slots in
+      let busy_min = Array.fold_left min slots.(0) slots in
+      let busy_sum = Array.fold_left ( +. ) 0.0 slots in
+      let busy_mean = busy_sum /. float_of_int threads in
+      let idle_fraction =
+        if !total_wall <= 0.0 then 0.0
+        else
+          max 0.0 (1.0 -. (busy_sum /. (float_of_int threads *. !total_wall)))
+      in
+      Some
+        {
+          busy = slots;
+          busy_max;
+          busy_min;
+          busy_mean;
+          idle_fraction;
+          per_phase_idle;
+        }
+
 type t = {
   program : string;
   params : (string * int) list;
@@ -49,6 +103,8 @@ type t = {
   model_makespan : float option;
   thread_loads : int array option;
   phases : phase_profile list;
+  balance : balance option;
+  metrics : Obs.Metrics.t option;
 }
 
 let check_result_string = function
@@ -122,6 +178,29 @@ let to_text r =
       line "  phase %-12s %7d inst %5d unit(s) %.4fs" p.label p.instances
         p.units p.seconds)
     r.phases;
+  (match r.balance with
+  | None -> ()
+  | Some b ->
+      line "domains  : busy max %.4fs / min %.4fs / mean %.4fs, idle %.1f%%"
+        b.busy_max b.busy_min b.busy_mean (100.0 *. b.idle_fraction);
+      List.iter
+        (fun (label, idle) ->
+          line "  barrier %-10s idle %.1f%%" label (100.0 *. idle))
+        b.per_phase_idle);
+  (match r.metrics with
+  | None -> ()
+  | Some m ->
+      if not (Obs.Metrics.is_empty m) then begin
+        line "metrics  :";
+        List.iter
+          (fun (name, v) -> line "  %-32s %d" name v)
+          m.Obs.Metrics.counters;
+        List.iter
+          (fun (name, h) ->
+            line "  %-32s count %d, sum %d" name h.Obs.Histogram.count
+              h.Obs.Histogram.sum)
+          m.Obs.Metrics.histograms
+      end);
   Buffer.contents buf
 
 (* ---- json ------------------------------------------------------------ *)
@@ -148,6 +227,46 @@ let check_json = function
   | Passed -> Json.Str "ok"
   | Failed m -> Json.Obj [ ("failed", Json.Str m) ]
   | Skipped -> Json.Str "skipped"
+
+let balance_json b =
+  Json.Obj
+    [
+      ( "busy_seconds",
+        Json.List (Array.to_list (Array.map (fun s -> Json.Float s) b.busy)) );
+      ("busy_max", Json.Float b.busy_max);
+      ("busy_min", Json.Float b.busy_min);
+      ("busy_mean", Json.Float b.busy_mean);
+      ("idle_fraction", Json.Float b.idle_fraction);
+      ( "per_phase_idle",
+        Json.Obj
+          (List.map (fun (l, idle) -> (l, Json.Float idle)) b.per_phase_idle)
+      );
+    ]
+
+let metrics_json (m : Obs.Metrics.t) =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (List.map (fun (name, v) -> (name, Json.Int v)) m.Obs.Metrics.counters)
+      );
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (name, h) ->
+               ( name,
+                 Json.Obj
+                   [
+                     ("count", Json.Int h.Obs.Histogram.count);
+                     ("sum", Json.Int h.Obs.Histogram.sum);
+                     ( "buckets",
+                       Json.Obj
+                         (List.map
+                            (fun (ub, n) -> (string_of_int ub, Json.Int n))
+                            h.Obs.Histogram.buckets) );
+                   ] ))
+             m.Obs.Metrics.histograms) );
+    ]
 
 let to_json r =
   Json.Obj
@@ -197,4 +316,9 @@ let to_json r =
                           ])
                       ps) );
              ]);
+         opt (fun b -> ("balance", balance_json b)) r.balance;
+         (match r.metrics with
+         | Some m when not (Obs.Metrics.is_empty m) ->
+             [ ("metrics", metrics_json m) ]
+         | _ -> []);
        ])

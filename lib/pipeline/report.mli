@@ -29,6 +29,27 @@ type phase_profile = {
   seconds : float;
 }
 
+type balance = {
+  busy : float array;
+      (** busy seconds per domain slot, summed across phases (overflow
+          buckets fold into the last slot, like {!Runtime.Exec.thread_loads}) *)
+  busy_max : float;
+  busy_min : float;
+  busy_mean : float;
+  idle_fraction : float;
+      (** 1 − Σbusy / (threads × Σ phase wall): time domains spent waiting
+          at barriers or idle for lack of work *)
+  per_phase_idle : (string * float) list;
+      (** per phase: idle fraction at that barrier (0 = perfectly
+          balanced) *)
+}
+
+val balance_of_phases :
+  threads:int -> (string * float array * float) list -> balance option
+(** [balance_of_phases ~threads [(label, busy, wall); …]] aggregates the
+    executor's per-phase busy arrays into the load-imbalance breakdown;
+    [None] on an empty list. *)
+
 type t = {
   program : string;
   params : (string * int) list;
@@ -48,6 +69,10 @@ type t = {
   thread_loads : int array option;
       (** instances executed per domain, across phases *)
   phases : phase_profile list;  (** per-phase execution profile *)
+  balance : balance option;  (** domain busy/idle breakdown *)
+  metrics : Obs.Metrics.t option;
+      (** counters/histograms the run moved (a {!Obs.Metrics.diff} of
+          before/after snapshots) *)
 }
 
 val to_text : t -> string

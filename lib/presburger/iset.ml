@@ -1,6 +1,16 @@
 module L = Linexpr
 module P = Poly
 
+(* One counter per set operation: the pipeline report diffs these to show
+   how much set algebra each strategy burned. *)
+let c_union = Obs.Counter.make "iset.union"
+let c_inter = Obs.Counter.make "iset.inter"
+let c_diff = Obs.Counter.make "iset.diff"
+let c_is_empty = Obs.Counter.make "iset.is_empty"
+let c_subset = Obs.Counter.make "iset.subset"
+let c_equal = Obs.Counter.make "iset.equal"
+let c_simplify = Obs.Counter.make "iset.simplify"
+
 type t = { iters : string array; params : string array; polys : Poly.t list }
 
 let make ~iters ~params polys =
@@ -28,28 +38,36 @@ let add_poly s p =
   { s with polys = p :: s.polys }
 
 let union a b =
+  Obs.Counter.incr c_union;
   check_space a b;
   { a with polys = a.polys @ b.polys }
 
 let inter a b =
+  Obs.Counter.incr c_inter;
   check_space a b;
   { a with polys = Dnf.inter a.polys b.polys }
 
 let diff a b =
+  Obs.Counter.incr c_diff;
   check_space a b;
   { a with polys = Dnf.diff a.polys b.polys }
 
-let is_empty s = Dnf.is_empty s.polys
+let is_empty s =
+  Obs.Counter.incr c_is_empty;
+  Dnf.is_empty s.polys
 
 let subset a b =
+  Obs.Counter.incr c_subset;
   check_space a b;
   Dnf.subset a.polys b.polys
 
 let equal a b =
+  Obs.Counter.incr c_equal;
   check_space a b;
   Dnf.equal a.polys b.polys
 
 let simplify ?aggressive s =
+  Obs.Counter.incr c_simplify;
   { s with polys = Dnf.simplify ?aggressive s.polys }
 
 let mem s xs = Dnf.mem s.polys xs

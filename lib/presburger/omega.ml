@@ -7,6 +7,38 @@ exception Blowup of string
 
 let max_branch_modulus = 512
 
+(* Observability: how much set-algebra work each public entry burns.  The
+   counters are process-wide atomics (always on, one fetch-and-add per
+   public call); budget accounting makes Set_blowup near-misses visible
+   before they become failures. *)
+let c_eliminate_calls = Obs.Counter.make "omega.eliminate_calls"
+let c_project_calls = Obs.Counter.make "omega.project_out_calls"
+let c_is_empty_calls = Obs.Counter.make "omega.is_empty_calls"
+let c_blowups = Obs.Counter.make "omega.blowups"
+let c_budget_spent = Obs.Counter.make "omega.budget_spent"
+let c_near_miss = Obs.Counter.make "omega.budget_near_miss"
+let h_budget_used = Obs.Histogram.make "omega.budget_used"
+
+(* Runs [f] with a fresh elimination budget and accounts for the share it
+   consumed.  A call that used ≥ 80% of its budget without blowing up is a
+   near-miss — the workload is close to the Set_blowup cliff. *)
+let with_budget initial f =
+  let budget = ref initial in
+  let account ~blown =
+    let used = initial - !budget in
+    Obs.Counter.add c_budget_spent used;
+    Obs.Histogram.observe h_budget_used used;
+    if blown then Obs.Counter.incr c_blowups
+    else if used * 5 >= initial * 4 then Obs.Counter.incr c_near_miss
+  in
+  match f budget with
+  | v ->
+      account ~blown:false;
+      v
+  | exception e ->
+      account ~blown:(match e with Blowup _ -> true | _ -> false);
+      raise e
+
 let drop_dim = P.drop_dim
 
 (* Rewrite [e] under the change of variable x_k := m·q + r, where q reuses
@@ -144,10 +176,13 @@ let rec eliminate_b budget p k =
                     shadow ~dark:true :: splinters)
       end
 
-let eliminate p k = eliminate_b (ref 100_000) p k
+let eliminate p k =
+  Obs.Counter.incr c_eliminate_calls;
+  with_budget 100_000 (fun budget -> eliminate_b budget p k)
 
 let project_out p ks =
-  let budget = ref 200_000 in
+  Obs.Counter.incr c_project_calls;
+  with_budget 200_000 @@ fun budget ->
   let ks = List.sort_uniq compare ks in
   List.fold_left
     (fun polys k -> List.concat_map (fun p -> eliminate_b budget p k) polys)
@@ -155,7 +190,8 @@ let project_out p ks =
     (List.rev ks)
 
 let is_empty p =
-  let budget = ref 500_000 in
+  Obs.Counter.incr c_is_empty_calls;
+  with_budget 500_000 @@ fun budget ->
   let rec go p =
     decr budget;
     if !budget <= 0 then raise (Blowup "emptiness budget exhausted");

@@ -33,22 +33,64 @@ type phase_stat = {
   n_instances : int;
   n_units : int;
   loads : int array;
+  busy : float array;
   seconds : float;
 }
 
 type timed = { store : Arrays.t; seconds : float; phase_stats : phase_stat list }
 
+let task_len_hist = Obs.Histogram.make "exec.task_len"
+let task_ns_hist = Obs.Histogram.make "exec.task_ns"
+
+(* Executes one bucket (a list of sequential tasks) and returns the
+   seconds this domain was busy.  With a recording sink, the bucket and
+   each task get their own spans — for REC plans the tasks are the
+   recurrence chains, so the trace shows per-chain durations on the
+   executing domain's row. *)
+let run_bucket ~sink ~label env store tasks =
+  let t0 = Obs.Clock.now_ns () in
+  if not (Obs.Sink.enabled sink) then
+    List.iter (Array.iter (Interp.exec_instance env store)) tasks
+  else begin
+    let n_inst = List.fold_left (fun acc t -> acc + Array.length t) 0 tasks in
+    Obs.Span.with_ ~sink ~name:("bucket:" ^ label)
+      ~args:[ ("instances", string_of_int n_inst) ]
+      (fun () ->
+        List.iter
+          (fun task ->
+            let len = Array.length task in
+            if len > 0 then begin
+              let s0 = Obs.Clock.now_ns () in
+              Obs.Span.with_ ~sink ~name:"task"
+                ~args:[ ("phase", label); ("len", string_of_int len) ]
+                (fun () -> Array.iter (Interp.exec_instance env store) task);
+              Obs.Histogram.observe task_len_hist len;
+              Obs.Histogram.observe task_ns_hist
+                (Int64.to_int (Int64.sub (Obs.Clock.now_ns ()) s0))
+            end)
+          tasks)
+  end;
+  Obs.Clock.elapsed_s t0
+
 (* The single execution path: every phase — sequential or parallel — goes
    through here, so instrumentation (per-phase wall time and per-domain
-   load) is measured on exactly the code that runs. *)
-let run_phase_timed env store ~threads phase =
+   load/busy time) is measured on exactly the code that runs. *)
+let run_phase_timed ?(sink = Obs.Sink.null) env store ~threads phase =
   let threads = max 1 threads in
   let label = Sched.phase_label phase in
   let n_instances = Sched.phase_size phase in
-  let t0 = Unix.gettimeofday () in
-  let n_units, loads =
+  let t0 = Obs.Clock.now_ns () in
+  let n_units, loads, busy =
     if threads = 1 then begin
-      Array.iter (Interp.exec_instance env store) (Sched.phase_instances phase);
+      (* Keep tasks separate (same execution order as the flattened
+         instances) so sequential profile runs still see per-chain
+         spans. *)
+      let tasks =
+        match phase with
+        | Sched.Doall { instances; _ } -> [ instances ]
+        | Sched.Tasks { tasks; _ } -> Array.to_list tasks
+      in
+      let b = run_bucket ~sink ~label env store tasks in
       let units =
         match phase with
         | Sched.Doall _ -> if n_instances = 0 then 0 else 1
@@ -57,7 +99,7 @@ let run_phase_timed env store ~threads phase =
               (fun acc t -> if Array.length t = 0 then acc else acc + 1)
               0 tasks
       in
-      (units, [| n_instances |])
+      (units, [| n_instances |], [| b |])
     end
     else begin
       let work =
@@ -80,35 +122,41 @@ let run_phase_timed env store ~threads phase =
               (fun acc t -> if Array.length t = 0 then acc else acc + 1)
               0 tasks
       in
-      let run_bucket tasks =
-        List.iter (Array.iter (Interp.exec_instance env store)) tasks
-      in
       (* Spawn domains only for buckets that hold work: empty buckets would
          pay the domain fork/join cost for nothing. *)
-      (match
-         List.filter
-           (fun b -> List.exists (fun t -> Array.length t > 0) b)
-           work
-       with
-      | [] -> ()
-      | first :: rest ->
-          let domains =
-            List.map (fun b -> Domain.spawn (fun () -> run_bucket b)) rest
-          in
-          run_bucket first;
-          List.iter Domain.join domains);
-      (n_units, loads)
+      let busy =
+        match
+          List.filter
+            (fun b -> List.exists (fun t -> Array.length t > 0) b)
+            work
+        with
+        | [] -> [||]
+        | first :: rest ->
+            let spawned =
+              List.map
+                (fun b ->
+                  Domain.spawn (fun () -> run_bucket ~sink ~label env store b))
+                rest
+            in
+            let b0 = run_bucket ~sink ~label env store first in
+            Array.of_list (b0 :: List.map Domain.join spawned)
+      in
+      (n_units, loads, busy)
     end
   in
-  { label; n_instances; n_units; loads; seconds = Unix.gettimeofday () -. t0 }
+  { label; n_instances; n_units; loads; busy; seconds = Obs.Clock.elapsed_s t0 }
 
-let run_timed env ~threads s =
+let run_timed ?(sink = Obs.Sink.null) env ~threads s =
   let store = Interp.scan_bounds env in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now_ns () in
   let phase_stats =
-    List.map (run_phase_timed env store ~threads) s.Sched.phases
+    List.map
+      (fun phase ->
+        Obs.Span.with_ ~sink ~name:("phase:" ^ Sched.phase_label phase)
+          (fun () -> run_phase_timed ~sink env store ~threads phase))
+      s.Sched.phases
   in
-  { store; seconds = Unix.gettimeofday () -. t0; phase_stats }
+  { store; seconds = Obs.Clock.elapsed_s t0; phase_stats }
 
 let run env ~threads s = (run_timed env ~threads s).store
 let wall_time env ~threads s = (run_timed env ~threads s).seconds
@@ -127,8 +175,11 @@ let thread_loads timed ~threads =
   let acc = Array.make threads 0 in
   List.iter
     (fun ps ->
+      (* A phase may have used more buckets than [threads] (e.g. stats
+         taken with a smaller thread count than the run): fold the
+         overflow into the last slot instead of dropping it. *)
       Array.iteri
-        (fun k l -> if k < threads then acc.(k) <- acc.(k) + l)
+        (fun k l -> acc.(min k (threads - 1)) <- acc.(min k (threads - 1)) + l)
         ps.loads)
     timed.phase_stats;
   acc

@@ -14,7 +14,11 @@
 
     Every run goes through one instrumented path ({!run_timed}); {!run},
     {!wall_time} and {!check} are thin views of it, and the pipeline layer
-    turns the per-phase statistics into its report. *)
+    turns the per-phase statistics into its report.  All timings come from
+    {!Obs.Clock} (monotonic).  With a recording {!Obs.Sink.t}, each phase,
+    per-domain bucket and sequential task (= recurrence chain for REC
+    plans) additionally becomes a span on the executing domain's
+    timeline. *)
 
 type phase_stat = {
   label : string;  (** the phase's {!Sched.phase_label} *)
@@ -23,6 +27,10 @@ type phase_stat = {
   loads : int array;
       (** instances executed per domain (length = effective thread count
           for parallel runs, [[| n |]] for sequential runs) *)
+  busy : float array;
+      (** seconds each domain spent executing its bucket, aligned with
+          [loads] for parallel runs; the gap to [seconds] is barrier
+          idle time *)
   seconds : float;  (** wall time of the phase, barrier included *)
 }
 
@@ -32,10 +40,11 @@ type timed = {
   phase_stats : phase_stat list;  (** one entry per phase, in order *)
 }
 
-val run_timed : Interp.env -> threads:int -> Sched.t -> timed
+val run_timed : ?sink:Obs.Sink.t -> Interp.env -> threads:int -> Sched.t -> timed
 (** Executes the schedule on [threads] domains (sequential on the calling
     domain when [threads ≤ 1]) and records per-phase wall time and
-    per-domain load. *)
+    per-domain load/busy time.  [sink] (default {!Obs.Sink.null}) receives
+    phase/bucket/task spans when recording. *)
 
 val run : Interp.env -> threads:int -> Sched.t -> Arrays.t
 (** [run_timed]'s final store. *)
@@ -48,7 +57,9 @@ val wall_time : Interp.env -> threads:int -> Sched.t -> float
 
 val thread_loads : timed -> threads:int -> int array
 (** Total instances executed per domain across all phases — the bucket
-    load balance statistic of the pipeline report. *)
+    load balance statistic of the pipeline report.  Phases that used more
+    buckets than [threads] have the overflow folded into the last slot
+    (nothing is dropped). *)
 
 (**/**)
 

@@ -1,0 +1,277 @@
+(* Tests for the observability layer: span nesting and ordering, counter
+   atomicity under domains, histograms, metrics diffs, and the Chrome
+   trace_event export round-tripping through the pipeline JSON parser. *)
+
+module Sink = Obs.Sink
+module Span = Obs.Span
+module Clock = Obs.Clock
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                                *)
+
+let test_clock_monotone () =
+  let prev = ref (Clock.now_ns ()) in
+  for _ = 1 to 10_000 do
+    let t = Clock.now_ns () in
+    if Int64.compare t !prev < 0 then
+      Alcotest.fail "now_ns went backwards";
+    prev := t
+  done;
+  let t0 = Clock.now_ns () in
+  Alcotest.(check bool) "elapsed non-negative" true (Clock.elapsed_s t0 >= 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                                *)
+
+let test_span_nesting () =
+  let sink = Sink.make () in
+  let r =
+    Span.with_ ~sink ~name:"outer" (fun () ->
+        Span.with_ ~sink ~name:"inner1" (fun () -> ignore (Sys.opaque_identity 1));
+        Span.with_ ~sink ~name:"inner2" ~args:[ ("k", "v") ] (fun () -> ());
+        17)
+  in
+  Alcotest.(check int) "with_ returns f's value" 17 r;
+  match Sink.spans sink with
+  | [ outer; inner1; inner2 ] ->
+      Alcotest.(check string) "outer first" "outer" outer.Sink.name;
+      Alcotest.(check string) "inner1 second" "inner1" inner1.Sink.name;
+      Alcotest.(check string) "inner2 third" "inner2" inner2.Sink.name;
+      Alcotest.(check int) "outer depth" 0 outer.Sink.depth;
+      Alcotest.(check int) "inner depth" 1 inner1.Sink.depth;
+      Alcotest.(check int) "inner2 depth" 1 inner2.Sink.depth;
+      Alcotest.(check bool) "args kept" true
+        (inner2.Sink.args = [ ("k", "v") ]);
+      List.iter
+        (fun (s : Sink.span) ->
+          Alcotest.(check bool)
+            (s.Sink.name ^ " duration >= 0")
+            true
+            (Int64.compare s.Sink.dur_ns 0L >= 0))
+        [ outer; inner1; inner2 ];
+      (* children start after the parent and end before it *)
+      let ends (s : Sink.span) = Int64.add s.Sink.start_ns s.Sink.dur_ns in
+      Alcotest.(check bool) "inner1 starts inside outer" true
+        (Int64.compare inner1.Sink.start_ns outer.Sink.start_ns >= 0);
+      Alcotest.(check bool) "inner2 after inner1" true
+        (Int64.compare inner2.Sink.start_ns (ends inner1) >= 0);
+      Alcotest.(check bool) "inner2 ends inside outer" true
+        (Int64.compare (ends inner2) (ends outer) <= 0)
+  | spans ->
+      Alcotest.failf "expected 3 spans, got %d" (List.length spans)
+
+let test_span_on_exception () =
+  let sink = Sink.make () in
+  (try Span.with_ ~sink ~name:"boom" (fun () -> failwith "x")
+   with Failure _ -> ());
+  match Sink.spans sink with
+  | [ s ] -> Alcotest.(check string) "recorded despite raise" "boom" s.Sink.name
+  | l -> Alcotest.failf "expected 1 span, got %d" (List.length l)
+
+let test_span_null_sink () =
+  Span.with_ ~sink:Sink.null ~name:"dropped" (fun () -> ());
+  Alcotest.(check int) "null sink records nothing" 0
+    (List.length (Sink.spans Sink.null))
+
+let test_ambient_sink () =
+  let sink = Sink.make () in
+  Sink.with_ambient sink (fun () -> Span.with_ ~name:"ambient" (fun () -> ()));
+  (* After with_ambient the default is restored: this span is dropped. *)
+  Span.with_ ~name:"after" (fun () -> ());
+  match Sink.spans sink with
+  | [ s ] -> Alcotest.(check string) "ambient recorded" "ambient" s.Sink.name
+  | l -> Alcotest.failf "expected 1 span, got %d" (List.length l)
+
+let test_spans_across_domains () =
+  let sink = Sink.make () in
+  let work tag () =
+    Span.with_ ~sink ~name:("worker-" ^ tag) (fun () ->
+        Span.with_ ~sink ~name:"step" (fun () -> ignore (Sys.opaque_identity tag)))
+  in
+  let ds = List.init 3 (fun k -> Domain.spawn (work (string_of_int k))) in
+  List.iter Domain.join ds;
+  let spans = Sink.spans sink in
+  Alcotest.(check int) "2 spans per domain" 6 (List.length spans);
+  let tids =
+    List.sort_uniq compare (List.map (fun s -> s.Sink.tid) spans)
+  in
+  Alcotest.(check int) "3 distinct domain ids" 3 (List.length tids);
+  (* each domain has its own independent depth counter *)
+  List.iter
+    (fun (s : Sink.span) ->
+      let expect =
+        if String.length s.Sink.name >= 6 && String.sub s.Sink.name 0 6 = "worker"
+        then 0
+        else 1
+      in
+      Alcotest.(check int) (s.Sink.name ^ " depth") expect s.Sink.depth)
+    spans
+
+(* ------------------------------------------------------------------ *)
+(* Counters and histograms                                              *)
+
+let test_counter_atomic_4_domains () =
+  let c = Obs.Counter.make "test.atomicity" in
+  let before = Obs.Counter.value c in
+  let per_domain = 100_000 in
+  let ds =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Obs.Counter.incr c
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no lost increments" (4 * per_domain)
+    (Obs.Counter.value c - before);
+  Alcotest.(check bool) "make is idempotent by name" true
+    (Obs.Counter.value (Obs.Counter.make "test.atomicity")
+    = Obs.Counter.value c)
+
+let test_histogram_buckets () =
+  let h = Obs.Histogram.make "test.hist_buckets" in
+  List.iter (Obs.Histogram.observe h) [ 0; 1; 2; 3; 4; 5; 1000 ];
+  let s = Obs.Histogram.snap h in
+  Alcotest.(check int) "count" 7 s.Obs.Histogram.count;
+  Alcotest.(check int) "sum" 1015 s.Obs.Histogram.sum;
+  (* 0,1 → le 1; 2 → le 2; 3,4 → le 4; 5 → le 8; 1000 → le 1024 *)
+  Alcotest.(check (list (pair int int)))
+    "power-of-two buckets"
+    [ (1, 2); (2, 1); (4, 2); (8, 1); (1024, 1) ]
+    s.Obs.Histogram.buckets
+
+let test_metrics_diff () =
+  let c = Obs.Counter.make "test.diffed" in
+  let h = Obs.Histogram.make "test.diffed_hist" in
+  let before = Obs.Metrics.snapshot () in
+  Obs.Counter.add c 5;
+  Obs.Histogram.observe h 3;
+  let d = Obs.Metrics.diff ~before ~after:(Obs.Metrics.snapshot ()) in
+  Alcotest.(check (option int)) "counter delta" (Some 5)
+    (List.assoc_opt "test.diffed" d.Obs.Metrics.counters);
+  Alcotest.(check bool) "untouched counters dropped" true
+    (List.assoc_opt "test.atomicity" d.Obs.Metrics.counters = None);
+  (match List.assoc_opt "test.diffed_hist" d.Obs.Metrics.histograms with
+  | Some hs ->
+      Alcotest.(check int) "hist delta count" 1 hs.Obs.Histogram.count;
+      Alcotest.(check int) "hist delta sum" 3 hs.Obs.Histogram.sum
+  | None -> Alcotest.fail "histogram delta missing");
+  let empty = Obs.Metrics.diff ~before:d ~after:d in
+  Alcotest.(check bool) "self-diff is empty" true (Obs.Metrics.is_empty empty)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace export                                                  *)
+
+let record_sample_trace () =
+  let sink = Sink.make () in
+  Span.with_ ~sink ~name:"run" (fun () ->
+      Span.with_ ~sink ~name:"phase:P1" ~args:[ ("n", "3") ] (fun () ->
+          let ds =
+            List.init 2 (fun k ->
+                Domain.spawn (fun () ->
+                    Span.with_ ~sink ~name:"bucket" (fun () ->
+                        ignore (Sys.opaque_identity k))))
+          in
+          List.iter Domain.join ds);
+      Span.with_ ~sink ~name:"phase:\"quoted\"\n" (fun () -> ()));
+  sink
+
+let test_chrome_trace_round_trip () =
+  let sink = record_sample_trace () in
+  let c = Obs.Counter.make "test.trace_counter" in
+  Obs.Counter.incr c;
+  let metrics =
+    { Obs.Metrics.counters = [ ("test.trace_counter", 1) ]; histograms = [] }
+  in
+  let json = Obs.Trace.to_chrome_json ~metrics sink in
+  match Pipeline.Json.parse json with
+  | Error m -> Alcotest.fail ("trace JSON does not parse: " ^ m)
+  | Ok t -> (
+      match Pipeline.Json.member "traceEvents" t with
+      | Some (Pipeline.Json.List events) ->
+          let num = function
+            | Pipeline.Json.Int i -> float_of_int i
+            | Pipeline.Json.Float f -> f
+            | _ -> Alcotest.fail "expected a number"
+          in
+          let xs =
+            List.filter
+              (fun e ->
+                Pipeline.Json.member "ph" e = Some (Pipeline.Json.Str "X"))
+              events
+          in
+          (* run, phase:P1, 2 buckets, the quoted phase *)
+          Alcotest.(check int) "complete events" 5 (List.length xs);
+          List.iter
+            (fun e ->
+              let get k =
+                match Pipeline.Json.member k e with
+                | Some v -> num v
+                | None -> Alcotest.failf "event lacks %s" k
+              in
+              Alcotest.(check bool) "ts >= 0" true (get "ts" >= 0.0);
+              Alcotest.(check bool) "dur >= 0" true (get "dur" >= 0.0))
+            xs;
+          let names =
+            List.filter_map
+              (fun e ->
+                match Pipeline.Json.member "name" e with
+                | Some (Pipeline.Json.Str s) -> Some s
+                | _ -> None)
+              xs
+          in
+          Alcotest.(check bool) "escaped name survives" true
+            (List.mem "phase:\"quoted\"\n" names);
+          let counters =
+            List.filter
+              (fun e ->
+                Pipeline.Json.member "ph" e = Some (Pipeline.Json.Str "C"))
+              events
+          in
+          Alcotest.(check int) "counter events" 1 (List.length counters)
+      | _ -> Alcotest.fail "traceEvents missing")
+
+let test_trace_text () =
+  let sink = record_sample_trace () in
+  let text = Obs.Trace.to_text sink in
+  List.iter
+    (fun needle ->
+      let found =
+        let nl = String.length needle and tl = String.length text in
+        let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) ("text mentions " ^ needle) true found)
+    [ "domain 0"; "run"; "phase:P1"; "bucket" ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "clock",
+        [ Alcotest.test_case "monotone" `Quick test_clock_monotone ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and ordering" `Quick test_span_nesting;
+          Alcotest.test_case "recorded on exception" `Quick
+            test_span_on_exception;
+          Alcotest.test_case "null sink drops" `Quick test_span_null_sink;
+          Alcotest.test_case "ambient sink" `Quick test_ambient_sink;
+          Alcotest.test_case "independent domain timelines" `Quick
+            test_spans_across_domains;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter atomicity on 4 domains" `Quick
+            test_counter_atomic_4_domains;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "snapshot diff" `Quick test_metrics_diff;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "chrome JSON round-trip" `Quick
+            test_chrome_trace_round_trip;
+          Alcotest.test_case "text tree" `Quick test_trace_text;
+        ] );
+    ]

@@ -151,7 +151,8 @@ let test_run_text_and_json () =
 
 let test_unbound_parameter () =
   match Driver.run ~name:"example2" ~params:[] Loopir.Builtin.example2 with
-  | Error { Driver.stage = Diag.Materialize; error = Diag.Unbound_parameter p }
+  | Error
+      { Driver.stage = Diag.Materialize; error = Diag.Unbound_parameter p; _ }
     ->
       Alcotest.(check string) "which parameter" "n" p
   | Error e -> Alcotest.fail ("unexpected: " ^ Driver.error_to_string e)
@@ -195,6 +196,136 @@ let test_error_labels_stable () =
   List.iter
     (fun s -> Alcotest.(check bool) "stage name" true (Diag.stage_name s <> ""))
     Diag.all_stages
+
+let test_error_carries_stage_timings () =
+  (* A mid-pipeline failure still reports where time went: classify
+     completed, then materialize died on the unbound parameter — both
+     durations are in the list, in pipeline order. *)
+  match Driver.run ~name:"example2" ~params:[] Loopir.Builtin.example2 with
+  | Error { Driver.stage = Diag.Materialize; timings; _ } ->
+      Alcotest.(check (list string))
+        "stages that ran are recorded"
+        [ "classify"; "materialize" ]
+        (List.map fst timings);
+      List.iter
+        (fun (_, s) ->
+          Alcotest.(check bool) "timing non-negative" true (s >= 0.0))
+        timings
+  | Error e -> Alcotest.fail ("unexpected: " ^ Driver.error_to_string e)
+  | Ok _ -> Alcotest.fail "missing parameter not reported"
+
+(* ------------------------------------------------------------------ *)
+(* Observability through the driver                                     *)
+
+let test_run_with_recording_sink () =
+  let sink = Obs.Sink.make () in
+  let options = { Driver.default_options with sink } in
+  match
+    Driver.run ~options ~name:"example2" ~params:[ ("n", 12) ]
+      Loopir.Builtin.example2
+  with
+  | Error e -> Alcotest.fail (Driver.error_to_string e)
+  | Ok { report; _ } ->
+      let names =
+        List.map (fun (s : Obs.Sink.span) -> s.Obs.Sink.name)
+          (Obs.Sink.spans sink)
+      in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) ("span " ^ needle) true (List.mem needle names))
+        [
+          "run:example2"; "stage:classify"; "stage:materialize";
+          "stage:schedule"; "stage:validate"; "stage:execute"; "seq-interp";
+          "phase:P1"; "phase:P2-chains"; "phase:P3"; "task";
+        ];
+      (* Load-imbalance breakdown is present and sane. *)
+      (match report.Report.balance with
+      | None -> Alcotest.fail "balance missing"
+      | Some b ->
+          Alcotest.(check int) "one busy slot per thread" 4
+            (Array.length b.Report.busy);
+          Alcotest.(check bool) "idle fraction in [0,1]" true
+            (b.Report.idle_fraction >= 0.0 && b.Report.idle_fraction <= 1.0);
+          Alcotest.(check bool) "max >= mean >= min" true
+            (b.Report.busy_max >= b.Report.busy_mean
+            && b.Report.busy_mean >= b.Report.busy_min);
+          Alcotest.(check int) "per-phase idle entries" 3
+            (List.length b.Report.per_phase_idle));
+      (* The metrics diff shows the layers this run exercised. *)
+      (match report.Report.metrics with
+      | None -> Alcotest.fail "metrics missing"
+      | Some m ->
+          let count name =
+            Option.value ~default:0
+              (List.assoc_opt name m.Obs.Metrics.counters)
+          in
+          Alcotest.(check int) "partition point counters cover the space" 144
+            (count "partition.p1_points" + count "partition.p2_points"
+           + count "partition.p3_points");
+          Alcotest.(check bool) "omega was exercised" true
+            (count "omega.is_empty_calls" > 0));
+      (* Balance and metrics render in both report formats. *)
+      let text = Report.to_text report in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) ("text mentions " ^ needle) true
+            (contains ~needle text))
+        [ "domains  : busy max"; "metrics  :"; "partition.chains" ];
+      let json = Json.to_string (Report.to_json report) in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) ("json mentions " ^ needle) true
+            (contains ~needle json))
+        [ "\"balance\":{"; "\"idle_fraction\":"; "\"metrics\":{" ]
+
+let test_null_sink_reports_no_balance_gap () =
+  (* With the default no-op sink the run still produces balance (it comes
+     from the executor's timers, not from spans). *)
+  match run_ex2 () with
+  | Error e -> Alcotest.fail (Driver.error_to_string e)
+  | Ok { report; _ } ->
+      Alcotest.(check bool) "balance present" true
+        (report.Report.balance <> None)
+
+let test_json_parse_roundtrip () =
+  match run_ex2 () with
+  | Error e -> Alcotest.fail (Driver.error_to_string e)
+  | Ok { report; _ } -> (
+      let v = Report.to_json report in
+      match Json.parse (Json.to_string_pretty v) with
+      | Error m -> Alcotest.fail ("report JSON does not parse: " ^ m)
+      | Ok v' ->
+          Alcotest.(check bool) "program survives" true
+            (Json.member "program" v' = Some (Json.Str "example2"));
+          (match Json.member "stages" v' with
+          | Some (Json.Obj stages) ->
+              Alcotest.(check (list string))
+                "stage keys survive"
+                [ "classify"; "materialize"; "schedule"; "validate"; "execute" ]
+                (List.map fst stages)
+          | _ -> Alcotest.fail "stages missing after round-trip");
+          Alcotest.(check bool) "balance survives" true
+            (Json.member "balance" v' <> None))
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "%S should not parse" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{'a':1}" ];
+  List.iter
+    (fun (s, expect) ->
+      match Json.parse s with
+      | Ok v -> Alcotest.(check bool) s true (v = expect)
+      | Error m -> Alcotest.failf "%S: %s" s m)
+    [
+      ("-0.5e2", Json.Float (-50.0));
+      ("\"a\\u00e9b\"", Json.Str "a\xc3\xa9b");
+      ("[1, [2, {\"x\": null}]]",
+       Json.List
+         [ Json.Int 1; Json.List [ Json.Int 2; Json.Obj [ ("x", Json.Null) ] ] ]);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Engine equivalence through the driver                                *)
@@ -297,6 +428,20 @@ let () =
             test_materialize_result_param_arity;
           Alcotest.test_case "stable error labels" `Quick
             test_error_labels_stable;
+          Alcotest.test_case "errors carry stage timings" `Quick
+            test_error_carries_stage_timings;
         ] );
-      ( "json", [ Alcotest.test_case "rendering" `Quick test_json_rendering ] );
+      ( "obs",
+        [
+          Alcotest.test_case "recording sink through the driver" `Quick
+            test_run_with_recording_sink;
+          Alcotest.test_case "balance without a sink" `Quick
+            test_null_sink_reports_no_balance_gap;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "rendering" `Quick test_json_rendering;
+          Alcotest.test_case "parse round-trip" `Quick test_json_parse_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+        ] );
     ]

@@ -313,6 +313,68 @@ let test_exec_degenerate_threads () =
         (List.for_all (fun b -> Array.length b > 0) buckets))
     [ -3; 0; 1; 2; 7 ]
 
+let test_thread_loads_overflow () =
+  (* A phase that used more buckets than [threads] must fold the overflow
+     into the last slot rather than silently dropping those loads
+     (regression: loads were dropped when stats were taken with a larger
+     effective thread count). *)
+  let stat loads =
+    {
+      Exec.label = "p";
+      n_instances = Array.fold_left ( + ) 0 loads;
+      n_units = Array.length loads;
+      loads;
+      busy = Array.map (fun _ -> 0.0) loads;
+      seconds = 0.0;
+    }
+  in
+  let timed =
+    {
+      Exec.store = Arrays.create ();
+      seconds = 0.0;
+      phase_stats = [ stat [| 1; 2; 3; 4; 5 |]; stat [| 10 |] ];
+    }
+  in
+  Alcotest.(check (array int))
+    "overflow folds into last slot" [| 11; 14 |]
+    (Exec.thread_loads timed ~threads:2);
+  Alcotest.(check (array int))
+    "exact fit untouched" [| 11; 2; 3; 4; 5 |]
+    (Exec.thread_loads timed ~threads:5);
+  (* End to end: run a many-task schedule sequentially, then ask for the
+     loads at the parallel thread count — nothing may be lost. *)
+  let env, sched =
+    rec_schedule Loopir.Builtin.example2 [ ("n", 12) ] [| 12 |]
+  in
+  let tmd = Exec.run_timed env ~threads:1 sched in
+  let total = Array.fold_left ( + ) 0 (Exec.thread_loads tmd ~threads:4) in
+  Alcotest.(check int) "all instances accounted for" (12 * 12) total
+
+let test_run_timed_busy_arrays () =
+  (* busy is aligned with loads and never negative; sequential runs report
+     exactly one slot. *)
+  let env, sched =
+    rec_schedule Loopir.Builtin.example1
+      [ ("n1", 10); ("n2", 10) ]
+      [| 10; 10 |]
+  in
+  List.iter
+    (fun threads ->
+      let tmd = Exec.run_timed env ~threads sched in
+      List.iter
+        (fun (ps : Exec.phase_stat) ->
+          if threads = 1 then
+            Alcotest.(check int) "one busy slot" 1 (Array.length ps.Exec.busy);
+          Array.iter
+            (fun b ->
+              Alcotest.(check bool) "busy >= 0" true (b >= 0.0))
+            ps.Exec.busy;
+          Alcotest.(check bool) "busy within phase wall" true
+            (Array.fold_left max 0.0 ps.Exec.busy
+            <= ps.Exec.seconds +. 1e-3))
+        tmd.Exec.phase_stats)
+    [ 1; 4 ]
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -365,5 +427,8 @@ let () =
             test_exec_determinism_paper_examples;
           Alcotest.test_case "degenerate thread counts" `Quick
             test_exec_degenerate_threads;
+          Alcotest.test_case "thread_loads overflow folding" `Quick
+            test_thread_loads_overflow;
+          Alcotest.test_case "busy arrays" `Quick test_run_timed_busy_arrays;
         ] );
     ]
