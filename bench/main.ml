@@ -5,7 +5,14 @@
 
    Usage:  dune exec bench/main.exe            (full: paper parameters)
            dune exec bench/main.exe -- --quick (reduced sizes)
-           BENCH_QUICK=1 dune exec bench/main.exe *)
+           BENCH_QUICK=1 dune exec bench/main.exe
+
+   Regression gate (CI):
+           dune exec bench/main.exe -- --quick \
+             --baseline BENCH_pipeline.json --gate 25
+   compares the freshly written BENCH_pipeline.json against the committed
+   baseline and exits non-zero when a stage timing or metric counter
+   regressed more than the gate percentage (see Pipeline.Gate). *)
 
 module Iset = Presburger.Iset
 module Enum = Presburger.Enum
@@ -20,6 +27,18 @@ module Sim = Runtime.Sim
 let quick =
   Sys.getenv_opt "BENCH_QUICK" <> None
   || Array.exists (fun a -> a = "--quick") Sys.argv
+
+(* Minimal flag-value extraction ("--baseline FILE", "--gate PCT"): the
+   harness predates cmdliner use here and positional scanning keeps the
+   no-argument paths untouched. *)
+let argv_value flag =
+  let n = Array.length Sys.argv in
+  let rec go k =
+    if k >= n - 1 then None
+    else if Sys.argv.(k) = flag then Some Sys.argv.(k + 1)
+    else go (k + 1)
+  in
+  go 1
 
 (* All strategy selection goes through the pipeline layer; panels that
    need the raw REC plan unwrap the typed plan. *)
@@ -561,8 +580,26 @@ let phase_profile_json (r : Pipeline.Report.t) =
              ("instances", Pipeline.Json.Int p.Pipeline.Report.instances);
              ("units", Pipeline.Json.Int p.Pipeline.Report.units);
              ("seconds", Pipeline.Json.Float p.Pipeline.Report.seconds);
+             ( "alloc_words",
+               Pipeline.Json.Float p.Pipeline.Report.alloc_words );
            ])
        r.Pipeline.Report.phases)
+
+let gc_json (r : Pipeline.Report.t) =
+  Pipeline.Json.Obj
+    (List.map
+       (fun (stage, g) ->
+         ( stage,
+           Pipeline.Json.Obj
+             [
+               ( "allocated_words",
+                 Pipeline.Json.Float (Obs.Gcstats.allocated_words g) );
+               ( "minor_collections",
+                 Pipeline.Json.Int g.Obs.Gcstats.minor_collections );
+               ( "major_collections",
+                 Pipeline.Json.Int g.Obs.Gcstats.major_collections );
+             ] ))
+       r.Pipeline.Report.gc)
 
 let metrics_json (m : Obs.Metrics.t) =
   Pipeline.Json.Obj
@@ -684,6 +721,7 @@ let pipeline_json () =
                                        r.Report.semantics) );
                                 ("stages", stages_json r);
                                 ("phase_profile", phase_profile_json r);
+                                ("gc", gc_json r);
                                 ( "idle_fraction",
                                   match r.Report.balance with
                                   | Some b ->
@@ -698,8 +736,15 @@ let pipeline_json () =
                  ]))
       programs
   in
+  let doc =
+    Pipeline.Json.Obj
+      [
+        ("schema_version", Pipeline.Json.Int 1);
+        ("entries", Pipeline.Json.List entries);
+      ]
+  in
   let oc = open_out "BENCH_pipeline.json" in
-  output_string oc (Pipeline.Json.to_string_pretty (Pipeline.Json.List entries));
+  output_string oc (Pipeline.Json.to_string_pretty doc);
   output_char oc '\n';
   close_out oc;
   Printf.printf "wrote BENCH_pipeline.json (%d programs)\n" (List.length entries);
@@ -708,7 +753,49 @@ let pipeline_json () =
   output_char oc '\n';
   close_out oc;
   Printf.printf "wrote BENCH_trace.json (%d spans)\n"
-    (List.length (Obs.Sink.spans sink))
+    (List.length (Obs.Sink.spans sink));
+  doc
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate: --baseline FILE [--gate PCT]                        *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* The baseline contents are read before [pipeline_json] runs: gating
+   against the committed BENCH_pipeline.json must compare with what was
+   on disk at startup, not the document this run just wrote over it. *)
+let run_gate ~current = function
+  | None -> true
+  | Some (baseline_path, baseline_text) ->
+      let threshold_pct =
+        match argv_value "--gate" with
+        | Some s -> (
+            match float_of_string_opt s with
+            | Some p -> p
+            | None -> failwith ("--gate: not a number: " ^ s))
+        | None -> 25.0
+      in
+      section
+        (Printf.sprintf "regression gate: vs %s at +%g%%" baseline_path
+           threshold_pct);
+      let verdict =
+        match Pipeline.Json.parse baseline_text with
+        | Error e -> Error (Printf.sprintf "%s: %s" baseline_path e)
+        | Ok baseline ->
+            Pipeline.Gate.check ~threshold_pct ~baseline ~current ()
+      in
+      (match verdict with
+      | Error e ->
+          Printf.printf "regression gate: ERROR %s\n" e;
+          false
+      | Ok outcome ->
+          print_string (Pipeline.Gate.to_text ~threshold_pct outcome);
+          outcome.Pipeline.Gate.regressions = [])
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (bechamel)                                          *)
@@ -808,6 +895,9 @@ let micro () =
 let () =
   Printf.printf "recurrence-chain partitioning — evaluation harness%s\n"
     (if quick then " [--quick]" else " (paper parameters)");
+  let baseline =
+    Option.map (fun p -> (p, read_file p)) (argv_value "--baseline")
+  in
   fig1 ();
   fig2 ();
   ex1 ();
@@ -818,6 +908,8 @@ let () =
   theorem1 ();
   corpus ();
   ablation ();
-  pipeline_json ();
+  let current = pipeline_json () in
   micro ();
-  print_endline "\nall sections completed."
+  let gate_ok = run_gate ~current baseline in
+  print_endline "\nall sections completed.";
+  if not gate_ok then exit 1

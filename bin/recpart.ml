@@ -330,34 +330,174 @@ let run_cmd =
     Term.(const run $ prog_arg $ params_arg $ threads_arg $ strategy_arg
           $ json_arg $ trace_arg)
 
+(* ---- explain ----------------------------------------------------------- *)
+
+let event_value_string = function
+  | Obs.Event.Bool b -> string_of_bool b
+  | Obs.Event.Int n -> string_of_int n
+  | Obs.Event.Float f -> Printf.sprintf "%g" f
+  | Obs.Event.Str s -> s
+
+(* The decision log as an indented tree: one block per event, the "why"
+   field promoted to the event's own line so the rendering reads as a
+   chain of justifications. *)
+let render_events log =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (e : Obs.Event.event) ->
+      let why = List.assoc_opt "why" e.Obs.Event.fields in
+      Printf.bprintf buf "  [%s] %s%s%s\n" e.Obs.Event.scope e.Obs.Event.name
+        (match e.Obs.Event.severity with
+        | Obs.Event.Warn -> " (warn)"
+        | _ -> "")
+        (match why with
+        | Some v -> ": " ^ event_value_string v
+        | None -> "");
+      List.iter
+        (fun (k, v) ->
+          if k <> "why" then
+            Printf.bprintf buf "      %-14s %s\n" k (event_value_string v))
+        e.Obs.Event.fields)
+    (Obs.Event.events log);
+  Buffer.contents buf
+
+(* --json replays the JSONL lines through the parser so the array output
+   is guaranteed consistent with the --events artifact. *)
+let events_json log =
+  Pipeline.Json.List
+    (String.split_on_char '\n' (Obs.Event.to_jsonl log)
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.map (fun line ->
+           match Pipeline.Json.parse line with
+           | Ok j -> j
+           | Error e -> die "recpart: internal: event line unparsable: %s" e))
+
+let explain_cmd =
+  let json_arg =
+    let doc = "Emit the decision log as a JSON array instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let events_arg =
+    let doc = "Also write the decision log as JSONL (one event per line)." in
+    Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc)
+  in
+  let run spec passoc strategy json events_path =
+    let prog = load_program spec in
+    let log = Obs.Event.make () in
+    let outcome =
+      Obs.Event.with_ambient log (fun () ->
+          let plan = Pipeline.Driver.classify ?strategy prog in
+          (* Materialization decisions (cardinalities, Theorem 1 evidence)
+             only exist once parameters are bound; add them when bindings
+             were given or none are needed. *)
+          (match plan with
+          | Ok p when passoc <> [] || prog.Loopir.Ast.params = [] ->
+              let params = params_of_assoc prog passoc in
+              ignore (Pipeline.Driver.materialize p ~prog ~params)
+          | _ -> ());
+          plan)
+    in
+    (match events_path with
+    | Some path ->
+        write_file path (Obs.Event.to_jsonl log);
+        Printf.eprintf "decision log written to %s (JSONL)\n" path
+    | None -> ());
+    if json then begin
+      let plan_json =
+        match outcome with
+        | Ok plan ->
+            [
+              ("ok", Pipeline.Json.Bool true);
+              ( "strategy",
+                Pipeline.Json.Str
+                  (Pipeline.Plan.strategy_name (Pipeline.Plan.strategy plan))
+              );
+              ("describe", Pipeline.Json.Str (Pipeline.Plan.describe plan));
+            ]
+        | Error e ->
+            [
+              ("ok", Pipeline.Json.Bool false);
+              ("error", Pipeline.Json.Str (Diag.to_string e));
+            ]
+      in
+      print_endline
+        (Pipeline.Json.to_string_pretty
+           (Pipeline.Json.Obj
+              (("program", Pipeline.Json.Str spec)
+               :: plan_json
+              @ [ ("events", events_json log) ])))
+    end
+    else begin
+      (match outcome with
+      | Ok plan ->
+          Printf.printf "%s: %s branch — %s\n" spec
+            (Pipeline.Plan.strategy_name (Pipeline.Plan.strategy plan))
+            (Pipeline.Plan.describe plan)
+      | Error e ->
+          Printf.printf "%s: no strategy applies — %s\n" spec
+            (Diag.to_string e));
+      print_endline "decision log:";
+      print_string (render_events log)
+    end;
+    if Result.is_error outcome then exit 1
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Explain a partitioning decision: re-run strategy selection (and \
+          materialization when parameters are bound) with the decision \
+          event log recording, and print which dependence tests fired, \
+          why the strategy was chosen or rejected, and the partition \
+          evidence")
+    Term.(const run $ prog_arg $ params_arg $ strategy_arg $ json_arg
+          $ events_arg)
+
 (* ---- profile ----------------------------------------------------------- *)
 
 let profile_cmd =
-  let run spec passoc threads strategy trace =
+  let html_arg =
+    let doc =
+      "Write a self-contained HTML report (stage waterfall, per-domain \
+       timeline, span tree, metrics tables)."
+    in
+    Arg.(value & opt (some string) None & info [ "html" ] ~docv:"FILE" ~doc)
+  in
+  let run spec passoc threads strategy trace html =
     let prog = load_program spec in
     let params = params_of_assoc prog passoc in
     let sink = Obs.Sink.make () in
     let options =
       { Pipeline.Driver.default_options with threads; strategy; sink }
     in
+    let write_html ?metrics () =
+      match html with
+      | None -> ()
+      | Some path ->
+          write_file path
+            (Obs.Html.render ?metrics ~title:("recpart profile: " ^ spec) sink);
+          Printf.eprintf "HTML report written to %s\n" path
+    in
     match Pipeline.Driver.run ~options ~name:spec ~params prog with
     | Error e ->
         write_trace sink trace;
+        write_html ();
         die "recpart: %s" (Pipeline.Driver.error_to_string e)
     | Ok { report; _ } ->
         print_string (Obs.Trace.to_text sink);
         print_newline ();
         print_string (Pipeline.Report.to_text report);
-        write_trace ?metrics:report.Pipeline.Report.metrics sink trace
+        write_trace ?metrics:report.Pipeline.Report.metrics sink trace;
+        write_html ?metrics:report.Pipeline.Report.metrics ()
   in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
          "Run the pipeline with span recording on: print the per-domain \
           span tree and the report (with load-imbalance and metrics \
-          sections), and optionally write a Chrome trace with $(b,--trace)")
+          sections), and optionally write a Chrome trace with $(b,--trace) \
+          or a standalone HTML report with $(b,--html)")
     Term.(const run $ prog_arg $ params_arg $ threads_arg $ strategy_arg
-          $ trace_arg)
+          $ trace_arg $ html_arg)
 
 (* ---- simulate ---------------------------------------------------------- *)
 
@@ -446,7 +586,7 @@ let main =
     (Cmd.info "recpart" ~version:"1.0" ~doc)
     [
       list_cmd; show_cmd; analyze_cmd; partition_cmd; codegen_cmd; run_cmd;
-      profile_cmd; simulate_cmd; viz_cmd;
+      explain_cmd; profile_cmd; simulate_cmd; viz_cmd;
     ]
 
 let () = exit (Cmd.eval main)

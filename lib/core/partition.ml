@@ -31,6 +31,10 @@ let c_p3 = Obs.Counter.make "partition.p3_points"
 let c_chains = Obs.Counter.make "partition.chains"
 let h_chain_len = Obs.Histogram.make "partition.chain_length"
 
+(* Event logs cite the first few chain start points as evidence; the
+   full list can be huge, so cap it. *)
+let max_cited_starts = 16
+
 let record_concrete (c : concrete_rec) =
   Obs.Counter.add c_p1 (List.length c.p1_pts);
   Obs.Counter.add c_p3 (List.length c.p3_pts);
@@ -41,7 +45,41 @@ let record_concrete (c : concrete_rec) =
       Obs.Counter.add c_p2 len;
       Obs.Histogram.observe h_chain_len len)
     c.chains.Chain.chains;
+  Obs.Event.emit ~scope:"partition" ~name:"cardinality" (fun () ->
+      let n_chains = List.length c.chains.Chain.chains in
+      let n_p2 =
+        List.fold_left
+          (fun acc ch -> acc + List.length ch)
+          0 c.chains.Chain.chains
+      in
+      let starts =
+        List.filteri (fun k _ -> k < max_cited_starts) c.chains.Chain.chains
+        |> List.filter_map (function
+             | [] -> None
+             | x :: _ -> Some (Linalg.Ivec.to_string x))
+      in
+      [
+        ("p1", Obs.Event.Int (List.length c.p1_pts));
+        ("p2", Obs.Event.Int n_p2);
+        ("p3", Obs.Event.Int (List.length c.p3_pts));
+        ("chains", Obs.Event.Int n_chains);
+        ("longest_chain", Obs.Event.Int c.chains.Chain.longest);
+        ("growth", Obs.Event.Float c.growth);
+        ( "theorem_bound",
+          match c.theorem_bound with
+          | Some b -> Obs.Event.Int b
+          | None -> Obs.Event.Str "unbounded" );
+        ( "chain_starts",
+          Obs.Event.Str
+            (String.concat "; " starts
+            ^ if n_chains > max_cited_starts then "; ..." else "") );
+      ]);
   c
+
+let reject_rec why =
+  Obs.Event.emit ~scope:"partition" ~name:"choose.reject_rec" (fun () ->
+      [ ("why", Obs.Event.Str why) ]);
+  None
 
 let choose prog =
   let single_pair () =
@@ -50,23 +88,59 @@ let choose prog =
         match a.Solve.pair with
         | Some p when Depeq.full_rank p -> (
             match Threeset.compute ~phi:a.Solve.phi ~rd:a.Solve.rd with
-            | three -> Some (Rec_chains { simple = a; pair = p; three })
+            | three ->
+                Obs.Event.emit ~scope:"partition" ~name:"choose.rec" (fun () ->
+                    [
+                      ("array", Obs.Event.Str p.Depeq.arr);
+                      ("det_a", Obs.Event.Int (Depeq.det_a p));
+                      ("det_b", Obs.Event.Int (Depeq.det_b p));
+                      ( "why",
+                        Obs.Event.Str
+                          (Printf.sprintf
+                             "Lemma 1 preconditions hold: single coupled \
+                              reference pair on %s with full-rank A (det %d) \
+                              and full-rank B (det %d)"
+                             p.Depeq.arr (Depeq.det_a p) (Depeq.det_b p)) );
+                    ]);
+                Some (Rec_chains { simple = a; pair = p; three })
             | exception Presburger.Omega.Blowup _ ->
                 (* Set algebra too expensive symbolically: degrade to the
                    dataflow / PDM branches rather than fail. *)
-                None)
-        | _ -> None)
-    | exception Invalid_argument _ -> None
-    | exception Depend.Space.Unsupported _ -> None
-    | exception Presburger.Omega.Blowup _ -> None
+                reject_rec
+                  "three-set computation hit a set-algebra blowup; degrading")
+        | Some p ->
+            reject_rec
+              (Printf.sprintf
+                 "coupled pair coefficient matrices are not full rank (det A \
+                  = %d, det B = %d)"
+                 (Depeq.det_a p) (Depeq.det_b p))
+        | None -> reject_rec "no single coupled reference pair")
+    | exception Invalid_argument msg ->
+        reject_rec ("program outside the single-statement fast path: " ^ msg)
+    | exception Depend.Space.Unsupported msg ->
+        reject_rec ("unsupported loop structure: " ^ msg)
+    | exception Presburger.Omega.Blowup _ ->
+        reject_rec "dependence analysis hit a set-algebra blowup"
   in
   match single_pair () with
   | Some plan -> plan
   | None ->
-      if prog.Loopir.Ast.params = [] then Dataflow_const
-      else
-        Pdm_fallback
-          "multiple coupled subscripts with symbolic loop bounds"
+      if prog.Loopir.Ast.params = [] then begin
+        Obs.Event.emit ~scope:"partition" ~name:"choose.dataflow" (fun () ->
+            [
+              ( "why",
+                Obs.Event.Str
+                  "constant loop bounds: concrete dataflow partitioning \
+                   applies" );
+            ]);
+        Dataflow_const
+      end
+      else begin
+        let why = "multiple coupled subscripts with symbolic loop bounds" in
+        Obs.Event.emit ~scope:"partition" ~name:"choose.pdm" (fun () ->
+            [ ("why", Obs.Event.Str why) ]);
+        Pdm_fallback why
+      end
 
 let materialize_rec rp ~params =
   let np = Array.length rp.simple.Solve.params in

@@ -22,6 +22,10 @@ let count_verdict inconclusive = function
       Obs.Counter.incr inconclusive;
       Maybe_dependent
 
+let verdict_name = function
+  | Independent -> "independent"
+  | Maybe_dependent -> "maybe_dependent"
+
 type equation = {
   a : int array;
   b : int array;
@@ -30,15 +34,40 @@ type equation = {
   hi : int array;
 }
 
+(* The dependence equation a·i - b·j + c = 0, written out so an event
+   log reader sees what the test actually decided on. *)
+let equation_str eq =
+  let ints v = String.concat " " (Array.to_list (Array.map string_of_int v)) in
+  Printf.sprintf "a=[%s] b=[%s] c=%d" (ints eq.a) (ints eq.b) eq.c
+
 let gcd_test eq =
   Obs.Counter.incr c_gcd;
   let g =
     Array.fold_left S.gcd (Array.fold_left S.gcd 0 eq.a) eq.b
   in
-  count_verdict c_gcd_inconclusive
-    (if g = 0 then if eq.c = 0 then Maybe_dependent else Independent
-     else if eq.c mod g <> 0 then Independent
-     else Maybe_dependent)
+  let v =
+    if g = 0 then if eq.c = 0 then Maybe_dependent else Independent
+    else if eq.c mod g <> 0 then Independent
+    else Maybe_dependent
+  in
+  Obs.Event.emit ~scope:"depend" ~name:"test.gcd" (fun () ->
+      [
+        ("equation", Obs.Event.Str (equation_str eq));
+        ("gcd", Obs.Event.Int g);
+        ("verdict", Obs.Event.Str (verdict_name v));
+        ( "why",
+          Obs.Event.Str
+            (if g = 0 then
+               if eq.c = 0 then "all coefficients zero and c = 0"
+               else "all coefficients zero but c <> 0"
+             else if eq.c mod g <> 0 then
+               Printf.sprintf "c = %d is not divisible by gcd %d" eq.c g
+             else
+               Printf.sprintf
+                 "c = %d divisible by gcd %d: integer solutions exist" eq.c g)
+        );
+      ]);
+  count_verdict c_gcd_inconclusive v
 
 (* Banerjee: the value Σ aᵢ·iᵢ − Σ bⱼ·jⱼ over the bounds spans
    [Σ min(coef·range), Σ max(coef·range)]; no solution when -c is outside. *)
@@ -54,8 +83,24 @@ let banerjee_test eq =
     (fun k c -> range := add_range !range (-c) eq.lo.(k) eq.hi.(k))
     eq.b;
   let mn, mx = !range in
-  count_verdict c_banerjee_inconclusive
-    (if -eq.c < mn || -eq.c > mx then Independent else Maybe_dependent)
+  let v = if -eq.c < mn || -eq.c > mx then Independent else Maybe_dependent in
+  Obs.Event.emit ~scope:"depend" ~name:"test.banerjee" (fun () ->
+      [
+        ("equation", Obs.Event.Str (equation_str eq));
+        ("range_min", Obs.Event.Int mn);
+        ("range_max", Obs.Event.Int mx);
+        ("target", Obs.Event.Int (-eq.c));
+        ("verdict", Obs.Event.Str (verdict_name v));
+        ( "why",
+          Obs.Event.Str
+            (if v = Independent then
+               Printf.sprintf "-c = %d lies outside the value range [%d, %d]"
+                 (-eq.c) mn mx
+             else
+               Printf.sprintf "-c = %d lies inside the value range [%d, %d]"
+                 (-eq.c) mn mx) );
+      ]);
+  count_verdict c_banerjee_inconclusive v
 
 let combined eq =
   match gcd_test eq with
@@ -94,5 +139,17 @@ let exact eq =
            ]))
   in
   let p = P.make n (C.Eq (L.make coef eq.c) :: bounds) in
-  count_verdict c_exact_dependent
-    (if Presburger.Omega.is_empty p then Independent else Maybe_dependent)
+  let v =
+    if Presburger.Omega.is_empty p then Independent else Maybe_dependent
+  in
+  Obs.Event.emit ~scope:"depend" ~name:"test.exact" (fun () ->
+      [
+        ("equation", Obs.Event.Str (equation_str eq));
+        ("verdict", Obs.Event.Str (verdict_name v));
+        ( "why",
+          Obs.Event.Str
+            (if v = Independent then
+               "Omega test: the solution polyhedron is empty"
+             else "Omega test: integer solutions exist within the bounds") );
+      ]);
+  count_verdict c_exact_dependent v

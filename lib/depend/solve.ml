@@ -105,7 +105,28 @@ let analyze_simple prog0 =
     Rel.make ~inn:iters ~out:out_names ~params polys
     |> Rel.simplify
   in
-  { prog; stmt; iters; params; phi; rd; pair = Depeq.of_stmt stmt }
+  let pair = Depeq.of_stmt stmt in
+  Obs.Event.emit ~scope:"depend" ~name:"solve.simple" (fun () ->
+      let base =
+        [
+          ("depth", Obs.Event.Int m);
+          ("iters", Obs.Event.Str (String.concat " " (Array.to_list iters)));
+          ("rd", Obs.Event.Str (Format.asprintf "%a" Rel.pp rd));
+          ("rd_empty", Obs.Event.Bool (Rel.is_empty rd));
+        ]
+      in
+      match pair with
+      | None -> base @ [ ("coupled_pair", Obs.Event.Bool false) ]
+      | Some p ->
+          base
+          @ [
+              ("coupled_pair", Obs.Event.Bool true);
+              ("array", Obs.Event.Str p.Depeq.arr);
+              ("det_a", Obs.Event.Int (Depeq.det_a p));
+              ("det_b", Obs.Event.Int (Depeq.det_b p));
+              ("full_rank", Obs.Event.Bool (Depeq.full_rank p));
+            ]);
+  { prog; stmt; iters; params; phi; rd; pair }
 
 (* ------------------------------------------------------------------ *)
 (* Unified statement-level analysis                                    *)
@@ -172,4 +193,12 @@ let analyze_unified prog0 =
           acc stmts)
       empty stmts
   in
-  { uprog = prog; unified = u; uparams = params; uphi = phi; urd = Rel.simplify rd }
+  let urd = Rel.simplify rd in
+  Obs.Event.emit ~scope:"depend" ~name:"solve.unified" (fun () ->
+      [
+        ("stmts", Obs.Event.Int (List.length stmts));
+        ("dims", Obs.Event.Int (Space.unified_dim u));
+        ("rd", Obs.Event.Str (Format.asprintf "%a" Rel.pp urd));
+        ("rd_empty", Obs.Event.Bool (Rel.is_empty urd));
+      ]);
+  { uprog = prog; unified = u; uparams = params; uphi = phi; urd }

@@ -1,0 +1,154 @@
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+type severity = Debug | Info | Warn
+
+let severity_name = function Debug -> "debug" | Info -> "info" | Warn -> "warn"
+
+type event = {
+  scope : string;
+  name : string;
+  severity : severity;
+  fields : (string * value) list;
+  tid : int;
+  t_ns : int64;
+  seq : int;
+}
+
+(* Same recording scheme as Sink: one cell per (log, domain), only the
+   owning domain mutates [recorded], registration is a CAS loop.  The
+   global [seq] counter is the one shared atomic — event volume is a few
+   per pipeline stage, so contention is irrelevant, and it buys a total
+   emission order that per-domain timestamps alone cannot. *)
+type cell = { tid : int; mutable recorded : event list }
+
+type rec_log = { id : int; cells : cell list Atomic.t; seq : int Atomic.t }
+
+type t = Null | Rec of rec_log
+
+let null = Null
+let next_id = Atomic.make 0
+
+let make () =
+  Rec
+    {
+      id = Atomic.fetch_and_add next_id 1;
+      cells = Atomic.make [];
+      seq = Atomic.make 0;
+    }
+
+let enabled = function Null -> false | Rec _ -> true
+
+let cells_key : (int * cell) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let my_cell l =
+  let local = Domain.DLS.get cells_key in
+  match List.assoc_opt l.id !local with
+  | Some c -> c
+  | None ->
+      let c = { tid = (Domain.self () :> int); recorded = [] } in
+      local := (l.id, c) :: !local;
+      let rec register () =
+        let seen = Atomic.get l.cells in
+        if not (Atomic.compare_and_set l.cells seen (c :: seen)) then
+          register ()
+      in
+      register ();
+      c
+
+let ambient_log = Atomic.make Null
+let ambient () = Atomic.get ambient_log
+let set_ambient t = Atomic.set ambient_log t
+
+let with_ambient t f =
+  let prev = Atomic.get ambient_log in
+  Atomic.set ambient_log t;
+  Fun.protect ~finally:(fun () -> Atomic.set ambient_log prev) f
+
+let emit ?log ?(severity = Info) ~scope ~name fields =
+  let log = match log with Some l -> l | None -> Atomic.get ambient_log in
+  match log with
+  | Null -> ()
+  | Rec l ->
+      let c = my_cell l in
+      c.recorded <-
+        {
+          scope;
+          name;
+          severity;
+          fields = fields ();
+          tid = c.tid;
+          t_ns = Clock.now_ns ();
+          seq = Atomic.fetch_and_add l.seq 1;
+        }
+        :: c.recorded
+
+let events = function
+  | Null -> []
+  | Rec l ->
+      List.concat_map (fun c -> c.recorded) (Atomic.get l.cells)
+      |> List.sort (fun (a : event) (b : event) -> compare a.seq b.seq)
+
+let clear = function
+  | Null -> ()
+  | Rec l -> List.iter (fun c -> c.recorded <- []) (Atomic.get l.cells)
+
+(* ---- JSONL ----------------------------------------------------------- *)
+
+(* obs sits below the pipeline layer, so like Trace it writes JSON
+   directly (Pipeline.Json.parse round-trips it in the tests). *)
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let emit_value buf = function
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f ->
+      if Float.is_finite f then Printf.bprintf buf "%.9g" f
+      else Buffer.add_string buf "null"
+  | Str s -> escape buf s
+
+let to_jsonl t =
+  let evs = events t in
+  let t0 =
+    List.fold_left
+      (fun acc e -> match acc with None -> Some e.t_ns | Some v -> Some (min v e.t_ns))
+      None evs
+    |> Option.value ~default:0L
+  in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (e : event) ->
+      Printf.bprintf buf "{\"seq\": %d, \"t_us\": %.3f, \"tid\": %d" e.seq
+        (Int64.to_float (Int64.sub e.t_ns t0) /. 1e3)
+        e.tid;
+      Buffer.add_string buf ", \"severity\": ";
+      escape buf (severity_name e.severity);
+      Buffer.add_string buf ", \"scope\": ";
+      escape buf e.scope;
+      Buffer.add_string buf ", \"name\": ";
+      escape buf e.name;
+      Buffer.add_string buf ", \"fields\": {";
+      List.iteri
+        (fun k (key, v) ->
+          if k > 0 then Buffer.add_string buf ", ";
+          escape buf key;
+          Buffer.add_string buf ": ";
+          emit_value buf v)
+        e.fields;
+      Buffer.add_string buf "}}\n")
+    evs;
+  Buffer.contents buf

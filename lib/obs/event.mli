@@ -1,0 +1,79 @@
+(** Structured decision events — the provenance companion to {!Span}.
+
+    Spans answer {e where time went}; events answer {e why the compiler
+    took a branch}: which dependence test fired and what it concluded,
+    why Algorithm 1 chose or rejected a strategy, what the partition
+    looked like.  Each event is a named record with a severity and typed
+    key/value fields, stamped with the emitting domain and a monotonic
+    timestamp, and globally sequenced so a log replays in emission order
+    even across domains.
+
+    Like {!Sink}, the default log is {!null}: with it, {!emit} costs one
+    branch plus the (unevaluated) field thunk, so instrumentation can
+    stay in hot paths.  Recording is lock-free per domain, same cell
+    scheme as {!Sink}.  Events are deliberately separate from spans:
+    spans are a timing tree consumed by trace viewers, events are a flat
+    decision log consumed by [recpart explain] and JSONL tooling — mixing
+    them would force every span reader to skip decision payloads and
+    vice versa. *)
+
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+type severity = Debug | Info | Warn
+
+val severity_name : severity -> string
+(** ["debug"], ["info"], ["warn"]. *)
+
+type event = {
+  scope : string;  (** subsystem, e.g. ["depend"], ["partition"] *)
+  name : string;  (** event kind within the scope, e.g. ["choose.rec"] *)
+  severity : severity;
+  fields : (string * value) list;  (** typed payload, in emission order *)
+  tid : int;  (** domain that emitted the event *)
+  t_ns : int64;  (** {!Clock.now_ns} at emission *)
+  seq : int;  (** global emission order (gap-free per log) *)
+}
+
+type t
+
+val null : t
+(** Drops everything; {!enabled} is [false]. *)
+
+val make : unit -> t
+(** A fresh recording log. *)
+
+val enabled : t -> bool
+
+val emit :
+  ?log:t ->
+  ?severity:severity ->
+  scope:string ->
+  name:string ->
+  (unit -> (string * value) list) ->
+  unit
+(** [emit ~scope ~name fields] appends one event to [log] (default: the
+    ambient log).  The field thunk is only forced on a recording log.
+    Lock-free; safe from any domain. *)
+
+val events : t -> event list
+(** Everything recorded so far, in emission ([seq]) order.  Call after
+    joining worker domains. *)
+
+val clear : t -> unit
+
+val ambient : unit -> t
+(** The process-wide default log used by {!emit} when no explicit log is
+    given.  Starts as {!null}. *)
+
+val set_ambient : t -> unit
+
+val with_ambient : t -> (unit -> 'a) -> 'a
+(** Runs [f] with the ambient log swapped to [t], restoring the previous
+    one afterwards (also on exceptions). *)
+
+val to_jsonl : t -> string
+(** One JSON object per line, in emission order: [seq], [t_us] (relative
+    to the first event), [tid], [severity], [scope], [name], and the
+    typed [fields] as a nested object.  Each line parses with
+    [Pipeline.Json.parse]; the whole string is the JSONL event-log
+    artifact format. *)

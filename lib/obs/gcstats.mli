@@ -1,0 +1,35 @@
+(** GC/runtime telemetry: cheap [Gc.quick_stat] snapshots and deltas.
+
+    The pipeline driver snapshots around every stage so reports can show
+    which stage allocated and collected how much; the executor snapshots
+    inside each worker domain so per-domain allocation shows up next to
+    per-domain busy time.
+
+    On OCaml 5 the word counters of [Gc.quick_stat] are exact for the
+    calling domain and may lag slightly for others, while collection
+    counts are process-global — deltas taken on one domain are therefore
+    that domain's allocation plus whatever the others published, which is
+    the right reading for both uses above. *)
+
+type t = {
+  minor_words : float;  (** words allocated in the minor heap *)
+  promoted_words : float;  (** minor words that survived into the major heap *)
+  major_words : float;  (** words allocated in the major heap, promotions included *)
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+}
+
+val quick : unit -> t
+(** Snapshot via [Gc.quick_stat] (no heap traversal). *)
+
+val diff : before:t -> after:t -> t
+(** Field-wise [after - before]. *)
+
+val allocated_words : t -> float
+(** [minor + major - promoted]: total fresh words of a delta, counting
+    promoted words once. *)
+
+val is_zero : t -> bool
+
+val zero : t

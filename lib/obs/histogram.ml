@@ -36,18 +36,38 @@ let bucket_of v =
     let rec go k x = if x = 0 then k else go (k + 1) (x lsr 1) in
     min (n_buckets - 1) (go 0 (v - 1))
 
+(* Negative samples are clamped to 0 *before* anything records, so count,
+   sum and the bucket all see the same value (previously sum clamped but
+   count/bucket recorded the raw sample). *)
 let observe t v =
+  let v = if v < 0 then 0 else v in
   ignore (Atomic.fetch_and_add t.count 1);
-  ignore (Atomic.fetch_and_add t.sum (max 0 v));
+  ignore (Atomic.fetch_and_add t.sum v);
   ignore (Atomic.fetch_and_add t.buckets.(bucket_of v) 1)
 
+(* Reads are not atomic as a group, so a snapshot taken while other
+   domains observe could tear.  Two mitigations: retry while the count
+   moved during the read, and read [count] *after* the buckets — every
+   bucket increment is preceded (same domain, seq_cst atomics) by its
+   count increment, so the returned count always covers the bucket total
+   even when the retry budget runs out. *)
 let snap t : snap =
-  let buckets = ref [] in
-  for k = n_buckets - 1 downto 0 do
-    let n = Atomic.get t.buckets.(k) in
-    if n > 0 then buckets := ((1 lsl k), n) :: !buckets
-  done;
-  { count = Atomic.get t.count; sum = Atomic.get t.sum; buckets = !buckets }
+  let read () =
+    let c0 = Atomic.get t.count in
+    let sum = Atomic.get t.sum in
+    let buckets = ref [] in
+    for k = n_buckets - 1 downto 0 do
+      let n = Atomic.get t.buckets.(k) in
+      if n > 0 then buckets := ((1 lsl k), n) :: !buckets
+    done;
+    let c1 = Atomic.get t.count in
+    (c0 = c1, { count = c1; sum; buckets = !buckets })
+  in
+  let rec go attempts =
+    let stable, s = read () in
+    if stable || attempts = 0 then s else go (attempts - 1)
+  in
+  go 8
 
 let snapshot () =
   Atomic.get registry

@@ -17,8 +17,18 @@ val make : string -> t
 (** Creates (or returns the existing) histogram with this name. *)
 
 val observe : t -> int -> unit
+(** Records one sample.  Negative values are clamped to 0 before
+    anything is updated, so [count], [sum] and the bucket counters always
+    describe the same (clamped) sample. *)
 
 val snap : t -> snap
+(** Point-in-time snapshot.  The counters are read individually, so a
+    snapshot taken while other domains observe is not a single atomic
+    cut; [snap] retries a bounded number of times until [count] is
+    stable across the read.  Even when concurrent observations keep it
+    unstable, the returned [count] is read {e after} the buckets — and
+    since {!observe} bumps [count] before the bucket, the reported
+    bucket totals never exceed the reported [count]. *)
 
 val snapshot : unit -> (string * snap) list
 (** Every registered histogram, sorted by name. *)

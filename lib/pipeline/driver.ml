@@ -169,6 +169,7 @@ type options = {
   strategy : Plan.strategy option;
   engine : [ `Enum | `Scan ];
   sink : Obs.Sink.t;
+  events : Obs.Event.t;
 }
 
 let default_options =
@@ -179,6 +180,7 @@ let default_options =
     strategy = None;
     engine = `Scan;
     sink = Obs.Sink.null;
+    events = Obs.Event.null;
   }
 
 type outcome = {
@@ -215,11 +217,16 @@ let run ?(options = default_options) ~name ~params prog =
   else begin
     let sink = options.sink in
     let timings = ref [] in
+    let gcs = ref [] in
     let timed label f =
       Obs.Span.with_ ~sink ~name:("stage:" ^ label) (fun () ->
+          let gc0 = Obs.Gcstats.quick () in
           let t0 = Obs.Clock.now_ns () in
           let r = f () in
           timings := (label, Obs.Clock.elapsed_s t0) :: !timings;
+          gcs :=
+            (label, Obs.Gcstats.(diff ~before:gc0 ~after:(quick ())))
+            :: !gcs;
           r)
     in
     (* Mid-pipeline failures keep the stage timings collected so far,
@@ -227,11 +234,19 @@ let run ?(options = default_options) ~name ~params prog =
        Error). *)
     let at stage r =
       Result.map_error
-        (fun error -> { stage; error; timings = List.rev !timings })
+        (fun error ->
+          Obs.Event.emit ~scope:"pipeline" ~name:"stage.failed"
+            ~severity:Obs.Event.Warn (fun () ->
+              [
+                ("stage", Obs.Event.Str (Diag.stage_name stage));
+                ("error", Obs.Event.Str (Diag.to_string error));
+              ]);
+          { stage; error; timings = List.rev !timings })
         r
     in
     let metrics_before = Obs.Metrics.snapshot () in
     Obs.Sink.with_ambient sink @@ fun () ->
+    Obs.Event.with_ambient options.events @@ fun () ->
     Obs.Span.with_ ~sink ~name:("run:" ^ name) @@ fun () ->
     let* plan =
       at Diag.Classify
@@ -319,6 +334,9 @@ let run ?(options = default_options) ~name ~params prog =
                              instances = p.Runtime.Exec.n_instances;
                              units = p.Runtime.Exec.n_units;
                              seconds = p.Runtime.Exec.seconds;
+                             alloc_words =
+                               Array.fold_left ( +. ) 0.0
+                                 p.Runtime.Exec.alloc;
                            })
                          tmd.Runtime.Exec.phase_stats
                      in
@@ -372,6 +390,7 @@ let run ?(options = default_options) ~name ~params prog =
         thread_loads = loads;
         phases = profiles;
         balance;
+        gc = List.rev !gcs;
         metrics = (if Obs.Metrics.is_empty metrics then None else Some metrics);
       }
     in

@@ -75,11 +75,15 @@ type options = {
   sink : Obs.Sink.t;
       (** where stage/execution spans go; {!Obs.Sink.null} (the default)
           records nothing and costs one branch per span site *)
+  events : Obs.Event.t;
+      (** where decision-provenance events go (installed as the ambient
+          {!Obs.Event} log for the duration of {!run}); {!Obs.Event.null}
+          (the default) records nothing *)
 }
 
 val default_options : options
 (** 4 threads, check and measure on, automatic strategy, scan engine,
-    no-op sink. *)
+    no-op sink, no-op event log. *)
 
 type outcome = {
   plan : Plan.t;

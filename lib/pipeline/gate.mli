@@ -1,0 +1,57 @@
+(** The benchmark regression gate: diff a current [BENCH_pipeline.json]
+    document against a committed baseline and flag stage timings or
+    metric counters that regressed past a threshold.
+
+    Both documents use the schema written by [bench/main.ml]:
+    [{"schema_version": 1, "entries": [...]}], where each entry carries a
+    program name and per-thread-count runs with ["stages"] (stage name →
+    seconds) and ["metrics"]["counters"] blocks.  The legacy shape — a
+    bare top-level list of entries — is still accepted as a baseline, so
+    gates keep working across the schema change.
+
+    Comparisons are keyed by (program, threads): pairs present in only
+    one document are skipped, not flagged — a baseline from an older
+    bench run stays usable when programs are added.  Noise damping:
+    stage timings below [min_seconds] in both documents and counters
+    below [min_count] in both are never flagged, whatever the ratio. *)
+
+type regression = {
+  program : string;
+  threads : int;
+  what : string;  (** e.g. ["stage:classify"] or ["counter:dtests.gcd"] *)
+  baseline : float;
+  current : float;
+  ratio : float;  (** [current / baseline] *)
+}
+
+type outcome = {
+  regressions : regression list;
+  compared : int;  (** individual stage/counter comparisons performed *)
+}
+
+val entries : Json.t -> (Json.t list, string) result
+(** The entry list of a baseline/current document; accepts the
+    [schema_version] wrapper and the legacy bare list.  [Error] on any
+    other shape or an unsupported [schema_version]. *)
+
+val check :
+  ?min_seconds:float ->
+  ?min_count:int ->
+  threshold_pct:float ->
+  baseline:Json.t ->
+  current:Json.t ->
+  unit ->
+  (outcome, string) result
+(** Flags every stage timing and counter that grew more than
+    [threshold_pct] percent over the baseline (and exceeds the absolute
+    floors: [min_seconds], default [0.05] — millisecond-scale stage
+    timings swing 2× run to run from domain-spawn variance, so only
+    stages that reach tens of milliseconds in at least one document are
+    judged; [min_count], default [16]).  Metric counters are
+    deterministic, so they carry the precision the damped timings give
+    up.  [Error] when either document does not parse as a bench
+    schema. *)
+
+val to_text : threshold_pct:float -> outcome -> string
+(** Human-readable verdict: one line per regression (or a pass line),
+    suitable for CI logs. *)

@@ -30,6 +30,7 @@ type phase_profile = {
   instances : int;
   units : int;
   seconds : float;
+  alloc_words : float;
 }
 
 type balance = {
@@ -104,6 +105,7 @@ type t = {
   thread_loads : int array option;
   phases : phase_profile list;
   balance : balance option;
+  gc : (string * Obs.Gcstats.t) list;
   metrics : Obs.Metrics.t option;
 }
 
@@ -175,8 +177,8 @@ let to_text r =
   | None -> ());
   List.iter
     (fun p ->
-      line "  phase %-12s %7d inst %5d unit(s) %.4fs" p.label p.instances
-        p.units p.seconds)
+      line "  phase %-12s %7d inst %5d unit(s) %.4fs  %.0f alloc words"
+        p.label p.instances p.units p.seconds p.alloc_words)
     r.phases;
   (match r.balance with
   | None -> ()
@@ -187,6 +189,19 @@ let to_text r =
         (fun (label, idle) ->
           line "  barrier %-10s idle %.1f%%" label (100.0 *. idle))
         b.per_phase_idle);
+  (match List.filter (fun (_, g) -> not (Obs.Gcstats.is_zero g)) r.gc with
+  | [] -> ()
+  | gcs ->
+      line "gc       :";
+      List.iter
+        (fun (stage, g) ->
+          line "  %-12s %12.0f words alloc  %4d minor / %d major gc%s" stage
+            (Obs.Gcstats.allocated_words g)
+            g.Obs.Gcstats.minor_collections g.Obs.Gcstats.major_collections
+            (if g.Obs.Gcstats.compactions > 0 then
+               Printf.sprintf "  %d compaction(s)" g.Obs.Gcstats.compactions
+             else ""))
+        gcs);
   (match r.metrics with
   | None -> ()
   | Some m ->
@@ -241,6 +256,18 @@ let balance_json b =
         Json.Obj
           (List.map (fun (l, idle) -> (l, Json.Float idle)) b.per_phase_idle)
       );
+    ]
+
+let gcstats_json (g : Obs.Gcstats.t) =
+  Json.Obj
+    [
+      ("minor_words", Json.Float g.Obs.Gcstats.minor_words);
+      ("promoted_words", Json.Float g.Obs.Gcstats.promoted_words);
+      ("major_words", Json.Float g.Obs.Gcstats.major_words);
+      ("minor_collections", Json.Int g.Obs.Gcstats.minor_collections);
+      ("major_collections", Json.Int g.Obs.Gcstats.major_collections);
+      ("compactions", Json.Int g.Obs.Gcstats.compactions);
+      ("allocated_words", Json.Float (Obs.Gcstats.allocated_words g));
     ]
 
 let metrics_json (m : Obs.Metrics.t) =
@@ -313,10 +340,20 @@ let to_json r =
                             ("instances", Json.Int p.instances);
                             ("units", Json.Int p.units);
                             ("seconds", Json.Float p.seconds);
+                            ("alloc_words", Json.Float p.alloc_words);
                           ])
                       ps) );
              ]);
          opt (fun b -> ("balance", balance_json b)) r.balance;
+         (match r.gc with
+         | [] -> []
+         | gcs ->
+             [
+               ( "gc",
+                 Json.Obj
+                   (List.map (fun (stage, g) -> (stage, gcstats_json g)) gcs)
+               );
+             ]);
          (match r.metrics with
          | Some m when not (Obs.Metrics.is_empty m) ->
              [ ("metrics", metrics_json m) ]

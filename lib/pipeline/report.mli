@@ -27,6 +27,9 @@ type phase_profile = {
   instances : int;
   units : int;  (** non-empty parallel work units in the phase *)
   seconds : float;
+  alloc_words : float;
+      (** words allocated across all domains while executing the phase
+          (sum of the executor's per-domain {!Runtime.Exec} deltas) *)
 }
 
 type balance = {
@@ -70,6 +73,9 @@ type t = {
       (** instances executed per domain, across phases *)
   phases : phase_profile list;  (** per-phase execution profile *)
   balance : balance option;  (** domain busy/idle breakdown *)
+  gc : (string * Obs.Gcstats.t) list;
+      (** per-stage GC telemetry ({!Obs.Gcstats.diff} around each pipeline
+          stage), in pipeline order; rendered as a ["gc"] object in JSON *)
   metrics : Obs.Metrics.t option;
       (** counters/histograms the run moved (a {!Obs.Metrics.diff} of
           before/after snapshots) *)

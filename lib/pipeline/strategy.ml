@@ -7,6 +7,11 @@ let analyze_simple prog =
   | exception Depend.Space.Unsupported m -> Error (Diag.Unsupported m)
   | exception Presburger.Omega.Blowup m -> Error (Diag.Set_blowup m)
 
+let rec_reject why =
+  Obs.Event.emit ~scope:"strategy" ~name:"rec.reject" ~severity:Obs.Event.Warn
+    (fun () -> [ ("why", Obs.Event.Str why) ]);
+  Error (Diag.Unsupported why)
+
 (* The REC hypotheses (Lemma 1): a single coupled reference pair whose
    coefficient matrices are both full rank. *)
 let rec_plan_of prog =
@@ -16,13 +21,26 @@ let rec_plan_of prog =
       match
         Core.Threeset.compute ~phi:a.Depend.Solve.phi ~rd:a.Depend.Solve.rd
       with
-      | three -> Ok { Core.Partition.simple = a; pair = p; three }
+      | three ->
+          Obs.Event.emit ~scope:"strategy" ~name:"rec.accept" (fun () ->
+              [
+                ("array", Obs.Event.Str p.Depend.Depeq.arr);
+                ("det_a", Obs.Event.Int (Depend.Depeq.det_a p));
+                ("det_b", Obs.Event.Int (Depend.Depeq.det_b p));
+                ( "why",
+                  Obs.Event.Str
+                    "Lemma 1 preconditions hold: single coupled reference \
+                     pair with full-rank A and B" );
+              ]);
+          Ok { Core.Partition.simple = a; pair = p; three }
       | exception Presburger.Omega.Blowup m -> Error (Diag.Set_blowup m))
-  | Some _ ->
-      Error
-        (Diag.Unsupported
-           "coupled pair coefficient matrices are not full rank")
-  | None -> Error (Diag.Unsupported "no single coupled reference pair")
+  | Some p ->
+      rec_reject
+        (Printf.sprintf
+           "coupled pair coefficient matrices are not full rank (det A = %d, \
+            det B = %d)"
+           (Depend.Depeq.det_a p) (Depend.Depeq.det_b p))
+  | None -> rec_reject "no single coupled reference pair"
 
 module type S = sig
   val strategy : Plan.strategy
@@ -103,12 +121,20 @@ let find = function
   | Plan.Mindist -> (module Mindist : S)
   | Plan.Doacross -> (module Doacross : S)
 
+let selected plan =
+  Obs.Event.emit ~scope:"strategy" ~name:"auto.selected" (fun () ->
+      [
+        ("strategy", Obs.Event.Str (Plan.strategy_name (Plan.strategy plan)));
+        ("describe", Obs.Event.Str (Plan.describe plan));
+      ]);
+  Ok plan
+
 let auto prog =
   match Core.Partition.choose prog with
-  | Core.Partition.Rec_chains rp -> Ok (Plan.Rec_chains rp)
+  | Core.Partition.Rec_chains rp -> selected (Plan.Rec_chains rp)
   | Core.Partition.Dataflow_const ->
-      Ok (Plan.Dataflow_fronts { reason = "compile-time-known loop bounds" })
+      selected (Plan.Dataflow_fronts { reason = "compile-time-known loop bounds" })
   | Core.Partition.Pdm_fallback reason ->
       let simple = Result.to_option (analyze_simple prog) in
-      Ok (Plan.Pdm_fallback { simple; reason })
+      selected (Plan.Pdm_fallback { simple; reason })
   | exception Presburger.Omega.Blowup m -> Error (Diag.Set_blowup m)

@@ -34,6 +34,7 @@ type phase_stat = {
   n_units : int;
   loads : int array;
   busy : float array;
+  alloc : float array;
   seconds : float;
 }
 
@@ -43,11 +44,14 @@ let task_len_hist = Obs.Histogram.make "exec.task_len"
 let task_ns_hist = Obs.Histogram.make "exec.task_ns"
 
 (* Executes one bucket (a list of sequential tasks) and returns the
-   seconds this domain was busy.  With a recording sink, the bucket and
-   each task get their own spans — for REC plans the tasks are the
+   seconds this domain was busy plus the words it allocated (the GC delta
+   is taken inside the executing domain, so on OCaml 5 the word counters
+   are exact for this bucket's work).  With a recording sink, the bucket
+   and each task get their own spans — for REC plans the tasks are the
    recurrence chains, so the trace shows per-chain durations on the
    executing domain's row. *)
 let run_bucket ~sink ~label env store tasks =
+  let gc0 = Obs.Gcstats.quick () in
   let t0 = Obs.Clock.now_ns () in
   if not (Obs.Sink.enabled sink) then
     List.iter (Array.iter (Interp.exec_instance env store)) tasks
@@ -70,7 +74,11 @@ let run_bucket ~sink ~label env store tasks =
             end)
           tasks)
   end;
-  Obs.Clock.elapsed_s t0
+  let busy = Obs.Clock.elapsed_s t0 in
+  let words =
+    Obs.Gcstats.(allocated_words (diff ~before:gc0 ~after:(quick ())))
+  in
+  (busy, words)
 
 (* The single execution path: every phase — sequential or parallel — goes
    through here, so instrumentation (per-phase wall time and per-domain
@@ -80,7 +88,7 @@ let run_phase_timed ?(sink = Obs.Sink.null) env store ~threads phase =
   let label = Sched.phase_label phase in
   let n_instances = Sched.phase_size phase in
   let t0 = Obs.Clock.now_ns () in
-  let n_units, loads, busy =
+  let n_units, loads, busy, alloc =
     if threads = 1 then begin
       (* Keep tasks separate (same execution order as the flattened
          instances) so sequential profile runs still see per-chain
@@ -90,7 +98,7 @@ let run_phase_timed ?(sink = Obs.Sink.null) env store ~threads phase =
         | Sched.Doall { instances; _ } -> [ instances ]
         | Sched.Tasks { tasks; _ } -> Array.to_list tasks
       in
-      let b = run_bucket ~sink ~label env store tasks in
+      let b, w = run_bucket ~sink ~label env store tasks in
       let units =
         match phase with
         | Sched.Doall _ -> if n_instances = 0 then 0 else 1
@@ -99,7 +107,7 @@ let run_phase_timed ?(sink = Obs.Sink.null) env store ~threads phase =
               (fun acc t -> if Array.length t = 0 then acc else acc + 1)
               0 tasks
       in
-      (units, [| n_instances |], [| b |])
+      (units, [| n_instances |], [| b |], [| w |])
     end
     else begin
       let work =
@@ -124,7 +132,7 @@ let run_phase_timed ?(sink = Obs.Sink.null) env store ~threads phase =
       in
       (* Spawn domains only for buckets that hold work: empty buckets would
          pay the domain fork/join cost for nothing. *)
-      let busy =
+      let stats =
         match
           List.filter
             (fun b -> List.exists (fun t -> Array.length t > 0) b)
@@ -141,10 +149,18 @@ let run_phase_timed ?(sink = Obs.Sink.null) env store ~threads phase =
             let b0 = run_bucket ~sink ~label env store first in
             Array.of_list (b0 :: List.map Domain.join spawned)
       in
-      (n_units, loads, busy)
+      (n_units, loads, Array.map fst stats, Array.map snd stats)
     end
   in
-  { label; n_instances; n_units; loads; busy; seconds = Obs.Clock.elapsed_s t0 }
+  {
+    label;
+    n_instances;
+    n_units;
+    loads;
+    busy;
+    alloc;
+    seconds = Obs.Clock.elapsed_s t0;
+  }
 
 let run_timed ?(sink = Obs.Sink.null) env ~threads s =
   let store = Interp.scan_bounds env in

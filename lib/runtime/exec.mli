@@ -31,6 +31,10 @@ type phase_stat = {
       (** seconds each domain spent executing its bucket, aligned with
           [loads] for parallel runs; the gap to [seconds] is barrier
           idle time *)
+  alloc : float array;
+      (** words each domain allocated while executing its bucket
+          ({!Obs.Gcstats} delta taken inside the domain), aligned with
+          [busy] *)
   seconds : float;  (** wall time of the phase, barrier included *)
 }
 

@@ -140,6 +140,66 @@ let test_histogram_buckets () =
     [ (1, 2); (2, 1); (4, 2); (8, 1); (1024, 1) ]
     s.Obs.Histogram.buckets
 
+let test_histogram_negative_clamp () =
+  (* Negative samples are clamped to 0 before anything records, so count,
+     sum and the buckets stay mutually consistent. *)
+  let h = Obs.Histogram.make "test.hist_negative" in
+  List.iter (Obs.Histogram.observe h) [ -5; -1; 0; 3 ];
+  let s = Obs.Histogram.snap h in
+  Alcotest.(check int) "count includes clamped samples" 4
+    s.Obs.Histogram.count;
+  Alcotest.(check int) "sum treats negatives as 0" 3 s.Obs.Histogram.sum;
+  (* -5, -1, 0 all land in the le-1 bucket; 3 in le-4 *)
+  Alcotest.(check (list (pair int int)))
+    "buckets agree with count"
+    [ (1, 3); (4, 1) ]
+    s.Obs.Histogram.buckets;
+  Alcotest.(check int) "bucket total = count" s.Obs.Histogram.count
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 s.Obs.Histogram.buckets)
+
+let test_histogram_snap_stress_4_domains () =
+  (* snap under concurrent observation: the retry loop plus the
+     count-read-last ordering guarantee Σ bucket counts <= count on every
+     mid-flight snapshot, and exact totals once the writers join. *)
+  let h = Obs.Histogram.make "test.hist_snap_stress" in
+  let per_domain = 50_000 in
+  let done_count = Atomic.make 0 in
+  let ds =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Obs.Histogram.observe h (i land 1023)
+            done;
+            Atomic.incr done_count))
+  in
+  let last_count = ref 0 in
+  while Atomic.get done_count < 4 do
+    let s = Obs.Histogram.snap h in
+    let bucket_total =
+      List.fold_left (fun acc (_, n) -> acc + n) 0 s.Obs.Histogram.buckets
+    in
+    if bucket_total > s.Obs.Histogram.count then
+      Alcotest.failf "torn snap: bucket total %d > count %d" bucket_total
+        s.Obs.Histogram.count;
+    if s.Obs.Histogram.count < !last_count then
+      Alcotest.failf "count went backwards: %d after %d"
+        s.Obs.Histogram.count !last_count;
+    last_count := s.Obs.Histogram.count
+  done;
+  List.iter Domain.join ds;
+  let s = Obs.Histogram.snap h in
+  Alcotest.(check int) "final count" (4 * per_domain) s.Obs.Histogram.count;
+  let expected_sum =
+    let one = ref 0 in
+    for i = 1 to per_domain do
+      one := !one + (i land 1023)
+    done;
+    4 * !one
+  in
+  Alcotest.(check int) "final sum" expected_sum s.Obs.Histogram.sum;
+  Alcotest.(check int) "final bucket total" (4 * per_domain)
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 s.Obs.Histogram.buckets)
+
 let test_metrics_diff () =
   let c = Obs.Counter.make "test.diffed" in
   let h = Obs.Histogram.make "test.diffed_hist" in
@@ -158,6 +218,125 @@ let test_metrics_diff () =
   | None -> Alcotest.fail "histogram delta missing");
   let empty = Obs.Metrics.diff ~before:d ~after:d in
   Alcotest.(check bool) "self-diff is empty" true (Obs.Metrics.is_empty empty)
+
+(* ------------------------------------------------------------------ *)
+(* Decision events                                                      *)
+
+module Event = Obs.Event
+
+let test_event_emit_and_order () =
+  let log = Event.make () in
+  Event.emit ~log ~scope:"depend" ~name:"test.gcd" (fun () ->
+      [ ("verdict", Event.Str "independent"); ("gcd", Event.Int 3) ]);
+  Event.emit ~log ~severity:Event.Warn ~scope:"strategy" ~name:"rec.reject"
+    (fun () -> [ ("why", Event.Str "not full-rank") ]);
+  Event.emit ~log ~scope:"partition" ~name:"cardinality" (fun () ->
+      [ ("growth", Event.Float 3.0); ("bounded", Event.Bool true) ]);
+  match Event.events log with
+  | [ a; b; c ] ->
+      Alcotest.(check (list int)) "gap-free seq from 0" [ 0; 1; 2 ]
+        [ a.Event.seq; b.Event.seq; c.Event.seq ];
+      Alcotest.(check (list string))
+        "emission order" [ "test.gcd"; "rec.reject"; "cardinality" ]
+        [ a.Event.name; b.Event.name; c.Event.name ];
+      Alcotest.(check string) "scope kept" "strategy" b.Event.scope;
+      Alcotest.(check string) "severity kept" "warn"
+        (Event.severity_name b.Event.severity);
+      Alcotest.(check bool) "typed fields kept" true
+        (a.Event.fields
+        = [ ("verdict", Event.Str "independent"); ("gcd", Event.Int 3) ]);
+      Event.clear log;
+      Alcotest.(check int) "clear empties" 0 (List.length (Event.events log))
+  | l -> Alcotest.failf "expected 3 events, got %d" (List.length l)
+
+let test_event_null_does_not_force_thunk () =
+  let forced = ref false in
+  Event.emit ~log:Event.null ~scope:"s" ~name:"n" (fun () ->
+      forced := true;
+      []);
+  Alcotest.(check bool) "thunk not forced on null log" false !forced;
+  Alcotest.(check bool) "null log disabled" false (Event.enabled Event.null);
+  Alcotest.(check int) "null log records nothing" 0
+    (List.length (Event.events Event.null))
+
+let test_event_ambient_scoping () =
+  let log = Event.make () in
+  Event.with_ambient log (fun () ->
+      Event.emit ~scope:"s" ~name:"inside" (fun () -> []));
+  (* the previous ambient (null) is restored: this one is dropped *)
+  Event.emit ~scope:"s" ~name:"outside" (fun () -> []);
+  match Event.events log with
+  | [ e ] -> Alcotest.(check string) "ambient recorded" "inside" e.Event.name
+  | l -> Alcotest.failf "expected 1 event, got %d" (List.length l)
+
+let test_event_multi_domain_seq () =
+  let log = Event.make () in
+  let per_domain = 1_000 in
+  let ds =
+    List.init 4 (fun k ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Event.emit ~log ~scope:"stress" ~name:"tick" (fun () ->
+                  [ ("d", Event.Int k); ("i", Event.Int i) ])
+            done))
+  in
+  List.iter Domain.join ds;
+  let evs = Event.events log in
+  Alcotest.(check int) "all events kept" (4 * per_domain) (List.length evs);
+  List.iteri
+    (fun i (e : Event.event) ->
+      if e.Event.seq <> i then
+        Alcotest.failf "seq not gap-free: position %d has seq %d" i e.Event.seq)
+    evs;
+  let tids =
+    List.sort_uniq compare (List.map (fun (e : Event.event) -> e.Event.tid) evs)
+  in
+  Alcotest.(check int) "4 distinct emitting domains" 4 (List.length tids)
+
+let test_event_jsonl_parses () =
+  let log = Event.make () in
+  Event.emit ~log ~scope:"depend" ~name:"test.exact" (fun () ->
+      [
+        ("relation", Event.Str "needs \"quotes\"\nand newlines");
+        ("empty", Event.Bool false);
+        ("dims", Event.Int 2);
+        ("growth", Event.Float 1.5);
+        ("nan_degrades", Event.Float nan);
+      ]);
+  Event.emit ~log ~severity:Event.Warn ~scope:"strategy" ~name:"rec.reject"
+    (fun () -> []);
+  let lines =
+    String.split_on_char '\n' (Event.to_jsonl log)
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "one line per event" 2 (List.length lines);
+  let parsed =
+    List.map
+      (fun line ->
+        match Pipeline.Json.parse line with
+        | Ok v -> v
+        | Error m -> Alcotest.failf "JSONL line does not parse: %s (%s)" line m)
+      lines
+  in
+  let first = List.nth parsed 0 in
+  List.iter
+    (fun key ->
+      if Pipeline.Json.member key first = None then
+        Alcotest.failf "line lacks %s" key)
+    [ "seq"; "t_us"; "tid"; "severity"; "scope"; "name"; "fields" ];
+  (match Pipeline.Json.member "fields" first with
+  | Some fields ->
+      Alcotest.(check bool) "escaped string survives" true
+        (Pipeline.Json.member "relation" fields
+        = Some (Pipeline.Json.Str "needs \"quotes\"\nand newlines"));
+      Alcotest.(check bool) "int field survives" true
+        (Pipeline.Json.member "dims" fields = Some (Pipeline.Json.Int 2));
+      Alcotest.(check bool) "non-finite float degrades to null" true
+        (Pipeline.Json.member "nan_degrades" fields = Some Pipeline.Json.Null)
+  | None -> Alcotest.fail "fields missing");
+  match Pipeline.Json.member "severity" (List.nth parsed 1) with
+  | Some (Pipeline.Json.Str s) -> Alcotest.(check string) "severity" "warn" s
+  | _ -> Alcotest.fail "severity missing on second line"
 
 (* ------------------------------------------------------------------ *)
 (* Chrome trace export                                                  *)
@@ -244,6 +423,83 @@ let test_trace_text () =
       Alcotest.(check bool) ("text mentions " ^ needle) true found)
     [ "domain 0"; "run"; "phase:P1"; "bucket" ]
 
+let test_chrome_trace_from_pipeline_run () =
+  (* Export a trace from a real 4-domain pipeline run and check the
+     properties a trace viewer relies on: several distinct tids and, per
+     tid, well-nested complete events. *)
+  let sink = Sink.make () in
+  let options = { Pipeline.Driver.default_options with threads = 4; sink } in
+  (match
+     Pipeline.Driver.run ~options ~name:"example2" ~params:[ ("n", 12) ]
+       Loopir.Builtin.example2
+   with
+  | Error e -> Alcotest.fail (Pipeline.Driver.error_to_string e)
+  | Ok _ -> ());
+  let json = Obs.Trace.to_chrome_json sink in
+  match Pipeline.Json.parse json with
+  | Error m -> Alcotest.fail ("trace JSON does not parse: " ^ m)
+  | Ok t -> (
+      match Pipeline.Json.member "traceEvents" t with
+      | Some (Pipeline.Json.List events) ->
+          let num = function
+            | Some (Pipeline.Json.Int i) -> float_of_int i
+            | Some (Pipeline.Json.Float f) -> f
+            | _ -> Alcotest.fail "expected a number"
+          in
+          let xs =
+            List.filter_map
+              (fun e ->
+                if Pipeline.Json.member "ph" e = Some (Pipeline.Json.Str "X")
+                then
+                  Some
+                    ( num (Pipeline.Json.member "tid" e),
+                      num (Pipeline.Json.member "ts" e),
+                      num (Pipeline.Json.member "dur" e) )
+                else None)
+              events
+          in
+          Alcotest.(check bool) "pipeline run produced events" true
+            (List.length xs > 10);
+          let tids =
+            List.sort_uniq compare (List.map (fun (tid, _, _) -> tid) xs)
+          in
+          Alcotest.(check bool) "executor domains appear as distinct tids"
+            true
+            (List.length tids >= 4);
+          (* well-nested per tid: sorted by start (longest first on ties),
+             every event fits inside whatever is still open *)
+          let eps = 0.01 (* µs: ns → µs conversion rounding *) in
+          List.iter
+            (fun tid ->
+              let mine =
+                List.filter (fun (t, _, _) -> t = tid) xs
+                |> List.map (fun (_, ts, dur) -> (ts, dur))
+                |> List.sort (fun (a, da) (b, db) ->
+                       if a <> b then compare a b else compare db da)
+              in
+              let stack = ref [] in
+              List.iter
+                (fun (ts, dur) ->
+                  let rec pop () =
+                    match !stack with
+                    | top :: rest when top <= ts +. eps ->
+                        stack := rest;
+                        pop ()
+                    | _ -> ()
+                  in
+                  pop ();
+                  (match !stack with
+                  | top :: _ when ts +. dur > top +. eps ->
+                      Alcotest.failf
+                        "tid %g: event [%g, %g] overlaps an open event ending \
+                         at %g"
+                        tid ts (ts +. dur) top
+                  | _ -> ());
+                  stack := (ts +. dur) :: !stack)
+                mine)
+            tids
+      | _ -> Alcotest.fail "traceEvents missing")
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -266,12 +522,30 @@ let () =
           Alcotest.test_case "counter atomicity on 4 domains" `Quick
             test_counter_atomic_4_domains;
           Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "histogram clamps negatives" `Quick
+            test_histogram_negative_clamp;
+          Alcotest.test_case "histogram snap under 4-domain load" `Quick
+            test_histogram_snap_stress_4_domains;
           Alcotest.test_case "snapshot diff" `Quick test_metrics_diff;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "emit and order" `Quick test_event_emit_and_order;
+          Alcotest.test_case "null log skips the thunk" `Quick
+            test_event_null_does_not_force_thunk;
+          Alcotest.test_case "ambient scoping" `Quick
+            test_event_ambient_scoping;
+          Alcotest.test_case "gap-free seq across 4 domains" `Quick
+            test_event_multi_domain_seq;
+          Alcotest.test_case "JSONL lines parse" `Quick
+            test_event_jsonl_parses;
         ] );
       ( "trace",
         [
           Alcotest.test_case "chrome JSON round-trip" `Quick
             test_chrome_trace_round_trip;
+          Alcotest.test_case "chrome export of a 4-domain pipeline run"
+            `Quick test_chrome_trace_from_pipeline_run;
           Alcotest.test_case "text tree" `Quick test_trace_text;
         ] );
     ]

@@ -328,6 +328,321 @@ let test_json_parse_errors () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* GC telemetry in the report                                           *)
+
+let test_gc_telemetry_roundtrip () =
+  match run_ex2 () with
+  | Error e -> Alcotest.fail (Driver.error_to_string e)
+  | Ok { report; _ } -> (
+      Alcotest.(check bool) "per-stage GC deltas recorded" true
+        (report.Report.gc <> []);
+      Alcotest.(check (list string))
+        "gc stages in pipeline order"
+        [ "classify"; "materialize"; "schedule"; "validate"; "execute" ]
+        (List.map fst report.Report.gc);
+      List.iter
+        (fun (stage, g) ->
+          Alcotest.(check bool) (stage ^ " alloc non-negative") true
+            (Obs.Gcstats.allocated_words g >= 0.0))
+        report.Report.gc;
+      (* the execute stage allocates (result arrays, domain spawns) *)
+      (match List.assoc_opt "execute" report.Report.gc with
+      | Some g ->
+          Alcotest.(check bool) "execute allocates" true
+            (Obs.Gcstats.allocated_words g > 0.0)
+      | None -> Alcotest.fail "execute missing from gc");
+      (* round-trip through the JSON renderer and parser *)
+      match Json.parse (Json.to_string_pretty (Report.to_json report)) with
+      | Error m -> Alcotest.fail ("report JSON does not parse: " ^ m)
+      | Ok v -> (
+          match Json.member "gc" v with
+          | Some (Json.Obj stages) ->
+              Alcotest.(check bool) "gc stages survive" true (stages <> []);
+              List.iter
+                (fun (stage, g) ->
+                  match Json.member "allocated_words" g with
+                  | Some (Json.Float f) ->
+                      Alcotest.(check bool)
+                        (stage ^ " allocated_words non-negative") true
+                        (f >= 0.0)
+                  | Some (Json.Int n) ->
+                      Alcotest.(check bool)
+                        (stage ^ " allocated_words non-negative") true (n >= 0)
+                  | _ -> Alcotest.failf "%s lacks allocated_words" stage)
+                stages;
+              (* per-phase allocation is also reported *)
+              (match Json.member "phase_profile" v with
+              | Some (Json.List (p :: _)) ->
+                  Alcotest.(check bool) "phase alloc_words survive" true
+                    (Json.member "alloc_words" p <> None)
+              | _ -> Alcotest.fail "phase_profile missing")
+          | _ -> Alcotest.fail "gc object missing after round-trip"))
+
+(* ------------------------------------------------------------------ *)
+(* Decision provenance events                                           *)
+
+module Event = Obs.Event
+
+let find_event ~name evs =
+  List.find_opt (fun (e : Event.event) -> e.Event.name = name) evs
+
+let why_of (e : Event.event) =
+  match List.assoc_opt "why" e.Event.fields with
+  | Some (Event.Str s) -> s
+  | _ -> ""
+
+let test_explain_example1_cites_lemma1 () =
+  (* The acceptance criterion behind [recpart explain]: classifying
+     Example 1 names the REC branch and cites the Lemma 1 preconditions
+     (single coupled pair, full-rank A and B). *)
+  let log = Event.make () in
+  (match
+     Event.with_ambient log (fun () -> Driver.classify Loopir.Builtin.example1)
+   with
+  | Ok plan -> Alcotest.(check string) "rec chosen" "rec" (strategy_of plan)
+  | Error e -> Alcotest.fail (Diag.to_string e));
+  let evs = Event.events log in
+  (match find_event ~name:"choose.rec" evs with
+  | Some e ->
+      Alcotest.(check string) "partition scope" "partition" e.Event.scope;
+      let why = why_of e in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) ("why cites " ^ needle) true
+            (contains ~needle why))
+        [ "Lemma 1"; "single coupled reference pair"; "full-rank" ]
+  | None -> Alcotest.fail "no choose.rec event");
+  (* Algorithm 1 announces its selection with the evidence *)
+  (match find_event ~name:"auto.selected" evs with
+  | Some e ->
+      Alcotest.(check bool) "selected strategy named" true
+        (List.assoc_opt "strategy" e.Event.fields = Some (Event.Str "rec"))
+  | None -> Alcotest.fail "no auto.selected event");
+  (* forcing the strategy goes through the strategy layer's own check,
+     which logs its acceptance too *)
+  let forced = Event.make () in
+  (match
+     Event.with_ambient forced (fun () ->
+         Driver.classify ~strategy:Plan.Rec Loopir.Builtin.example1)
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Diag.to_string e));
+  match find_event ~name:"rec.accept" (Event.events forced) with
+  | Some e ->
+      Alcotest.(check string) "strategy scope" "strategy" e.Event.scope;
+      Alcotest.(check bool) "acceptance cites Lemma 1" true
+        (contains ~needle:"Lemma 1" (why_of e))
+  | None -> Alcotest.fail "no rec.accept event"
+
+let test_rejection_provenance_example3 () =
+  (* Example 3 has no full-rank coupled pair: the log must say why REC
+     was rejected before the PDM fallback. *)
+  let log = Event.make () in
+  (match
+     Event.with_ambient log (fun () -> Driver.classify Loopir.Builtin.example3)
+   with
+  | Ok plan -> Alcotest.(check string) "pdm chosen" "pdm" (strategy_of plan)
+  | Error e -> Alcotest.fail (Diag.to_string e));
+  let evs = Event.events log in
+  (match find_event ~name:"choose.reject_rec" evs with
+  | Some e ->
+      Alcotest.(check string) "partition scope" "partition" e.Event.scope;
+      Alcotest.(check bool) "reject carries a reason" true (why_of e <> "")
+  | None -> Alcotest.fail "no choose.reject_rec event");
+  (match find_event ~name:"choose.pdm" evs with
+  | Some e ->
+      Alcotest.(check bool) "fallback carries a reason" true (why_of e <> "")
+  | None -> Alcotest.fail "no choose.pdm event");
+  match find_event ~name:"auto.selected" evs with
+  | Some e ->
+      Alcotest.(check bool) "fallback strategy named" true
+        (List.assoc_opt "strategy" e.Event.fields = Some (Event.Str "pdm"))
+  | None -> Alcotest.fail "no auto.selected event"
+
+let test_driver_threads_events_option () =
+  (* Driver.run installs options.events as the ambient log, so the inner
+     layers' provenance (dependence tests, partition cardinalities) shows
+     up without any explicit plumbing. *)
+  let log = Event.make () in
+  let options = { Driver.default_options with events = log } in
+  (match
+     Driver.run ~options ~name:"example2" ~params:[ ("n", 12) ]
+       Loopir.Builtin.example2
+   with
+  | Error e -> Alcotest.fail (Driver.error_to_string e)
+  | Ok _ -> ());
+  let evs = Event.events log in
+  let scopes =
+    List.sort_uniq compare (List.map (fun (e : Event.event) -> e.Event.scope) evs)
+  in
+  List.iter
+    (fun scope ->
+      Alcotest.(check bool) ("scope " ^ scope ^ " present") true
+        (List.mem scope scopes))
+    [ "depend"; "partition"; "strategy" ];
+  match find_event ~name:"cardinality" evs with
+  | Some e ->
+      let get k =
+        match List.assoc_opt k e.Event.fields with
+        | Some (Event.Int n) -> n
+        | _ -> Alcotest.failf "cardinality lacks %s" k
+      in
+      Alcotest.(check int) "three sets cover the space" 144
+        (get "p1" + get "p2" + get "p3")
+  | None -> Alcotest.fail "no cardinality event"
+
+(* ------------------------------------------------------------------ *)
+(* The benchmark regression gate                                        *)
+
+module Gate = Pipeline.Gate
+
+(* A synthetic bench document: one program, one run at 4 threads. *)
+let bench_doc ?(wrap = true) ~execute_s ~classify_s ~counter () =
+  let entry =
+    Json.Obj
+      [
+        ("program", Json.Str "example2");
+        ( "runs",
+          Json.List
+            [
+              Json.Obj
+                [
+                  ("threads", Json.Int 4);
+                  ( "stages",
+                    Json.Obj
+                      [
+                        ("execute", Json.Float execute_s);
+                        ("classify", Json.Float classify_s);
+                      ] );
+                  ( "metrics",
+                    Json.Obj
+                      [ ("counters", Json.Obj [ ("omega.calls", Json.Int counter) ]) ]
+                  );
+                ];
+            ] );
+      ]
+  in
+  if wrap then
+    Json.Obj
+      [ ("schema_version", Json.Int 1); ("entries", Json.List [ entry ]) ]
+  else Json.List [ entry ]
+
+let test_gate_flags_slowed_stage () =
+  (* The acceptance criterion: an artificially slowed stage (well above
+     the noise floor) must be flagged and would make bench exit 1. *)
+  let baseline = bench_doc ~execute_s:0.2 ~classify_s:0.001 ~counter:1000 () in
+  let current = bench_doc ~execute_s:0.5 ~classify_s:0.001 ~counter:1000 () in
+  match Gate.check ~threshold_pct:25.0 ~baseline ~current () with
+  | Error m -> Alcotest.fail m
+  | Ok o -> (
+      Alcotest.(check int) "all pairs compared" 3 o.Gate.compared;
+      match o.Gate.regressions with
+      | [ r ] ->
+          Alcotest.(check string) "stage named" "stage:execute" r.Gate.what;
+          Alcotest.(check string) "program named" "example2" r.Gate.program;
+          Alcotest.(check int) "threads named" 4 r.Gate.threads;
+          Alcotest.(check bool) "ratio = 2.5" true
+            (abs_float (r.Gate.ratio -. 2.5) < 1e-9);
+          let text = Gate.to_text ~threshold_pct:25.0 o in
+          Alcotest.(check bool) "FAIL in text" true
+            (contains ~needle:"FAIL" text);
+          Alcotest.(check bool) "stage in text" true
+            (contains ~needle:"stage:execute" text)
+      | rs -> Alcotest.failf "expected 1 regression, got %d" (List.length rs))
+
+let test_gate_passes_identity_and_noise () =
+  (* Identical documents pass; so does a big ratio on a stage below the
+     noise floor in both documents (ms-scale timings are noise). *)
+  let baseline = bench_doc ~execute_s:0.2 ~classify_s:0.001 ~counter:1000 () in
+  (match Gate.check ~threshold_pct:25.0 ~baseline ~current:baseline () with
+  | Ok { Gate.regressions = []; compared = 3 } -> ()
+  | Ok o -> Alcotest.failf "identity flagged %d" (List.length o.Gate.regressions)
+  | Error m -> Alcotest.fail m);
+  let noisy = bench_doc ~execute_s:0.2 ~classify_s:0.004 ~counter:1000 () in
+  (match Gate.check ~threshold_pct:25.0 ~baseline ~current:noisy () with
+  | Ok { Gate.regressions = []; _ } -> ()
+  | Ok _ -> Alcotest.fail "sub-floor stage flagged"
+  | Error m -> Alcotest.fail m);
+  (* counters are deterministic: a 2x counter growth IS flagged *)
+  let busier = bench_doc ~execute_s:0.2 ~classify_s:0.001 ~counter:2000 () in
+  match Gate.check ~threshold_pct:25.0 ~baseline ~current:busier () with
+  | Ok { Gate.regressions = [ r ]; _ } ->
+      Alcotest.(check string) "counter named" "counter:omega.calls" r.Gate.what
+  | Ok o -> Alcotest.failf "expected 1 regression, got %d"
+              (List.length o.Gate.regressions)
+  | Error m -> Alcotest.fail m
+
+let test_gate_schema_tolerance () =
+  (* Legacy bare-list baselines still work; bad documents are typed
+     errors, and unknown (program, threads) keys are skipped. *)
+  let wrapped = bench_doc ~execute_s:0.2 ~classify_s:0.001 ~counter:1000 () in
+  let legacy =
+    bench_doc ~wrap:false ~execute_s:0.2 ~classify_s:0.001 ~counter:1000 ()
+  in
+  (match Gate.check ~threshold_pct:25.0 ~baseline:legacy ~current:wrapped () with
+  | Ok { Gate.regressions = []; compared = 3 } -> ()
+  | Ok _ -> Alcotest.fail "legacy baseline mis-compared"
+  | Error m -> Alcotest.fail m);
+  (match Gate.entries (Json.Obj [ ("schema_version", Json.Int 99) ]) with
+  | Error m ->
+      Alcotest.(check bool) "version in message" true
+        (contains ~needle:"schema_version" m)
+  | Ok _ -> Alcotest.fail "future schema accepted");
+  (match Gate.entries (Json.Str "nope") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-document accepted");
+  (* a baseline for a different program: nothing compared, nothing flagged *)
+  let other =
+    Json.Obj
+      [
+        ("schema_version", Json.Int 1);
+        ( "entries",
+          Json.List
+            [
+              Json.Obj
+                [ ("program", Json.Str "other"); ("runs", Json.List []) ];
+            ] );
+      ]
+  in
+  match Gate.check ~threshold_pct:25.0 ~baseline:other ~current:wrapped () with
+  | Ok { Gate.regressions = []; compared = 0 } -> ()
+  | Ok _ -> Alcotest.fail "disjoint programs compared"
+  | Error m -> Alcotest.fail m
+
+let test_gate_on_committed_baseline () =
+  (* The committed BENCH_pipeline.json must stay parseable by the gate —
+     CI diffs fresh runs against it. *)
+  (* from the dune sandbox the repo root is a few levels up *)
+  let path =
+    List.find_opt Sys.file_exists
+      [
+        "BENCH_pipeline.json"; "../BENCH_pipeline.json";
+        "../../BENCH_pipeline.json"; "../../../BENCH_pipeline.json";
+      ]
+  in
+  match path with
+  | None -> () (* baseline not visible from the sandbox: nothing to check *)
+  | Some path -> begin
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Json.parse s with
+    | Error m -> Alcotest.fail ("baseline does not parse: " ^ m)
+    | Ok doc -> (
+        (match Json.member "schema_version" doc with
+        | Some (Json.Int 1) -> ()
+        | _ -> Alcotest.fail "baseline lacks schema_version 1");
+        match Gate.check ~threshold_pct:25.0 ~baseline:doc ~current:doc () with
+        | Ok { Gate.regressions = []; compared } ->
+            Alcotest.(check bool) "baseline self-comparison is non-trivial"
+              true (compared > 0)
+        | Ok o ->
+            Alcotest.failf "self-comparison flagged %d"
+              (List.length o.Gate.regressions)
+        | Error m -> Alcotest.fail m)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Engine equivalence through the driver                                *)
 
 let test_engines_agree () =
@@ -437,6 +752,28 @@ let () =
             test_run_with_recording_sink;
           Alcotest.test_case "balance without a sink" `Quick
             test_null_sink_reports_no_balance_gap;
+          Alcotest.test_case "GC telemetry round-trips through JSON" `Quick
+            test_gc_telemetry_roundtrip;
+        ] );
+      ( "provenance",
+        [
+          Alcotest.test_case "example1 cites Lemma 1" `Quick
+            test_explain_example1_cites_lemma1;
+          Alcotest.test_case "example3 rejection reasons" `Quick
+            test_rejection_provenance_example3;
+          Alcotest.test_case "driver threads the event log" `Quick
+            test_driver_threads_events_option;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "flags an artificially slowed stage" `Quick
+            test_gate_flags_slowed_stage;
+          Alcotest.test_case "identity and noise pass" `Quick
+            test_gate_passes_identity_and_noise;
+          Alcotest.test_case "schema tolerance" `Quick
+            test_gate_schema_tolerance;
+          Alcotest.test_case "committed baseline self-check" `Quick
+            test_gate_on_committed_baseline;
         ] );
       ( "json",
         [

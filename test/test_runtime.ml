@@ -325,6 +325,7 @@ let test_thread_loads_overflow () =
       n_units = Array.length loads;
       loads;
       busy = Array.map (fun _ -> 0.0) loads;
+      alloc = Array.map (fun _ -> 0.0) loads;
       seconds = 0.0;
     }
   in
