@@ -757,6 +757,124 @@ let pipeline_json () =
   doc
 
 (* ------------------------------------------------------------------ *)
+(* E11 — analysis service throughput → BENCH_service.json               *)
+
+(* Cold vs warm cache over a duplicate-heavy corpus, per domain count.
+   Timings are recorded as plain fields (they are machine-dependent);
+   only the deterministic facts — request count and warm-cache hits —
+   go into the gate-checked "metrics"/"counters" block, so a committed
+   BENCH_service.json baseline gates cache behavior, not wall time. *)
+let service_bench () =
+  section "E11 / analysis service: BENCH_service.json (cold vs warm cache)";
+  let copies = if quick then 8 else 25 in
+  let base =
+    [
+      ("example1", Loopir.Builtin.example1, [ ("n1", 12); ("n2", 16) ]);
+      ("fig2", Loopir.Builtin.fig2, []);
+      ("example2", Loopir.Builtin.example2, [ ("n", 16) ]);
+      ("example3", Loopir.Builtin.example3, [ ("n", 10) ]);
+    ]
+  in
+  let corpus =
+    List.concat
+      (List.init copies (fun k ->
+           List.map
+             (fun (name, prog, params) ->
+               Svc.Proto.request
+                 ~id:(Printf.sprintf "%s#%d" name k)
+                 ~name ~params (Svc.Proto.Prog prog))
+             base))
+  in
+  let n = List.length corpus in
+  Printf.printf "corpus: %d requests over %d distinct nests\n" n
+    (List.length base);
+  Printf.printf
+    "domains   cold s  cold req/s    warm s  warm req/s  speedup  warm hits\n";
+  let runs =
+    List.map
+      (fun domains ->
+        let config =
+          {
+            Svc.Service.default_config with
+            domains;
+            threads = 1;
+            check = false;
+            measure = false;
+            cache_capacity = 64;
+          }
+        in
+        let svc = Svc.Service.create ~config () in
+        let time f =
+          let t0 = Obs.Clock.now_ns () in
+          let r = f () in
+          (Obs.Clock.elapsed_s t0, r)
+        in
+        let cold_s, cold = time (fun () -> Svc.Service.batch svc corpus) in
+        let mid = Svc.Service.cache_stats svc in
+        let warm_s, warm = time (fun () -> Svc.Service.batch svc corpus) in
+        let stop = Svc.Service.cache_stats svc in
+        Svc.Service.shutdown svc;
+        let errors =
+          List.length
+            (List.filter (fun r -> not (Svc.Proto.ok r)) (cold @ warm))
+        in
+        let warm_hits = stop.Svc.Cache.hits - mid.Svc.Cache.hits in
+        Printf.printf
+          "   %d     %7.3f  %10.0f   %7.3f  %10.0f   %5.1fx   %d/%d%s\n"
+          domains cold_s
+          (float_of_int n /. cold_s)
+          warm_s
+          (float_of_int n /. warm_s)
+          (cold_s /. warm_s) warm_hits n
+          (if errors = 0 then "" else Printf.sprintf "  (%d errors!)" errors);
+        Pipeline.Json.Obj
+          [
+            ("threads", Pipeline.Json.Int domains);
+            ("requests", Pipeline.Json.Int n);
+            ("errors", Pipeline.Json.Int errors);
+            ("cold_seconds", Pipeline.Json.Float cold_s);
+            ("warm_seconds", Pipeline.Json.Float warm_s);
+            ( "cold_requests_per_s",
+              Pipeline.Json.Float (float_of_int n /. cold_s) );
+            ( "warm_requests_per_s",
+              Pipeline.Json.Float (float_of_int n /. warm_s) );
+            ("warm_speedup", Pipeline.Json.Float (cold_s /. warm_s));
+            ( "metrics",
+              Pipeline.Json.Obj
+                [
+                  ( "counters",
+                    Pipeline.Json.Obj
+                      [
+                        ("requests", Pipeline.Json.Int n);
+                        ("warm_hits", Pipeline.Json.Int warm_hits);
+                      ] );
+                ] );
+          ])
+      [ 1; 2; 4 ]
+  in
+  let doc =
+    Pipeline.Json.Obj
+      [
+        ("schema_version", Pipeline.Json.Int 1);
+        ( "entries",
+          Pipeline.Json.List
+            [
+              Pipeline.Json.Obj
+                [
+                  ("program", Pipeline.Json.Str "svc-batch");
+                  ("runs", Pipeline.Json.List runs);
+                ];
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_service.json" in
+  output_string oc (Pipeline.Json.to_string_pretty doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_service.json\n";
+  doc
+
+(* ------------------------------------------------------------------ *)
 (* Regression gate: --baseline FILE [--gate PCT]                        *)
 
 let read_file path =
@@ -898,6 +1016,9 @@ let () =
   let baseline =
     Option.map (fun p -> (p, read_file p)) (argv_value "--baseline")
   in
+  let service_baseline =
+    Option.map (fun p -> (p, read_file p)) (argv_value "--service-baseline")
+  in
   fig1 ();
   fig2 ();
   ex1 ();
@@ -909,7 +1030,11 @@ let () =
   corpus ();
   ablation ();
   let current = pipeline_json () in
+  let service_current = service_bench () in
   micro ();
   let gate_ok = run_gate ~current baseline in
+  let service_gate_ok =
+    run_gate ~current:service_current service_baseline
+  in
   print_endline "\nall sections completed.";
-  if not gate_ok then exit 1
+  if not (gate_ok && service_gate_ok) then exit 1

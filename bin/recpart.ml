@@ -499,6 +499,172 @@ let profile_cmd =
     Term.(const run $ prog_arg $ params_arg $ threads_arg $ strategy_arg
           $ trace_arg $ html_arg)
 
+(* ---- batch / serve ----------------------------------------------------- *)
+
+let domains_arg =
+  let doc = "Worker domains draining the request queue." in
+  Arg.(value & opt int 4 & info [ "domains" ] ~doc)
+
+let cache_arg =
+  let doc = "Result-cache capacity (content-addressed plan/report entries)." in
+  Arg.(value & opt int 512 & info [ "cache" ] ~docv:"N" ~doc)
+
+let deadline_arg =
+  let doc =
+    "Default per-request deadline in seconds (a request may override it \
+     with its own deadline_s field)."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
+let no_check_arg =
+  let doc = "Skip legality/semantics validation (faster batch throughput)." in
+  Arg.(value & flag & info [ "no-check" ] ~doc)
+
+let svc_config ~domains ~cache ~threads ~deadline ~no_check ~sink ~events =
+  {
+    Svc.Service.default_config with
+    domains;
+    cache_capacity = cache;
+    threads;
+    check = not no_check;
+    measure = not no_check;
+    deadline_s = deadline;
+    sink;
+    events;
+  }
+
+(* One response record per input line, errors as records: an unparsable
+   line gets a synthetic id from its (1-based) line number so responses
+   stay attributable. *)
+let response_of_line svc ~lineno line =
+  match Svc.Proto.request_of_line line with
+  | Error { Svc.Proto.line_id; message } ->
+      let id =
+        match line_id with
+        | Some id -> id
+        | None -> Printf.sprintf "line-%d" lineno
+      in
+      Svc.Proto.error_response ~id (Svc.Proto.Bad_request message)
+  | Ok req -> Svc.Service.run_one svc req
+
+let batch_summary responses stats =
+  let n = List.length responses in
+  let errors = List.length (List.filter (fun r -> not (Svc.Proto.ok r)) responses) in
+  let hits =
+    List.length (List.filter (fun r -> r.Svc.Proto.cached) responses)
+  in
+  Printf.eprintf
+    "batch: %d requests, %d ok, %d errors, %d cache hits (%.0f%% hit rate), \
+     cache size %d/%d\n"
+    n (n - errors) errors hits
+    (if n = 0 then 0.0 else 100.0 *. float_of_int hits /. float_of_int n)
+    stats.Svc.Cache.size stats.Svc.Cache.capacity
+
+let batch_cmd =
+  let file_arg =
+    let doc = "JSONL request file (one request object per line)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.jsonl" ~doc)
+  in
+  let out_arg =
+    let doc = "Write JSONL responses here instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run file out domains cache threads deadline no_check trace =
+    let sink = if trace = None then Obs.Sink.null else Obs.Sink.make () in
+    let config =
+      svc_config ~domains ~cache ~threads ~deadline ~no_check ~sink
+        ~events:Obs.Event.null
+    in
+    let svc = Svc.Service.create ~config () in
+    let ic = open_in file in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> close_in ic);
+    let lines =
+      List.rev !lines
+      |> List.mapi (fun i l -> (i + 1, l))
+      |> List.filter (fun (_, l) -> String.trim l <> "")
+    in
+    (* Parse up front so malformed lines become error records without
+       occupying the pool; well-formed requests go through the batch
+       (pool + cache) path. *)
+    let items =
+      List.map
+        (fun (lineno, line) ->
+          match Svc.Proto.request_of_line line with
+          | Ok req -> `Req (lineno, req)
+          | Error { Svc.Proto.line_id; message } ->
+              let id =
+                match line_id with
+                | Some id -> id
+                | None -> Printf.sprintf "line-%d" lineno
+              in
+              `Bad (Svc.Proto.error_response ~id (Svc.Proto.Bad_request message)))
+        lines
+    in
+    let reqs = List.filter_map (function `Req (_, r) -> Some r | `Bad _ -> None) items in
+    let responses = Svc.Service.batch svc reqs in
+    Svc.Service.shutdown svc;
+    (* Re-interleave in input order. *)
+    let rec merge items resps acc =
+      match (items, resps) with
+      | [], [] -> List.rev acc
+      | `Bad r :: rest, resps -> merge rest resps (r :: acc)
+      | `Req _ :: rest, r :: resps -> merge rest resps (r :: acc)
+      | `Req _ :: _, [] | [], _ :: _ -> assert false
+    in
+    let ordered = merge items responses [] in
+    let oc = match out with None -> stdout | Some p -> open_out p in
+    List.iter
+      (fun r -> output_string oc (Svc.Proto.response_to_line r ^ "\n"))
+      ordered;
+    if out <> None then close_out oc;
+    write_trace sink trace;
+    batch_summary ordered (Svc.Service.cache_stats svc)
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Analyze a JSONL request corpus on a domain pool with a \
+          content-addressed result cache: one response record per request \
+          (malformed requests become error records, the batch always \
+          completes), summary statistics on stderr")
+    Term.(const run $ file_arg $ out_arg $ domains_arg $ cache_arg
+          $ threads_arg $ deadline_arg $ no_check_arg $ trace_arg)
+
+let serve_cmd =
+  let run domains cache threads deadline no_check =
+    let config =
+      svc_config ~domains ~cache ~threads ~deadline ~no_check
+        ~sink:Obs.Sink.null ~events:Obs.Event.null
+    in
+    let svc = Svc.Service.create ~config () in
+    let lineno = ref 0 in
+    (try
+       while true do
+         let line = input_line stdin in
+         incr lineno;
+         if String.trim line <> "" then begin
+           let r = response_of_line svc ~lineno:!lineno line in
+           print_endline (Svc.Proto.response_to_line r);
+           flush stdout
+         end
+       done
+     with End_of_file -> ());
+    Svc.Service.shutdown svc
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve analyses over stdin/stdout: read one JSONL request per \
+          line, respond with one JSONL record per line (flushed), sharing \
+          the content-addressed cache across requests until EOF")
+    Term.(const run $ domains_arg $ cache_arg $ threads_arg $ deadline_arg
+          $ no_check_arg)
+
 (* ---- simulate ---------------------------------------------------------- *)
 
 let simulate_cmd =
@@ -586,7 +752,7 @@ let main =
     (Cmd.info "recpart" ~version:"1.0" ~doc)
     [
       list_cmd; show_cmd; analyze_cmd; partition_cmd; codegen_cmd; run_cmd;
-      explain_cmd; profile_cmd; simulate_cmd; viz_cmd;
+      explain_cmd; profile_cmd; simulate_cmd; viz_cmd; batch_cmd; serve_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -5,58 +5,76 @@
    them).  The corpus here is synthetic, so the percentages are indicative
    of the method, not of SPECfp95.
 
+   The scan goes through the Svc batch front-end: every kernel becomes a
+   classify-mode request to the analysis service (domain pool +
+   content-addressed result cache), and kernels the analysis cannot handle
+   surface as typed Diag error records in the table instead of being
+   silently dropped.
+
    Run with:  dune exec examples/corpus_scan.exe *)
 
 let default_n = 10
 
-let classify name prog =
-  let stmt_coupled =
-    try
-      List.exists Depend.Distance.has_coupled_subscripts
-        (Loopir.Prog.stmts_of prog)
-    with _ -> false
-  in
-  match Depend.Solve.analyze_simple prog with
-  | a ->
-      let params =
-        Array.map (fun _ -> default_n) a.Depend.Solve.params
-      in
-      let cls =
-        Depend.Distance.classify a.Depend.Solve.rd ~phi:a.Depend.Solve.phi
-          ~params
-      in
-      Some (name, cls, stmt_coupled)
-  | exception Invalid_argument _ ->
-      (* imperfect nest: classify via the exact instance graph *)
-      let params =
-        List.map (fun p -> (p, default_n)) prog.Loopir.Ast.params
-      in
-      let tr = Depend.Trace.build prog ~params in
-      let cls =
-        if Depend.Trace.n_edges tr = 0 then Depend.Distance.No_dependence
-        else Depend.Distance.Non_uniform
-      in
-      Some (name, cls, stmt_coupled)
-  | exception _ -> None
-
 let () =
-  let results = List.filter_map (fun (n, p) -> classify n p) Loopir.Builtin.corpus in
+  let config =
+    {
+      Svc.Service.default_config with
+      domains = 4;
+      threads = 1;
+      check = false;
+      measure = false;
+    }
+  in
+  let svc = Svc.Service.create ~config () in
+  let requests =
+    List.map
+      (fun (name, prog) ->
+        Svc.Proto.request ~id:name ~name
+          ~params:
+            (List.map (fun p -> (p, default_n)) prog.Loopir.Ast.params)
+          ~mode:Svc.Proto.Classify
+          (Svc.Proto.Prog prog))
+      Loopir.Builtin.corpus
+  in
+  let responses = Svc.Service.batch svc requests in
+  Svc.Service.shutdown svc;
   Printf.printf "%-22s %-14s %s\n" "kernel" "dependences" "coupled subscripts";
   Printf.printf "%s\n" (String.make 55 '-');
-  List.iter
-    (fun (name, cls, coupled) ->
-      Printf.printf "%-22s %-14s %s\n" name
-        (Depend.Distance.class_to_string cls)
-        (if coupled then "yes" else "no"))
-    results;
-  let total = List.length results in
-  let count f = List.length (List.filter f results) in
-  let nonuni = count (fun (_, c, _) -> c = Depend.Distance.Non_uniform) in
-  let coupled = count (fun (_, _, c) -> c) in
+  let surveys =
+    List.filter_map
+      (fun (r : Svc.Proto.response) ->
+        match r.Svc.Proto.body with
+        | Svc.Proto.Done { survey = Some s; _ } ->
+            Printf.printf "%-22s %-14s %s\n" r.Svc.Proto.id s.Svc.Proto.cls
+              (if s.Svc.Proto.coupled then "yes" else "no");
+            Some s
+        | Svc.Proto.Done _ ->
+            Printf.printf "%-22s (response carried no survey block)\n"
+              r.Svc.Proto.id;
+            None
+        | Svc.Proto.Failed f ->
+            Printf.printf "%-22s !%s: %s\n" r.Svc.Proto.id
+              (Svc.Proto.failure_kind f)
+              (Svc.Proto.failure_message f);
+            None)
+      responses
+  in
+  let total = List.length surveys in
+  let errors = List.length responses - total in
+  let non_uniform =
+    Depend.Distance.class_to_string Depend.Distance.Non_uniform
+  in
+  let count f = List.length (List.filter f surveys) in
+  let nonuni = count (fun (s : Svc.Proto.survey) -> s.Svc.Proto.cls = non_uniform) in
+  let coupled = count (fun s -> s.Svc.Proto.coupled) in
   let coupled_nonuni =
-    count (fun (_, c, k) -> k && c = Depend.Distance.Non_uniform)
+    count (fun s -> s.Svc.Proto.coupled && s.Svc.Proto.cls = non_uniform)
   in
   Printf.printf "%s\n" (String.make 55 '-');
+  if errors > 0 then
+    Printf.printf
+      "kernels with typed analysis errors : %d/%d (reported above)\n" errors
+      (List.length responses);
   Printf.printf "loops with non-uniform dependences : %d/%d (%.0f%%)\n" nonuni
     total
     (100.0 *. float_of_int nonuni /. float_of_int total);

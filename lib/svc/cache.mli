@@ -1,0 +1,46 @@
+(** Sharded LRU cache over content-addressed {!Key}s.
+
+    Each shard owns a mutex, a hash table and an intrusive
+    most-recently-used list; a lookup or insert locks exactly one shard,
+    so concurrent requests for different keys rarely contend.  Hit, miss
+    and eviction totals are {!Obs.Counter}s registered as
+    [svc.cache.<name>.hits|misses|evictions], so they appear in
+    {!Obs.Metrics} snapshots and pipeline reports for free.
+
+    Coherence model: the cache stores immutable analysis results keyed by
+    content hash, so there is nothing to invalidate — a key can only ever
+    map to one value.  Two domains missing on the same key concurrently
+    may both compute the result; the second {!add} simply overwrites the
+    (identical) first.  LRU order is per shard: eviction picks the least
+    recently used entry {e of the full shard}, which approximates global
+    LRU the way sharded caches usually do. *)
+
+type 'v t
+
+val create : ?shards:int -> capacity:int -> name:string -> unit -> 'v t
+(** [create ~capacity ~name ()] holds at most [capacity] entries in
+    total, split evenly over [shards] (default 8, clamped to ≥ 1; each
+    shard gets at least one slot — the effective total is
+    [shards × ⌈capacity/shards⌉ ≥ capacity]).  [name] scopes the metric
+    counters; caches sharing a name share counters. *)
+
+val find : 'v t -> Key.t -> 'v option
+(** Lookup; a hit refreshes the entry's recency. *)
+
+val add : 'v t -> Key.t -> 'v -> unit
+(** Insert (or overwrite) as most recently used, evicting the shard's LRU
+    entry when the shard is full. *)
+
+val length : 'v t -> int
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;  (** effective total capacity (see {!create}) *)
+}
+
+val stats : 'v t -> stats
+(** Counter totals are cumulative for the process (they are shared
+    metrics); diff two [stats] for a per-run view. *)

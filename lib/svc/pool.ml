@@ -1,0 +1,90 @@
+let panics = Obs.Counter.make "svc.pool.panics"
+let completed = Obs.Counter.make "svc.pool.completed"
+let queue_depth = Obs.Histogram.make "svc.pool.queue_depth"
+
+exception Closed
+
+type t = {
+  m : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  q : (unit -> unit) Queue.t;
+  capacity : int;
+  events : Obs.Event.t;
+  mutable closing : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let domains t = List.length t.workers
+
+(* Drain-then-exit worker: keeps popping while jobs remain, even after
+   [closing] is set — graceful shutdown means no queued job is dropped. *)
+let rec worker t wid =
+  Mutex.lock t.m;
+  while Queue.is_empty t.q && not t.closing do
+    Condition.wait t.not_empty t.m
+  done;
+  if Queue.is_empty t.q then Mutex.unlock t.m
+  else begin
+    let job = Queue.pop t.q in
+    Condition.signal t.not_full;
+    Mutex.unlock t.m;
+    Obs.Event.emit ~log:t.events ~severity:Obs.Event.Debug ~scope:"svc"
+      ~name:"pool.dequeue" (fun () -> [ ("worker", Obs.Event.Int wid) ]);
+    (try
+       job ();
+       Obs.Counter.incr completed
+     with e ->
+       Obs.Counter.incr panics;
+       Obs.Event.emit ~log:t.events ~severity:Obs.Event.Warn ~scope:"svc"
+         ~name:"pool.panic" (fun () ->
+           [
+             ("worker", Obs.Event.Int wid);
+             ("exn", Obs.Event.Str (Printexc.to_string e));
+           ]));
+    worker t wid
+  end
+
+let create ?(queue_capacity = 64) ?(events = Obs.Event.null) ~domains () =
+  if domains < 1 then invalid_arg "Svc.Pool.create: domains must be >= 1";
+  if queue_capacity < 1 then
+    invalid_arg "Svc.Pool.create: queue_capacity must be >= 1";
+  let t =
+    {
+      m = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      q = Queue.create ();
+      capacity = queue_capacity;
+      events;
+      closing = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init domains (fun wid -> Domain.spawn (fun () -> worker t wid));
+  t
+
+let submit t job =
+  Mutex.lock t.m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.m)
+    (fun () ->
+      while Queue.length t.q >= t.capacity && not t.closing do
+        Condition.wait t.not_full t.m
+      done;
+      if t.closing then raise Closed;
+      Queue.push job t.q;
+      Obs.Histogram.observe queue_depth (Queue.length t.q);
+      Obs.Event.emit ~log:t.events ~severity:Obs.Event.Debug ~scope:"svc"
+        ~name:"pool.submit" (fun () ->
+          [ ("depth", Obs.Event.Int (Queue.length t.q)) ]);
+      Condition.signal t.not_empty)
+
+let shutdown t =
+  Mutex.lock t.m;
+  let first = not t.closing in
+  t.closing <- true;
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.m;
+  if first then List.iter Domain.join t.workers

@@ -1,0 +1,36 @@
+(** A fixed pool of domains draining a bounded work queue.
+
+    [submit] applies backpressure: when the queue is at capacity it
+    blocks the caller until a worker frees a slot, so a producer can
+    stream an arbitrarily large batch without unbounded buffering.
+    {!shutdown} is graceful: it stops admissions, lets the workers drain
+    every job already queued, and joins them.
+
+    Jobs are [unit -> unit] thunks; a job that raises does {e not} kill
+    its worker — the exception is swallowed (counted in the
+    [svc.pool.panics] counter and logged as a [Warn] event).  Request
+    code wanting the exception as data must catch it itself (the service
+    layer turns panics into typed error responses before they reach the
+    pool).  Queue depth is observed into the [svc.pool.queue_depth]
+    histogram at every submit. *)
+
+type t
+
+exception Closed
+(** Raised by {!submit} after {!shutdown} started. *)
+
+val create : ?queue_capacity:int -> ?events:Obs.Event.t -> domains:int -> unit -> t
+(** Spawns [domains] (≥ 1) workers sharing a queue of at most
+    [queue_capacity] (default 64, ≥ 1) pending jobs.  [events] receives
+    the pool's lifecycle events (default: none). *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue one job, blocking while the queue is full.  @raise Closed
+    once {!shutdown} has been called. *)
+
+val shutdown : t -> unit
+(** Stop accepting jobs, drain the queue, join the workers.  Idempotent;
+    concurrent submitters blocked on a full queue are released with
+    {!Closed}. *)
+
+val domains : t -> int

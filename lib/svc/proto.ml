@@ -1,0 +1,226 @@
+module Json = Pipeline.Json
+
+type source = Src of string | Prog of Loopir.Ast.program
+type mode = Run | Classify
+
+type request = {
+  id : string;
+  name : string;
+  source : source;
+  params : (string * int) list;
+  strategy : Pipeline.Plan.strategy option;
+  threads : int option;
+  mode : mode;
+  survey : bool;
+  deadline_s : float option;
+}
+
+let request ?(params = []) ?strategy ?threads ?(mode = Run) ?(survey = false)
+    ?deadline_s ~id ~name source =
+  { id; name; source; params; strategy; threads; mode; survey; deadline_s }
+
+type survey = { cls : string; coupled : bool; via : string }
+
+type failure =
+  | Bad_request of string
+  | Pipeline_error of { stage : string; label : string; message : string }
+  | Deadline of { limit_s : float; elapsed_s : float }
+  | Panic of string
+
+let failure_kind = function
+  | Bad_request _ -> "bad-request"
+  | Pipeline_error _ -> "pipeline"
+  | Deadline _ -> "deadline"
+  | Panic _ -> "panic"
+
+let failure_message = function
+  | Bad_request m | Panic m -> m
+  | Pipeline_error { stage; message; _ } ->
+      Printf.sprintf "%s: %s" stage message
+  | Deadline { limit_s; elapsed_s } ->
+      Printf.sprintf "deadline %.3fs exceeded (elapsed %.3fs)" limit_s
+        elapsed_s
+
+type body =
+  | Done of {
+      strategy : string option;
+      describe : string option;
+      survey : survey option;
+      report : Pipeline.Report.t option;
+    }
+  | Failed of failure
+
+type response = {
+  id : string;
+  cached : bool;
+  queue_s : float;
+  run_s : float;
+  body : body;
+}
+
+let ok r = match r.body with Done _ -> true | Failed _ -> false
+
+(* ---- JSON ------------------------------------------------------------ *)
+
+type parse_failure = { line_id : string option; message : string }
+
+let mode_name = function Run -> "run" | Classify -> "classify"
+
+let request_to_json (r : request) =
+  let opt l = List.filter_map (fun x -> x) l in
+  Json.Obj
+    (opt
+       [
+         Some ("id", Json.Str r.id);
+         Some ("name", Json.Str r.name);
+         Some
+           ( "src",
+             Json.Str
+               (match r.source with
+               | Src s -> s
+               | Prog p -> Loopir.Pretty.program_to_string p) );
+         Some
+           ( "params",
+             Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.params) );
+         Option.map
+           (fun s ->
+             ("strategy", Json.Str (Pipeline.Plan.strategy_name s)))
+           r.strategy;
+         Option.map (fun t -> ("threads", Json.Int t)) r.threads;
+         (if r.mode = Run then None
+          else Some ("mode", Json.Str (mode_name r.mode)));
+         (if r.survey then Some ("survey", Json.Bool true) else None);
+         Option.map (fun d -> ("deadline_s", Json.Float d)) r.deadline_s;
+       ])
+
+let ( let* ) = Result.bind
+
+let request_of_json j =
+  let str k =
+    match Json.member k j with
+    | Some (Json.Str s) -> Ok s
+    | Some _ -> Error (Printf.sprintf "%S must be a string" k)
+    | None -> Error (Printf.sprintf "missing required field %S" k)
+  in
+  let* id =
+    Result.map_error (fun message -> { line_id = None; message }) (str "id")
+  in
+  let fail message = Error { line_id = Some id; message } in
+  let wrap = function Ok v -> Ok v | Error m -> fail m in
+  let* name = wrap (str "name") in
+  let* src = wrap (str "src") in
+  let* params =
+    match Json.member "params" j with
+    | None -> Ok []
+    | Some (Json.Obj fields) ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | (k, Json.Int v) :: rest -> go ((k, v) :: acc) rest
+          | (k, _) :: _ ->
+              fail (Printf.sprintf "params.%s must be an integer" k)
+        in
+        go [] fields
+    | Some _ -> fail "\"params\" must be an object of integers"
+  in
+  let* strategy =
+    match Json.member "strategy" j with
+    | None -> Ok None
+    | Some (Json.Str s) -> (
+        match Pipeline.Plan.strategy_of_string s with
+        | Some st -> Ok (Some st)
+        | None -> fail (Printf.sprintf "unknown strategy %S" s))
+    | Some _ -> fail "\"strategy\" must be a string"
+  in
+  let* threads =
+    match Json.member "threads" j with
+    | None -> Ok None
+    | Some (Json.Int t) when t >= 1 -> Ok (Some t)
+    | Some _ -> fail "\"threads\" must be an integer >= 1"
+  in
+  let* mode =
+    match Json.member "mode" j with
+    | None -> Ok Run
+    | Some (Json.Str "run") -> Ok Run
+    | Some (Json.Str "classify") -> Ok Classify
+    | Some _ -> fail "\"mode\" must be \"run\" or \"classify\""
+  in
+  let* survey =
+    match Json.member "survey" j with
+    | None -> Ok false
+    | Some (Json.Bool b) -> Ok b
+    | Some _ -> fail "\"survey\" must be a boolean"
+  in
+  let* deadline_s =
+    match Json.member "deadline_s" j with
+    | None -> Ok None
+    | Some (Json.Float f) -> Ok (Some f)
+    | Some (Json.Int n) -> Ok (Some (float_of_int n))
+    | Some _ -> fail "\"deadline_s\" must be a number"
+  in
+  Ok
+    {
+      id;
+      name;
+      source = Src src;
+      params;
+      strategy;
+      threads;
+      mode;
+      survey;
+      deadline_s;
+    }
+
+let request_of_line line =
+  match Json.parse line with
+  | Error m -> Error { line_id = None; message = "not valid JSON: " ^ m }
+  | Ok (Json.Obj _ as j) -> request_of_json j
+  | Ok _ -> Error { line_id = None; message = "request must be a JSON object" }
+
+let survey_json s =
+  Json.Obj
+    [
+      ("class", Json.Str s.cls);
+      ("coupled", Json.Bool s.coupled);
+      ("via", Json.Str s.via);
+    ]
+
+let response_to_json r =
+  let common =
+    [
+      ("id", Json.Str r.id);
+      ( "status",
+        Json.Str (match r.body with Done _ -> "ok" | Failed _ -> "error") );
+      ("cached", Json.Bool r.cached);
+      ("queue_seconds", Json.Float r.queue_s);
+      ("run_seconds", Json.Float r.run_s);
+    ]
+  in
+  let rest =
+    match r.body with
+    | Done { strategy; describe; survey; report } ->
+        List.filter_map
+          (fun x -> x)
+          [
+            Option.map (fun s -> ("strategy", Json.Str s)) strategy;
+            Option.map (fun d -> ("describe", Json.Str d)) describe;
+            Option.map (fun s -> ("survey", survey_json s)) survey;
+            Option.map
+              (fun rep -> ("report", Pipeline.Report.to_json rep))
+              report;
+          ]
+    | Failed f ->
+        [
+          ("kind", Json.Str (failure_kind f));
+          ("error", Json.Str (failure_message f));
+        ]
+        @ (match f with
+          | Pipeline_error { stage; label; _ } ->
+              [ ("stage", Json.Str stage); ("label", Json.Str label) ]
+          | _ -> [])
+  in
+  Json.Obj (common @ rest)
+
+let response_to_line r = Json.to_string (response_to_json r)
+
+let error_response ?(id = "?") ?(queue_s = 0.0) ?(run_s = 0.0) f =
+  { id; cached = false; queue_s; run_s; body = Failed f }

@@ -1,0 +1,111 @@
+(** JSONL request/response records for the analysis service.
+
+    One request per line:
+
+    {v {"id":"r1","name":"ex1","src":"DO i = 1, n\n  ...\nENDDO",
+    "params":{"n":30},"strategy":"rec","threads":2,"mode":"run",
+    "survey":true,"deadline_s":2.5} v}
+
+    [id], [name] and [src] are required ([strategy], [threads], [mode],
+    [survey], [deadline_s] optional); programmatic clients may pass an
+    already-parsed program instead of source text.  One response per
+    line: [{"id", "status": "ok" | "error", "cached", timing, …}] with
+    either the plan/report payload or a typed error record — a malformed
+    request produces an error {e record}, never a crash. *)
+
+type source =
+  | Src of string  (** mini-Fortran source text, parsed by the worker *)
+  | Prog of Loopir.Ast.program  (** pre-parsed (library clients) *)
+
+type mode =
+  | Run  (** full pipeline: classify → … → execute, returns a report *)
+  | Classify
+      (** survey classification only (dependence uniformity + coupled
+          subscripts); no schedule is built or executed *)
+
+type request = {
+  id : string;
+  name : string;
+  source : source;
+  params : (string * int) list;
+  strategy : Pipeline.Plan.strategy option;
+  threads : int option;  (** overrides the service default *)
+  mode : mode;
+  survey : bool;  (** attach the survey block to a [Run] response too *)
+  deadline_s : float option;  (** overrides the service default *)
+}
+
+val request :
+  ?params:(string * int) list ->
+  ?strategy:Pipeline.Plan.strategy ->
+  ?threads:int ->
+  ?mode:mode ->
+  ?survey:bool ->
+  ?deadline_s:float ->
+  id:string ->
+  name:string ->
+  source ->
+  request
+(** Smart constructor with the JSON defaults ([mode = Run],
+    [survey = false]). *)
+
+type survey = {
+  cls : string;  (** {!Depend.Distance.class_to_string} *)
+  coupled : bool;  (** some reference couples a loop index *)
+  via : string;  (** ["exact"] or ["instance-graph"] *)
+}
+
+type failure =
+  | Bad_request of string  (** request line or program source malformed *)
+  | Pipeline_error of { stage : string; label : string; message : string }
+      (** a pipeline stage failed with a typed {!Diag.error} *)
+  | Deadline of { limit_s : float; elapsed_s : float }
+  | Panic of string  (** unexpected exception, isolated by the worker *)
+
+val failure_kind : failure -> string
+(** ["bad-request"], ["pipeline"], ["deadline"], ["panic"]. *)
+
+val failure_message : failure -> string
+
+type body =
+  | Done of {
+      strategy : string option;
+      describe : string option;
+      survey : survey option;
+      report : Pipeline.Report.t option;  (** [None] in [Classify] mode *)
+    }
+  | Failed of failure
+
+type response = {
+  id : string;
+  cached : bool;
+  queue_s : float;  (** submit → dequeue *)
+  run_s : float;  (** dequeue → response *)
+  body : body;
+}
+
+val ok : response -> bool
+
+(* ---- JSON ------------------------------------------------------------ *)
+
+type parse_failure = {
+  line_id : string option;
+      (** the record's [id] when the line parsed far enough to have one *)
+  message : string;
+}
+
+val request_of_line : string -> (request, parse_failure) result
+(** Parse one JSONL request line (strict {!Pipeline.Json.parse}). *)
+
+val request_to_json : request -> Pipeline.Json.t
+(** Inverse of {!request_of_line} for corpus generators and tests
+    ([Prog] sources are pretty-printed into [src]). *)
+
+val response_to_json : response -> Pipeline.Json.t
+val response_to_line : response -> string
+(** Compact single-line rendering (the JSONL response format). *)
+
+val error_response :
+  ?id:string -> ?queue_s:float -> ?run_s:float -> failure -> response
+(** A response record for a request that never reached a worker (e.g. an
+    unparsable line); [id] defaults to ["?"]. *)

@@ -1,0 +1,352 @@
+type config = {
+  domains : int;
+  queue_capacity : int;
+  cache_capacity : int;
+  cache_shards : int;
+  threads : int;
+  check : bool;
+  measure : bool;
+  deadline_s : float option;
+  sink : Obs.Sink.t;
+  events : Obs.Event.t;
+}
+
+let default_config =
+  {
+    domains = 4;
+    queue_capacity = 64;
+    cache_capacity = 512;
+    cache_shards = 8;
+    threads = 2;
+    check = true;
+    measure = true;
+    deadline_s = None;
+    sink = Obs.Sink.null;
+    events = Obs.Event.null;
+  }
+
+(* The cached payload of one successful request: everything a warm
+   response needs except the requester's identity and timing. *)
+type value = {
+  v_strategy : string option;
+  v_describe : string option;
+  v_survey : Proto.survey option;
+  v_report : Pipeline.Report.t option;
+}
+
+type t = { config : config; cache : value Cache.t; pool : Pool.t }
+
+let create ?(config = default_config) () =
+  {
+    config;
+    cache =
+      Cache.create ~shards:config.cache_shards
+        ~capacity:config.cache_capacity ~name:"results" ();
+    pool =
+      Pool.create ~queue_capacity:config.queue_capacity
+        ~events:config.events ~domains:config.domains ();
+  }
+
+let cache_stats t = Cache.stats t.cache
+let shutdown t = Pool.shutdown t.pool
+
+(* Same exception → Diag mapping as Pipeline.Driver.guarded: the known
+   library exceptions become typed errors; anything else escapes to the
+   per-request panic isolation in [process]. *)
+let guarded f =
+  match f () with
+  | v -> Ok v
+  | exception Diag.Error e -> Error e
+  | exception Presburger.Omega.Blowup m -> Error (Diag.Set_blowup m)
+  | exception Core.Dataflow.Did_not_terminate n ->
+      Error (Diag.Dataflow_step_limit n)
+  | exception Invalid_argument m -> Error (Diag.Unsupported m)
+  | exception Depend.Space.Unsupported m -> Error (Diag.Unsupported m)
+
+let pipeline_failure stage e =
+  Proto.Pipeline_error
+    {
+      stage = Diag.stage_name stage;
+      label = Diag.label e;
+      message = Diag.to_string e;
+    }
+
+(* Survey classification (dependence uniformity + coupled subscripts) with
+   typed errors: the exact single-statement analysis when it applies, the
+   exact instance graph otherwise — the logic examples/corpus_scan.ml used
+   to hand-roll with catch-all exception swallows. *)
+let survey_of prog ~params =
+  let coupled () =
+    List.exists Depend.Distance.has_coupled_subscripts
+      (Loopir.Prog.stmts_of prog)
+  in
+  let classified =
+    match Pipeline.Driver.analyze prog with
+    | Ok a ->
+        guarded (fun () ->
+            let arr =
+              Array.map
+                (fun n ->
+                  match List.assoc_opt n params with
+                  | Some v -> v
+                  | None -> Diag.fail (Diag.Unbound_parameter n))
+                a.Depend.Solve.params
+            in
+            let cls =
+              Depend.Distance.classify a.Depend.Solve.rd
+                ~phi:a.Depend.Solve.phi ~params:arr
+            in
+            {
+              Proto.cls = Depend.Distance.class_to_string cls;
+              coupled = coupled ();
+              via = "exact";
+            })
+    | Error (Diag.Unsupported _) ->
+        (* Imperfect nest / multiple statements: classify on the exact
+           instance graph, like Algorithm 1's fallback. *)
+        guarded (fun () ->
+            List.iter
+              (fun p ->
+                if not (List.mem_assoc p params) then
+                  Diag.fail (Diag.Unbound_parameter p))
+              prog.Loopir.Ast.params;
+            let tr = Depend.Trace.build prog ~params in
+            let cls =
+              if Depend.Trace.n_edges tr = 0 then Depend.Distance.No_dependence
+              else Depend.Distance.Non_uniform
+            in
+            {
+              Proto.cls = Depend.Distance.class_to_string cls;
+              coupled = coupled ();
+              via = "instance-graph";
+            })
+    | Error e -> Error e
+  in
+  Result.map_error (fun e -> (Diag.Analyze, e)) classified
+
+let compute t (req : Proto.request) prog ~threads =
+  match req.mode with
+  | Proto.Classify -> (
+      match survey_of prog ~params:req.params with
+      | Error (stage, e) -> Error (pipeline_failure stage e)
+      | Ok s ->
+          let strategy =
+            match
+              guarded (fun () ->
+                  Pipeline.Driver.classify ?strategy:req.strategy prog)
+            with
+            | Ok (Ok plan) ->
+                Some
+                  (Pipeline.Plan.strategy_name (Pipeline.Plan.strategy plan))
+            | Ok (Error _) | Error _ -> None
+          in
+          Ok
+            {
+              v_strategy = strategy;
+              v_describe = None;
+              v_survey = Some s;
+              v_report = None;
+            })
+  | Proto.Run -> (
+      let options =
+        {
+          Pipeline.Driver.default_options with
+          threads;
+          check = t.config.check;
+          measure = t.config.measure;
+          strategy = req.strategy;
+          sink = t.config.sink;
+          events = t.config.events;
+        }
+      in
+      match Pipeline.Driver.run ~options ~name:req.name ~params:req.params prog with
+      | Error e ->
+          Error (pipeline_failure e.Pipeline.Driver.stage e.Pipeline.Driver.error)
+      | Ok o ->
+          let survey =
+            if not req.survey then None
+            else
+              match survey_of prog ~params:req.params with
+              | Ok s -> Some s
+              | Error _ -> None
+          in
+          Ok
+            {
+              v_strategy =
+                Some
+                  (Pipeline.Plan.strategy_name
+                     (Pipeline.Plan.strategy o.Pipeline.Driver.plan));
+              v_describe = Some (Pipeline.Plan.describe o.Pipeline.Driver.plan);
+              v_survey = survey;
+              v_report = Some o.Pipeline.Driver.report;
+            })
+
+let done_of_value req v =
+  Proto.Done
+    {
+      strategy = v.v_strategy;
+      describe = v.v_describe;
+      survey = v.v_survey;
+      report =
+        (* A warm hit reuses the first computation's report; only the
+           requester-visible name is rebound. *)
+        Option.map
+          (fun r -> { r with Pipeline.Report.program = req.Proto.name })
+          v.v_report;
+    }
+
+let emit_outcome t (req : Proto.request) ~cached body =
+  Obs.Event.emit ~log:t.config.events ~scope:"svc"
+    ~name:
+      (match body with
+      | Proto.Done _ -> "request.done"
+      | Proto.Failed _ -> "request.error")
+    ~severity:
+      (match body with Proto.Done _ -> Obs.Event.Info | _ -> Obs.Event.Warn)
+    (fun () ->
+      ("id", Obs.Event.Str req.Proto.id)
+      :: ("cached", Obs.Event.Bool cached)
+      ::
+      (match body with
+      | Proto.Failed f ->
+          [
+            ("kind", Obs.Event.Str (Proto.failure_kind f));
+            ("why", Obs.Event.Str (Proto.failure_message f));
+          ]
+      | Proto.Done _ -> []))
+
+let process t (req : Proto.request) ~submitted_ns =
+  let dequeued_ns = Obs.Clock.now_ns () in
+  let queue_s =
+    Int64.to_float (Int64.sub dequeued_ns submitted_ns) *. 1e-9
+  in
+  let finish ~cached body =
+    emit_outcome t req ~cached body;
+    {
+      Proto.id = req.Proto.id;
+      cached;
+      queue_s;
+      run_s = Obs.Clock.elapsed_s dequeued_ns;
+      body;
+    }
+  in
+  Obs.Span.with_ ~sink:t.config.sink ~name:"svc:request"
+    ~args:[ ("id", req.Proto.id) ]
+  @@ fun () ->
+  let deadline =
+    match req.Proto.deadline_s with
+    | Some _ as d -> d
+    | None -> t.config.deadline_s
+  in
+  let overrun () =
+    match deadline with
+    | None -> None
+    | Some limit_s ->
+        let elapsed_s =
+          Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) submitted_ns)
+          *. 1e-9
+        in
+        if elapsed_s > limit_s then
+          Some (Proto.Deadline { limit_s; elapsed_s })
+        else None
+  in
+  match overrun () with
+  | Some f -> finish ~cached:false (Proto.Failed f)
+  | None -> (
+      let prog =
+        match req.Proto.source with
+        | Proto.Prog p -> Ok p
+        | Proto.Src s -> (
+            match Loopir.Parser.parse ~name:req.Proto.name s with
+            | p -> Ok p
+            | exception Loopir.Parser.Error (msg, line) ->
+                Error
+                  (Printf.sprintf "%s: parse error at line %d: %s"
+                     req.Proto.name line msg))
+      in
+      match prog with
+      | Error msg -> finish ~cached:false (Proto.Failed (Proto.Bad_request msg))
+      | Ok prog -> (
+          let threads =
+            Option.value req.Proto.threads ~default:t.config.threads
+          in
+          let key =
+            Key.of_request ?strategy:req.Proto.strategy
+              ~extra:
+                [
+                  (match req.Proto.mode with
+                  | Proto.Run -> "mode=run"
+                  | Proto.Classify -> "mode=classify");
+                  Printf.sprintf "threads=%d" threads;
+                  Printf.sprintf "check=%b" t.config.check;
+                  Printf.sprintf "measure=%b" t.config.measure;
+                  Printf.sprintf "survey=%b" req.Proto.survey;
+                ]
+              ~params:req.Proto.params prog
+          in
+          match Cache.find t.cache key with
+          | Some v ->
+              Obs.Event.emit ~log:t.config.events ~severity:Obs.Event.Debug
+                ~scope:"svc" ~name:"cache.hit" (fun () ->
+                  [ ("key", Obs.Event.Str (Key.to_string key)) ]);
+              finish ~cached:true (done_of_value req v)
+          | None -> (
+              Obs.Event.emit ~log:t.config.events ~severity:Obs.Event.Debug
+                ~scope:"svc" ~name:"cache.miss" (fun () ->
+                  [ ("key", Obs.Event.Str (Key.to_string key)) ]);
+              let outcome =
+                try
+                  Obs.Span.with_ ~sink:t.config.sink ~name:"svc:analyze"
+                    ~args:[ ("id", req.Proto.id) ] (fun () ->
+                      compute t req prog ~threads)
+                with e -> Error (Proto.Panic (Printexc.to_string e))
+              in
+              match outcome with
+              | Error f -> finish ~cached:false (Proto.Failed f)
+              | Ok v -> (
+                  Cache.add t.cache key v;
+                  (* The result is cached even when this requester ran past
+                     its deadline: the work is done and the next hit is
+                     free; only this response reports the overrun. *)
+                  match overrun () with
+                  | Some f -> finish ~cached:false (Proto.Failed f)
+                  | None -> finish ~cached:false (done_of_value req v)))))
+
+let run_one t (req : Proto.request) =
+  let submitted_ns = Obs.Clock.now_ns () in
+  try process t req ~submitted_ns
+  with e -> Proto.error_response ~id:req.Proto.id (Proto.Panic (Printexc.to_string e))
+
+let batch t reqs =
+  let reqs = Array.of_list reqs in
+  let n = Array.length reqs in
+  let out = Array.make n None in
+  let m = Mutex.create () in
+  let all_done = Condition.create () in
+  let remaining = ref n in
+  Array.iteri
+    (fun i (req : Proto.request) ->
+      Obs.Event.emit ~log:t.config.events ~severity:Obs.Event.Debug
+        ~scope:"svc" ~name:"request.submit" (fun () ->
+          [ ("id", Obs.Event.Str req.Proto.id) ]);
+      let submitted_ns = Obs.Clock.now_ns () in
+      Pool.submit t.pool (fun () ->
+          let resp =
+            try process t req ~submitted_ns
+            with e ->
+              Proto.error_response ~id:req.Proto.id
+                (Proto.Panic (Printexc.to_string e))
+          in
+          out.(i) <- Some resp;
+          Mutex.lock m;
+          decr remaining;
+          if !remaining = 0 then Condition.signal all_done;
+          Mutex.unlock m))
+    reqs;
+  Mutex.lock m;
+  while !remaining > 0 do
+    Condition.wait all_done m
+  done;
+  Mutex.unlock m;
+  Array.to_list
+    (Array.map (function Some r -> r | None -> assert false) out)

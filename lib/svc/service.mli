@@ -1,0 +1,51 @@
+(** The concurrent analysis service: {!Pipeline.Driver} behind a
+    content-addressed result cache and a domain pool.
+
+    Requests are keyed by {!Key.of_request} (canonicalized program +
+    bindings + strategy + execution facets); a hit returns the cached
+    plan/report payload without re-running any pipeline stage.  Worker
+    errors are isolated per request: parse failures, typed pipeline
+    errors, deadline overruns and unexpected exceptions all become error
+    {e records} in the response stream — a batch never dies on one bad
+    nest.
+
+    Deadlines are cooperative: a request found expired when dequeued is
+    failed without running, and one that finishes past its deadline has
+    its (complete) result discarded in favor of a deadline error — a
+    running pipeline stage is never interrupted mid-flight. *)
+
+type config = {
+  domains : int;  (** worker domains draining the queue *)
+  queue_capacity : int;  (** bounded submit queue (backpressure) *)
+  cache_capacity : int;  (** total cached results (see {!Cache.create}) *)
+  cache_shards : int;
+  threads : int;  (** default execution domains per request *)
+  check : bool;  (** validate legality + sequential equivalence *)
+  measure : bool;
+  deadline_s : float option;  (** default per-request deadline *)
+  sink : Obs.Sink.t;  (** spans: submit→dequeue→analyze→respond *)
+  events : Obs.Event.t;  (** decision + service lifecycle events *)
+}
+
+val default_config : config
+(** 4 domains, queue 64, cache 512 over 8 shards, 2 threads, check and
+    measure on, no deadline, no-op sink and event log. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+(** Spawns the worker pool; call {!shutdown} when done. *)
+
+val run_one : t -> Proto.request -> Proto.response
+(** Process one request synchronously on the calling domain, sharing the
+    service cache ([recpart serve]). *)
+
+val batch : t -> Proto.request list -> Proto.response list
+(** Submit every request to the pool and wait for all responses, in
+    request order.  Duplicate (content-equal) requests hit the cache
+    after the first completes. *)
+
+val cache_stats : t -> Cache.stats
+
+val shutdown : t -> unit
+(** Drain in-flight work and join the workers.  Idempotent. *)
