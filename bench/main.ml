@@ -143,14 +143,14 @@ let ex1 () =
       "N1=%-4d N2=%-5d |P1|=%-7d chains=%-6d |P2|=%-6d longest=%d bound=%s \
        |P3|=%d\n"
       n1 n2
-      (List.length c.Partition.p1_pts)
-      (List.length c.Partition.chains.Core.Chain.chains)
+      (Core.Points.length c.Partition.p1_pts)
+      (Core.Chain.n_chains c.Partition.chains)
       (Core.Chain.total_points c.Partition.chains)
       c.Partition.chains.Core.Chain.longest
       (match c.Partition.theorem_bound with
       | Some b -> string_of_int b
       | None -> "-")
-      (List.length c.Partition.p3_pts)
+      (Core.Points.length c.Partition.p3_pts)
   in
   List.iter show [ (10, 10); (30, 100); (300, 1000) ];
   print_endline "\ngenerated code (REC listing, cf. paper Example 1):";
@@ -170,9 +170,9 @@ let ex2 () =
        (List.map (fun p -> Printf.sprintf "(%d,%d)" p.(0) p.(1)) p2));
   let c = Partition.materialize_rec rp ~params:[| 12 |] in
   Printf.printf "REC regions: 3 (P1 %d ∥ / chains %d / P3 %d ∥)\n"
-    (List.length c.Partition.p1_pts)
+    (Core.Points.length c.Partition.p1_pts)
     (Core.Chain.total_points c.Partition.chains)
-    (List.length c.Partition.p3_pts);
+    (Core.Points.length c.Partition.p3_pts);
   let u =
     Baselines.Unique.partition rp.Partition.simple ~three:rp.Partition.three
   in
@@ -875,6 +875,153 @@ let service_bench () =
   doc
 
 (* ------------------------------------------------------------------ *)
+(* E12 — execution engines → BENCH_exec.json                            *)
+
+(* Compiled vs interpreted execution of the same REC schedule (example1)
+   on 1/2/4 domains.  Wall times are machine-dependent and stay plain
+   fields; the deterministic facts — instance count, semantic
+   equivalence, per-phase kernel allocation — go under
+   "metrics"/"counters" where the gate checks them.  Each configuration
+   is run [reps] times and the fastest execute time is kept: the
+   comparison is about the engine, not scheduler jitter. *)
+let exec_bench () =
+  section "E12 / execution engines: BENCH_exec.json (compiled vs interp)";
+  let sc = if quick then 1 else 2 in
+  let prog = Loopir.Builtin.example1 in
+  let params = [ ("n1", 30 * sc); ("n2", 50 * sc) ] in
+  let reps = if quick then 3 else 5 in
+  let thread_counts = [ 1; 2; 4 ] in
+  let run_one ~engine ~threads =
+    let best = ref None in
+    for _ = 1 to reps do
+      let options =
+        { Pipeline.Driver.default_options with threads; exec_engine = engine }
+      in
+      match Pipeline.Driver.run ~options ~name:"example1" ~params prog with
+      | Error e ->
+          failwith
+            (Printf.sprintf "E12 %s t=%d: %s"
+               (Runtime.Exec.engine_name engine)
+               threads
+               (Pipeline.Driver.error_to_string e))
+      | Ok o -> (
+          let r = o.Pipeline.Driver.report in
+          let s =
+            Option.value r.Pipeline.Report.par_seconds ~default:infinity
+          in
+          match !best with
+          | Some (s0, _) when s0 <= s -> ()
+          | _ -> best := Some (s, r))
+    done;
+    match !best with Some (_, r) -> r | None -> assert false
+  in
+  let runs =
+    List.map
+      (fun engine ->
+        ( engine,
+          List.map (fun t -> (t, run_one ~engine ~threads:t)) thread_counts ))
+      [ `Compiled; `Interp ]
+  in
+  let exec_s (r : Pipeline.Report.t) =
+    Option.value r.Pipeline.Report.par_seconds ~default:nan
+  in
+  let phase_alloc (r : Pipeline.Report.t) =
+    List.fold_left
+      (fun acc (p : Pipeline.Report.phase_profile) ->
+        acc +. p.Pipeline.Report.alloc_words)
+      0.0 r.Pipeline.Report.phases
+  in
+  let interp_of t = exec_s (List.assoc t (List.assoc `Interp runs)) in
+  Printf.printf
+    "engine    threads  execute s  vs interp  phase alloc words  semantics\n";
+  List.iter
+    (fun (engine, per_t) ->
+      List.iter
+        (fun (t, r) ->
+          Printf.printf "%-8s     %d     %9.6f    %5.2fx  %17.0f  %s\n"
+            (Runtime.Exec.engine_name engine)
+            t (exec_s r)
+            (interp_of t /. exec_s r)
+            (phase_alloc r)
+            (Pipeline.Report.check_result_string r.Pipeline.Report.semantics))
+        per_t)
+    runs;
+  let entries =
+    List.map
+      (fun (engine, per_t) ->
+        Pipeline.Json.Obj
+          [
+            ( "program",
+              Pipeline.Json.Str
+                ("example1/" ^ Runtime.Exec.engine_name engine) );
+            ( "params",
+              Pipeline.Json.Obj
+                (List.map (fun (k, v) -> (k, Pipeline.Json.Int v)) params) );
+            ( "runs",
+              Pipeline.Json.List
+                (List.map
+                   (fun (t, r) ->
+                     let open Pipeline in
+                     Json.Obj
+                       [
+                         ("threads", Json.Int t);
+                         ("exec_seconds", Json.Float (exec_s r));
+                         ( "seq_seconds",
+                           match r.Report.seq_seconds with
+                           | Some s -> Json.Float s
+                           | None -> Json.Null );
+                         ( "speedup_vs_interp",
+                           Json.Float (interp_of t /. exec_s r) );
+                         ( "semantics",
+                           Json.Str
+                             (Report.check_result_string r.Report.semantics)
+                         );
+                         ("phase_profile", phase_profile_json r);
+                         (* caller-domain allocation share is scheduling
+                            dependent under work stealing at t>1, so it is
+                            reported as a plain field, not a gated counter *)
+                         ( "phase_alloc_words",
+                           Json.Int (int_of_float (phase_alloc r)) );
+                         ( "metrics",
+                           Json.Obj
+                             [
+                               ( "counters",
+                                 Json.Obj
+                                   [
+                                     ( "instances",
+                                       Json.Int
+                                         (Option.value r.Report.n_instances
+                                            ~default:0) );
+                                     ( "semantics_ok",
+                                       Json.Int
+                                         (if
+                                            Report.check_result_string
+                                              r.Report.semantics
+                                            = "ok"
+                                          then 1
+                                          else 0) );
+                                   ] );
+                             ] );
+                       ])
+                   per_t) );
+          ])
+      runs
+  in
+  let doc =
+    Pipeline.Json.Obj
+      [
+        ("schema_version", Pipeline.Json.Int 1);
+        ("entries", Pipeline.Json.List entries);
+      ]
+  in
+  let oc = open_out "BENCH_exec.json" in
+  output_string oc (Pipeline.Json.to_string_pretty doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_exec.json\n";
+  doc
+
+(* ------------------------------------------------------------------ *)
 (* Regression gate: --baseline FILE [--gate PCT]                        *)
 
 let read_file path =
@@ -1019,6 +1166,9 @@ let () =
   let service_baseline =
     Option.map (fun p -> (p, read_file p)) (argv_value "--service-baseline")
   in
+  let exec_baseline =
+    Option.map (fun p -> (p, read_file p)) (argv_value "--exec-baseline")
+  in
   fig1 ();
   fig2 ();
   ex1 ();
@@ -1031,10 +1181,12 @@ let () =
   ablation ();
   let current = pipeline_json () in
   let service_current = service_bench () in
+  let exec_current = exec_bench () in
   micro ();
   let gate_ok = run_gate ~current baseline in
   let service_gate_ok =
     run_gate ~current:service_current service_baseline
   in
+  let exec_gate_ok = run_gate ~current:exec_current exec_baseline in
   print_endline "\nall sections completed.";
-  if not (gate_ok && service_gate_ok) then exit 1
+  if not (gate_ok && service_gate_ok && exec_gate_ok) then exit 1

@@ -124,6 +124,17 @@ let strategy_arg =
   in
   Arg.(value & opt (some sconv) None & info [ "s"; "strategy" ] ~docv:"NAME" ~doc)
 
+let engine_arg =
+  let doc =
+    "Schedule execution engine: $(b,compiled) (statements lowered once to \
+     closures over the iteration vector) or $(b,interp) (the reference AST \
+     interpreter)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("compiled", `Compiled); ("interp", `Interp) ]) `Compiled
+    & info [ "engine" ] ~docv:"NAME" ~doc)
+
 let classify ?strategy prog =
   ok_or_die ~stage:Diag.Classify (Pipeline.Driver.classify ?strategy prog)
 
@@ -241,11 +252,11 @@ let partition_cmd =
       | Pipeline.Driver.Rec { c; _ } ->
           Printf.printf
             "%s|P1| = %d, chains = %d (%d pts, longest %d), |P3| = %d\n" at
-            (List.length c.Core.Partition.p1_pts)
-            (List.length c.Core.Partition.chains.Core.Chain.chains)
+            (Core.Points.length c.Core.Partition.p1_pts)
+            (Core.Chain.n_chains c.Core.Partition.chains)
             (Core.Chain.total_points c.Core.Partition.chains)
             c.Core.Partition.chains.Core.Chain.longest
-            (List.length c.Core.Partition.p3_pts);
+            (Core.Points.length c.Core.Partition.p3_pts);
           (match c.Core.Partition.theorem_bound with
           | Some b ->
               Printf.printf "Theorem 1: growth %g, chain bound %d\n"
@@ -290,14 +301,20 @@ let run_cmd =
     let doc = "Emit the run report as JSON instead of text." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run spec passoc threads strategy json trace =
+  let run spec passoc threads strategy engine json trace =
     let prog = load_program spec in
     let params = params_of_assoc prog passoc in
     let sink =
       if trace = None then Obs.Sink.null else Obs.Sink.make ()
     in
     let options =
-      { Pipeline.Driver.default_options with threads; strategy; sink }
+      {
+        Pipeline.Driver.default_options with
+        threads;
+        strategy;
+        exec_engine = engine;
+        sink;
+      }
     in
     match Pipeline.Driver.run ~options ~name:spec ~params prog with
     | Error e ->
@@ -328,7 +345,7 @@ let run_cmd =
          "Run the full pipeline: partition, execute on domains, validate \
           against sequential, and report per-stage timings")
     Term.(const run $ prog_arg $ params_arg $ threads_arg $ strategy_arg
-          $ json_arg $ trace_arg)
+          $ engine_arg $ json_arg $ trace_arg)
 
 (* ---- explain ----------------------------------------------------------- *)
 
@@ -462,12 +479,18 @@ let profile_cmd =
     in
     Arg.(value & opt (some string) None & info [ "html" ] ~docv:"FILE" ~doc)
   in
-  let run spec passoc threads strategy trace html =
+  let run spec passoc threads strategy engine trace html =
     let prog = load_program spec in
     let params = params_of_assoc prog passoc in
     let sink = Obs.Sink.make () in
     let options =
-      { Pipeline.Driver.default_options with threads; strategy; sink }
+      {
+        Pipeline.Driver.default_options with
+        threads;
+        strategy;
+        exec_engine = engine;
+        sink;
+      }
     in
     let write_html ?metrics () =
       match html with
@@ -497,7 +520,7 @@ let profile_cmd =
           sections), and optionally write a Chrome trace with $(b,--trace) \
           or a standalone HTML report with $(b,--html)")
     Term.(const run $ prog_arg $ params_arg $ threads_arg $ strategy_arg
-          $ trace_arg $ html_arg)
+          $ engine_arg $ trace_arg $ html_arg)
 
 (* ---- batch / serve ----------------------------------------------------- *)
 
@@ -520,7 +543,8 @@ let no_check_arg =
   let doc = "Skip legality/semantics validation (faster batch throughput)." in
   Arg.(value & flag & info [ "no-check" ] ~doc)
 
-let svc_config ~domains ~cache ~threads ~deadline ~no_check ~sink ~events =
+let svc_config ~domains ~cache ~threads ~deadline ~no_check ~engine ~sink
+    ~events =
   {
     Svc.Service.default_config with
     domains;
@@ -529,6 +553,7 @@ let svc_config ~domains ~cache ~threads ~deadline ~no_check ~sink ~events =
     check = not no_check;
     measure = not no_check;
     deadline_s = deadline;
+    exec_engine = engine;
     sink;
     events;
   }
@@ -547,7 +572,7 @@ let response_of_line svc ~lineno line =
       Svc.Proto.error_response ~id (Svc.Proto.Bad_request message)
   | Ok req -> Svc.Service.run_one svc req
 
-let batch_summary responses stats =
+let batch_summary responses stats exec_pool =
   let n = List.length responses in
   let errors = List.length (List.filter (fun r -> not (Svc.Proto.ok r)) responses) in
   let hits =
@@ -558,7 +583,14 @@ let batch_summary responses stats =
      cache size %d/%d\n"
     n (n - errors) errors hits
     (if n = 0 then 0.0 else 100.0 *. float_of_int hits /. float_of_int n)
-    stats.Svc.Cache.size stats.Svc.Cache.capacity
+    stats.Svc.Cache.size stats.Svc.Cache.capacity;
+  (* The executor pool is created once per service: its spawn count scales
+     with the pool size, never with the request count (CI smoke greps this
+     line). *)
+  Printf.eprintf "exec-pool: domains=%d spawned=%d requests=%d\n"
+    (Runtime.Workers.domains exec_pool)
+    (Runtime.Workers.spawned exec_pool)
+    n
 
 let batch_cmd =
   let file_arg =
@@ -569,10 +601,10 @@ let batch_cmd =
     let doc = "Write JSONL responses here instead of stdout." in
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let run file out domains cache threads deadline no_check trace =
+  let run file out domains cache threads deadline no_check engine trace =
     let sink = if trace = None then Obs.Sink.null else Obs.Sink.make () in
     let config =
-      svc_config ~domains ~cache ~threads ~deadline ~no_check ~sink
+      svc_config ~domains ~cache ~threads ~deadline ~no_check ~engine ~sink
         ~events:Obs.Event.null
     in
     let svc = Svc.Service.create ~config () in
@@ -624,6 +656,7 @@ let batch_cmd =
     if out <> None then close_out oc;
     write_trace sink trace;
     batch_summary ordered (Svc.Service.cache_stats svc)
+      (Svc.Service.exec_pool svc)
   in
   Cmd.v
     (Cmd.info "batch"
@@ -633,12 +666,13 @@ let batch_cmd =
           (malformed requests become error records, the batch always \
           completes), summary statistics on stderr")
     Term.(const run $ file_arg $ out_arg $ domains_arg $ cache_arg
-          $ threads_arg $ deadline_arg $ no_check_arg $ trace_arg)
+          $ threads_arg $ deadline_arg $ no_check_arg $ engine_arg
+          $ trace_arg)
 
 let serve_cmd =
-  let run domains cache threads deadline no_check =
+  let run domains cache threads deadline no_check engine =
     let config =
-      svc_config ~domains ~cache ~threads ~deadline ~no_check
+      svc_config ~domains ~cache ~threads ~deadline ~no_check ~engine
         ~sink:Obs.Sink.null ~events:Obs.Event.null
     in
     let svc = Svc.Service.create ~config () in
@@ -663,7 +697,7 @@ let serve_cmd =
           line, respond with one JSONL record per line (flushed), sharing \
           the content-addressed cache across requests until EOF")
     Term.(const run $ domains_arg $ cache_arg $ threads_arg $ deadline_arg
-          $ no_check_arg)
+          $ no_check_arg $ engine_arg)
 
 (* ---- simulate ---------------------------------------------------------- *)
 

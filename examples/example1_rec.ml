@@ -60,11 +60,11 @@ let () =
       print_endline "   1234567890  (i1 →)";
 
       Printf.printf "\nP1 = %d, chains = %d (%d pts, longest %d), P3 = %d\n"
-        (List.length c.Core.Partition.p1_pts)
-        (List.length c.Core.Partition.chains.Core.Chain.chains)
+        (Core.Points.length c.Core.Partition.p1_pts)
+        (Core.Chain.n_chains c.Core.Partition.chains)
         (Core.Chain.total_points c.Core.Partition.chains)
         c.Core.Partition.chains.Core.Chain.longest
-        (List.length c.Core.Partition.p3_pts);
+        (Core.Points.length c.Core.Partition.p3_pts);
       (match c.Core.Partition.theorem_bound with
       | Some b ->
           Printf.printf
@@ -79,11 +79,11 @@ let () =
       print_endline "\n=== paper experiment scale: N1=300, N2=1000 ===";
       let cbig = Core.Partition.materialize_rec_scan rp ~params:[| 300; 1000 |] in
       Printf.printf "P1 = %d, chains = %d (%d pts, longest %d), P3 = %d, bound = %s\n"
-        (List.length cbig.Core.Partition.p1_pts)
-        (List.length cbig.Core.Partition.chains.Core.Chain.chains)
+        (Core.Points.length cbig.Core.Partition.p1_pts)
+        (Core.Chain.n_chains cbig.Core.Partition.chains)
         (Core.Chain.total_points cbig.Core.Partition.chains)
         cbig.Core.Partition.chains.Core.Chain.longest
-        (List.length cbig.Core.Partition.p3_pts)
+        (Core.Points.length cbig.Core.Partition.p3_pts)
         (match cbig.Core.Partition.theorem_bound with
         | Some b -> string_of_int b
         | None -> "-");

@@ -24,9 +24,9 @@ let () =
 
       let c = Core.Partition.materialize_rec rp ~params:[| 12 |] in
       Printf.printf "REC: 3 regions — P1 %d ∥, chains %d, P3 %d ∥ (144 total)\n"
-        (List.length c.Core.Partition.p1_pts)
+        (Core.Points.length c.Core.Partition.p1_pts)
         (Core.Chain.total_points c.Core.Partition.chains)
-        (List.length c.Core.Partition.p3_pts);
+        (Core.Points.length c.Core.Partition.p3_pts);
       (match c.Core.Partition.theorem_bound with
       | Some b ->
           Printf.printf "Theorem 1: a = |det T| = %g, chains ≤ %d iterations\n"

@@ -38,9 +38,9 @@ let () =
       | Pipeline.Driver.Rec { c; _ } ->
           Printf.printf "\n=== three-set partition ===\n";
           Printf.printf "P1 (independent + initial): %d iterations\n"
-            (List.length c.Core.Partition.p1_pts);
+            (Core.Points.length c.Core.Partition.p1_pts);
           Printf.printf "P2 (chains)               : %d chains, %d iterations\n"
-            (List.length c.Core.Partition.chains.Core.Chain.chains)
+            (Core.Chain.n_chains c.Core.Partition.chains)
             (Core.Chain.total_points c.Core.Partition.chains);
           List.iteri
             (fun k chain ->
@@ -48,11 +48,11 @@ let () =
                 Printf.printf "    chain:%s\n"
                   (String.concat " ->"
                      (List.map (fun p -> Printf.sprintf " %d" p.(0)) chain)))
-            c.Core.Partition.chains.Core.Chain.chains;
-          if List.length c.Core.Partition.chains.Core.Chain.chains > 8 then
+            (Core.Chain.to_lists c.Core.Partition.chains);
+          if Core.Chain.n_chains c.Core.Partition.chains > 8 then
             print_endline "    ... (chains with irregular strides, ratio 3/2)";
           Printf.printf "P3 (final)                : %d iterations\n"
-            (List.length c.Core.Partition.p3_pts);
+            (Core.Points.length c.Core.Partition.p3_pts);
           (match c.Core.Partition.theorem_bound with
           | Some b ->
               Printf.printf

@@ -58,7 +58,7 @@ let dot_of_chains (c : Core.Chain.t) =
         | _ -> ()
       in
       arrows chain)
-    c.Core.Chain.chains;
+    (Core.Chain.to_lists c);
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 

@@ -10,9 +10,9 @@ type rec_plan = {
 }
 
 type concrete_rec = {
-  p1_pts : Linalg.Ivec.t list;
+  p1_pts : Points.t;
   chains : Chain.t;
-  p3_pts : Linalg.Ivec.t list;
+  p3_pts : Points.t;
   growth : float;
   theorem_bound : int option;
 }
@@ -36,32 +36,25 @@ let h_chain_len = Obs.Histogram.make "partition.chain_length"
 let max_cited_starts = 16
 
 let record_concrete (c : concrete_rec) =
-  Obs.Counter.add c_p1 (List.length c.p1_pts);
-  Obs.Counter.add c_p3 (List.length c.p3_pts);
-  Obs.Counter.add c_chains (List.length c.chains.Chain.chains);
-  List.iter
-    (fun chain ->
-      let len = List.length chain in
-      Obs.Counter.add c_p2 len;
-      Obs.Histogram.observe h_chain_len len)
-    c.chains.Chain.chains;
+  Obs.Counter.add c_p1 (Points.length c.p1_pts);
+  Obs.Counter.add c_p3 (Points.length c.p3_pts);
+  let n_chains = Chain.n_chains c.chains in
+  Obs.Counter.add c_chains n_chains;
+  for k = 0 to n_chains - 1 do
+    let len = Chain.chain_length c.chains k in
+    Obs.Counter.add c_p2 len;
+    Obs.Histogram.observe h_chain_len len
+  done;
   Obs.Event.emit ~scope:"partition" ~name:"cardinality" (fun () ->
-      let n_chains = List.length c.chains.Chain.chains in
-      let n_p2 =
-        List.fold_left
-          (fun acc ch -> acc + List.length ch)
-          0 c.chains.Chain.chains
-      in
-      let starts =
-        List.filteri (fun k _ -> k < max_cited_starts) c.chains.Chain.chains
-        |> List.filter_map (function
-             | [] -> None
-             | x :: _ -> Some (Linalg.Ivec.to_string x))
-      in
+      let starts = ref [] in
+      for k = min n_chains max_cited_starts - 1 downto 0 do
+        if Chain.chain_length c.chains k > 0 then
+          starts := Linalg.Ivec.to_string (Chain.get c.chains k 0) :: !starts
+      done;
       [
-        ("p1", Obs.Event.Int (List.length c.p1_pts));
-        ("p2", Obs.Event.Int n_p2);
-        ("p3", Obs.Event.Int (List.length c.p3_pts));
+        ("p1", Obs.Event.Int (Points.length c.p1_pts));
+        ("p2", Obs.Event.Int (Chain.total_points c.chains));
+        ("p3", Obs.Event.Int (Points.length c.p3_pts));
         ("chains", Obs.Event.Int n_chains);
         ("longest_chain", Obs.Event.Int c.chains.Chain.longest);
         ("growth", Obs.Event.Float c.growth);
@@ -71,7 +64,7 @@ let record_concrete (c : concrete_rec) =
           | None -> Obs.Event.Str "unbounded" );
         ( "chain_starts",
           Obs.Event.Str
-            (String.concat "; " starts
+            (String.concat "; " !starts
             ^ if n_chains > max_cited_starts then "; ..." else "") );
       ]);
   c
@@ -142,7 +135,11 @@ let choose prog =
         Pdm_fallback why
       end
 
-let materialize_rec rp ~params =
+(* Shared front half of both materialization engines: the parameter arity
+   check, the name→value environment over [simple.params], and the
+   concrete recurrence (Singular_recurrence when the pair's coefficient
+   matrix is not invertible at these parameters). *)
+let bind_recurrence rp ~params =
   let np = Array.length rp.simple.Solve.params in
   if Array.length params <> np then
     Diag.fail (Diag.Param_arity { expected = np; got = Array.length params });
@@ -160,36 +157,38 @@ let materialize_rec rp ~params =
     | None ->
         Diag.fail (Diag.Singular_recurrence "coefficient matrix not invertible")
   in
+  (param_env, rec_)
+
+let iter_dim rp = Loopir.Prog.depth rp.simple.Solve.stmt
+
+let materialize_rec rp ~params =
+  let _, rec_ = bind_recurrence rp ~params in
   let chains =
     Chain.decompose ~three:rp.three ~rec_ ~phi:rp.simple.Solve.phi ~params
   in
-  let p1_pts = Enum.points (Iset.bind_params rp.three.Threeset.p1 params) in
-  let p3_pts = Enum.points (Iset.bind_params rp.three.Threeset.p3 params) in
+  let dim = iter_dim rp in
+  let p1_pts =
+    Points.of_list ~dim (Enum.points (Iset.bind_params rp.three.Threeset.p1 params))
+  in
+  let p3_pts =
+    Points.of_list ~dim (Enum.points (Iset.bind_params rp.three.Threeset.p3 params))
+  in
   let growth = Recurrence.growth rec_ in
   let diameter = Theorem.diameter rp.simple.Solve.phi ~params in
   let theorem_bound = Theorem.bound ~growth ~diameter in
   record_concrete { p1_pts; chains; p3_pts; growth; theorem_bound }
 
 let materialize_rec_scan rp ~params =
-  let np = Array.length rp.simple.Solve.params in
-  if Array.length params <> np then
-    Diag.fail (Diag.Param_arity { expected = np; got = Array.length params });
+  let _, rec_ = bind_recurrence rp ~params in
   let passoc =
     Array.to_list (Array.mapi (fun k n -> (n, params.(k))) rp.simple.Solve.params)
   in
-  let param_env name =
-    match List.assoc_opt name passoc with
-    | Some v -> v
-    | None -> Diag.fail (Diag.Unbound_parameter name)
-  in
-  let rec_ =
-    match Recurrence.of_pair rp.pair ~params:param_env with
-    | Some r -> r
-    | None ->
-        Diag.fail (Diag.Singular_recurrence "coefficient matrix not invertible")
-  in
   let pts = Depend.Scan.iter_space rp.simple.Solve.stmt ~params:passoc in
-  let p1 = ref [] and p3 = ref [] and w = ref [] and n_p2 = ref 0 in
+  let dim = iter_dim rp in
+  let p1 = Points.Builder.create ~dim
+  and p3 = Points.Builder.create ~dim
+  and w = Points.Builder.create ~dim in
+  let n_p2 = ref 0 in
   let lo = ref None and hi = ref None in
   List.iter
     (fun x ->
@@ -205,12 +204,12 @@ let materialize_rec_scan rp ~params =
               if v > h.(k) then h.(k) <- v)
             x);
       match Threeset.classify_point rp.three ~params x with
-      | `P1 -> p1 := x :: !p1
-      | `P3 -> p3 := x :: !p3
+      | `P1 -> Points.Builder.add p1 x
+      | `P3 -> Points.Builder.add p3 x
       | `P2 ->
           incr n_p2;
           if Iset.mem rp.three.Threeset.w (Array.append x params) then
-            w := x :: !w
+            Points.Builder.add w x
       | `Outside ->
           Diag.fail
             (Diag.Outside_partition (Linalg.Ivec.to_string x)))
@@ -219,21 +218,29 @@ let materialize_rec_scan rp ~params =
   let in_p2 x =
     Iset.mem rp.three.Threeset.p2 (Array.append x params)
   in
-  let chains =
-    List.rev_map
-      (fun start ->
-        let rec walkc x acc =
-          match Recurrence.successor rec_ ~in_phi x with
-          | Some y when in_p2 y -> walkc y (x :: acc)
-          | Some _ | None -> List.rev (x :: acc)
-        in
-        walkc start [])
-      !w
-  in
-  let covered = List.fold_left (fun acc c -> acc + List.length c) 0 chains in
+  let cb = Chain.Builder.create ~dim in
+  (* Same cycle/intersection guard as Chain.decompose: a successor map
+     with a cycle inside P2 (possible for degenerate coupled pairs, e.g.
+     an involution) would otherwise walk forever. *)
+  let seen : (int array, unit) Hashtbl.t = Hashtbl.create 64 in
+  Points.iter
+    (fun start ->
+      let rec walkc x =
+        if Hashtbl.mem seen x then
+          Diag.fail (Diag.Lemma1_violation "chains intersect");
+        Hashtbl.add seen x ();
+        Chain.Builder.add_point cb x;
+        match Recurrence.successor rec_ ~in_phi x with
+        | Some y when in_p2 y -> walkc y
+        | Some _ | None -> ()
+      in
+      walkc start;
+      Chain.Builder.end_chain cb)
+    (Points.Builder.finish w);
+  let chains = Chain.Builder.finish cb in
+  let covered = Chain.total_points chains in
   if covered <> !n_p2 then
     Diag.fail (Diag.Chain_cover { covered; expected = !n_p2 });
-  let longest = List.fold_left (fun m c -> max m (List.length c)) 0 chains in
   let growth = Recurrence.growth rec_ in
   let diameter =
     match (!lo, !hi) with
@@ -249,9 +256,9 @@ let materialize_rec_scan rp ~params =
   in
   record_concrete
     {
-      p1_pts = List.rev !p1;
-      chains = { Chain.chains; longest };
-      p3_pts = List.rev !p3;
+      p1_pts = Points.Builder.finish p1;
+      chains;
+      p3_pts = Points.Builder.finish p3;
       growth;
       theorem_bound = Theorem.bound ~growth ~diameter;
     }
@@ -267,4 +274,6 @@ let materialize ?(engine = `Scan) rp ~params =
   | exception Presburger.Omega.Blowup m -> Error (Diag.Set_blowup m)
 
 let rec_points_in_order c =
-  c.p1_pts @ List.concat c.chains.Chain.chains @ c.p3_pts
+  Points.to_list c.p1_pts
+  @ List.concat (Chain.to_lists c.chains)
+  @ Points.to_list c.p3_pts

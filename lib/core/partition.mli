@@ -16,9 +16,9 @@ type rec_plan = {
 }
 
 type concrete_rec = {
-  p1_pts : Linalg.Ivec.t list;
+  p1_pts : Points.t;  (** packed, in enumeration/scan order *)
   chains : Chain.t;
-  p3_pts : Linalg.Ivec.t list;
+  p3_pts : Points.t;  (** packed, in enumeration/scan order *)
   growth : float;
   theorem_bound : int option;
 }

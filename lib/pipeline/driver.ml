@@ -132,12 +132,12 @@ let codegen plan ~prog =
 
 let stats = function
   | Rec { c; _ } ->
-      let n_chains = List.length c.Core.Partition.chains.Core.Chain.chains in
+      let n_chains = Core.Chain.n_chains c.Core.Partition.chains in
       {
         Report.empty_stats with
-        p1 = Some (List.length c.Core.Partition.p1_pts);
+        p1 = Some (Core.Points.length c.Core.Partition.p1_pts);
         p2 = Some (Core.Chain.total_points c.Core.Partition.chains);
-        p3 = Some (List.length c.Core.Partition.p3_pts);
+        p3 = Some (Core.Points.length c.Core.Partition.p3_pts);
         n_chains = Some n_chains;
         longest_chain = Some c.Core.Partition.chains.Core.Chain.longest;
         growth = Some c.Core.Partition.growth;
@@ -168,6 +168,8 @@ type options = {
   measure : bool;
   strategy : Plan.strategy option;
   engine : [ `Enum | `Scan ];
+  exec_engine : Runtime.Exec.engine;
+  workers : Runtime.Workers.t option;
   sink : Obs.Sink.t;
   events : Obs.Event.t;
 }
@@ -179,6 +181,8 @@ let default_options =
     measure = true;
     strategy = None;
     engine = `Scan;
+    exec_engine = `Compiled;
+    workers = None;
     sink = Obs.Sink.null;
     events = Obs.Event.null;
   }
@@ -315,8 +319,9 @@ let run ?(options = default_options) ~name ~params prog =
                      in
                      let seq_s = Obs.Clock.elapsed_s t0 in
                      let tmd =
-                       Runtime.Exec.run_timed ~sink env
-                         ~threads:options.threads s
+                       Runtime.Exec.run_timed ~sink
+                         ~engine:options.exec_engine ?workers:options.workers
+                         env ~threads:options.threads s
                      in
                      let semantics =
                        if not options.check then Report.Skipped
@@ -384,6 +389,10 @@ let run ?(options = default_options) ~name ~params prog =
         threads = options.threads;
         legality;
         semantics;
+        exec_engine =
+          Option.map
+            (fun _ -> Runtime.Exec.engine_name options.exec_engine)
+            par_seconds;
         seq_seconds;
         par_seconds;
         model_makespan;

@@ -72,6 +72,12 @@ type options = {
   measure : bool;  (** measure seq/parallel wall time *)
   strategy : Plan.strategy option;  (** [None] = Algorithm 1 selection *)
   engine : [ `Enum | `Scan ];  (** REC materialization engine *)
+  exec_engine : Runtime.Exec.engine;
+      (** schedule execution engine: [`Compiled] (default) runs closure-
+          compiled kernels, [`Interp] the AST-walking interpreter *)
+  workers : Runtime.Workers.t option;
+      (** persistent executor pool to reuse across runs; [None] (the
+          default) lets each run create and shut down a transient pool *)
   sink : Obs.Sink.t;
       (** where stage/execution spans go; {!Obs.Sink.null} (the default)
           records nothing and costs one branch per span site *)

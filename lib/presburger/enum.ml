@@ -26,8 +26,12 @@ let values_1d p =
           | C.Eq e ->
               let a = L.coeff e 0 and k = L.constant e in
               if a <> 0 then
-                if k mod a = 0 then begin
-                  let v = -k / a in
+                (* a·x + k = 0 has an integer solution iff a | k; Euclidean
+                   remainder and floor division give exact divisibility
+                   semantics for negative coefficients too (the Ge branch
+                   already goes through Safeint). *)
+                if S.emod k a = 0 then begin
+                  let v = S.fdiv (S.neg k) a in
                   lo := Some (match !lo with None -> v | Some l -> max l v);
                   hi := Some (match !hi with None -> v | Some h -> min h v)
                 end
@@ -100,4 +104,46 @@ let points s =
     invalid_arg "Enum.points: parameters must be bound first";
   points_polys (Iset.dim s) (Iset.polys s)
 
-let cardinal s = List.length (points s)
+(* Counting mirrors [enum] exactly — same recursion, same per-dimension
+   deduplication across disjuncts — but sums sub-counts instead of
+   building tuple lists, so counting a set allocates nothing proportional
+   to its cardinality. *)
+let rec count n polys =
+  if polys = [] then 0
+  else if n = 0 then
+    if List.exists (fun p -> P.normalize p <> None) polys then 1 else 0
+  else if n = 1 then
+    List.length (List.concat_map values_1d polys |> List.sort_uniq compare)
+  else
+    let per_poly =
+      List.filter_map
+        (fun p ->
+          match P.normalize p with
+          | None -> None
+          | Some p -> (
+              match first_var_values p with
+              | [] -> None
+              | vals -> Some (p, IntSet.of_list vals)))
+        polys
+    in
+    let all_vals =
+      List.fold_left
+        (fun acc (_, s) -> IntSet.union acc s)
+        IntSet.empty per_poly
+    in
+    IntSet.fold
+      (fun v acc ->
+        let children =
+          List.filter_map
+            (fun (p, vals) ->
+              if IntSet.mem v vals then Some (P.drop_dim (P.assign p 0 v) 0)
+              else None)
+            per_poly
+        in
+        acc + count (n - 1) children)
+      all_vals 0
+
+let cardinal s =
+  if Array.length (Iset.names s) <> Iset.n_iters s then
+    invalid_arg "Enum.cardinal: parameters must be bound first";
+  count (Iset.dim s) (Iset.polys s)

@@ -17,6 +17,9 @@ val points : Iset.t -> int array list
     {!Iset.bind_params}). *)
 
 val cardinal : Iset.t -> int
+(** Number of integer points of a parameter-free set — counted during the
+    same projection-based recursion as {!points}, without materializing
+    the point lists. *)
 
 val first_var_values : Poly.t -> int list
 (** [first_var_values p] is the sorted list of values variable 0 takes in

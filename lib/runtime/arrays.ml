@@ -86,6 +86,31 @@ let set t name idx v =
           invalid_arg
             (Printf.sprintf "Arrays.set: %s index out of scanned bounds" name))
 
+type view = {
+  v_lo : int array;
+  v_hi : int array;
+  v_strides : int array;
+  v_data : float array;
+}
+
+let view t name =
+  if not t.frozen then invalid_arg "Arrays.view: freeze first";
+  match Hashtbl.find_opt t.tbl name with
+  | None -> None
+  | Some s ->
+      let n = Array.length s.ext.lo in
+      let strides = Array.make n 1 in
+      for k = n - 2 downto 0 do
+        strides.(k) <- strides.(k + 1) * (s.ext.hi.(k + 1) - s.ext.lo.(k + 1) + 1)
+      done;
+      Some
+        {
+          v_lo = Array.copy s.ext.lo;
+          v_hi = Array.copy s.ext.hi;
+          v_strides = strides;
+          v_data = s.data;
+        }
+
 let arrays t =
   Hashtbl.fold (fun name _ acc -> name :: acc) t.tbl [] |> List.sort compare
 

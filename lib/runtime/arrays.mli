@@ -24,6 +24,19 @@ val set : t -> string -> int list -> float -> unit
 val initial_value : string -> int list -> float
 (** The deterministic initial cell value. *)
 
+type view = {
+  v_lo : int array;  (** per-dimension scanned lower bound *)
+  v_hi : int array;  (** per-dimension scanned upper bound *)
+  v_strides : int array;  (** row-major strides (innermost = 1) *)
+  v_data : float array;  (** the live backing store (shared, not a copy) *)
+}
+
+val view : t -> string -> view option
+(** Raw view of a frozen array for compiled execution: flat offset of index
+    tuple [v] is [Σ_k (v_k - v_lo_k) · v_strides_k].  [v_data] aliases the
+    store, so writes through the view are visible to {!get}.  [None] for
+    unknown arrays; raises [Invalid_argument] before {!freeze}. *)
+
 val equal : t -> t -> bool
 (** Same arrays, same extents, same contents. *)
 

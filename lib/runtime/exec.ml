@@ -28,6 +28,10 @@ let task_buckets threads tasks =
     order;
   Array.to_list (Array.map List.rev buckets)
 
+type engine = [ `Compiled | `Interp ]
+
+let engine_name = function `Compiled -> "compiled" | `Interp -> "interp"
+
 type phase_stat = {
   label : string;
   n_instances : int;
@@ -43,18 +47,18 @@ type timed = { store : Arrays.t; seconds : float; phase_stats : phase_stat list 
 let task_len_hist = Obs.Histogram.make "exec.task_len"
 let task_ns_hist = Obs.Histogram.make "exec.task_ns"
 
-(* Executes one bucket (a list of sequential tasks) and returns the
-   seconds this domain was busy plus the words it allocated (the GC delta
-   is taken inside the executing domain, so on OCaml 5 the word counters
-   are exact for this bucket's work).  With a recording sink, the bucket
-   and each task get their own spans — for REC plans the tasks are the
-   recurrence chains, so the trace shows per-chain durations on the
-   executing domain's row. *)
-let run_bucket ~sink ~label env store tasks =
+(* Executes one bucket (a list of sequential tasks) through the engine's
+   per-instance function and returns the seconds this domain was busy plus
+   the words it allocated (the GC delta is taken inside the executing
+   domain, so on OCaml 5 the word counters are exact for this bucket's
+   work).  With a recording sink, the bucket and each task get their own
+   spans — for REC plans the tasks are the recurrence chains, so the trace
+   shows per-chain durations on the executing domain's row. *)
+let run_bucket ~sink ~label exec tasks =
   let gc0 = Obs.Gcstats.quick () in
   let t0 = Obs.Clock.now_ns () in
   if not (Obs.Sink.enabled sink) then
-    List.iter (Array.iter (Interp.exec_instance env store)) tasks
+    List.iter (Array.iter (exec : Sched.instance -> unit)) tasks
   else begin
     let n_inst = List.fold_left (fun acc t -> acc + Array.length t) 0 tasks in
     Obs.Span.with_ ~sink ~name:("bucket:" ^ label)
@@ -67,7 +71,7 @@ let run_bucket ~sink ~label env store tasks =
               let s0 = Obs.Clock.now_ns () in
               Obs.Span.with_ ~sink ~name:"task"
                 ~args:[ ("phase", label); ("len", string_of_int len) ]
-                (fun () -> Array.iter (Interp.exec_instance env store) task);
+                (fun () -> Array.iter exec task);
               Obs.Histogram.observe task_len_hist len;
               Obs.Histogram.observe task_ns_hist
                 (Int64.to_int (Int64.sub (Obs.Clock.now_ns ()) s0))
@@ -82,8 +86,11 @@ let run_bucket ~sink ~label env store tasks =
 
 (* The single execution path: every phase — sequential or parallel — goes
    through here, so instrumentation (per-phase wall time and per-domain
-   load/busy time) is measured on exactly the code that runs. *)
-let run_phase_timed ?(sink = Obs.Sink.null) env store ~threads phase =
+   load/busy time) is measured on exactly the code that runs.  Parallel
+   buckets are handed to the persistent [pool] (first bucket runs on the
+   calling domain, via {!Workers.run}); the return from [Workers.run] is
+   the inter-phase barrier. *)
+let run_phase_timed ?(sink = Obs.Sink.null) ~pool exec ~threads phase =
   let threads = max 1 threads in
   let label = Sched.phase_label phase in
   let n_instances = Sched.phase_size phase in
@@ -98,7 +105,7 @@ let run_phase_timed ?(sink = Obs.Sink.null) env store ~threads phase =
         | Sched.Doall { instances; _ } -> [ instances ]
         | Sched.Tasks { tasks; _ } -> Array.to_list tasks
       in
-      let b, w = run_bucket ~sink ~label env store tasks in
+      let b, w = run_bucket ~sink ~label exec tasks in
       let units =
         match phase with
         | Sched.Doall _ -> if n_instances = 0 then 0 else 1
@@ -130,8 +137,8 @@ let run_phase_timed ?(sink = Obs.Sink.null) env store ~threads phase =
               (fun acc t -> if Array.length t = 0 then acc else acc + 1)
               0 tasks
       in
-      (* Spawn domains only for buckets that hold work: empty buckets would
-         pay the domain fork/join cost for nothing. *)
+      (* Hand only buckets that hold work to the pool: empty buckets would
+         pay the queue round-trip for nothing. *)
       let stats =
         match
           List.filter
@@ -139,15 +146,17 @@ let run_phase_timed ?(sink = Obs.Sink.null) env store ~threads phase =
             work
         with
         | [] -> [||]
-        | first :: rest ->
-            let spawned =
-              List.map
-                (fun b ->
-                  Domain.spawn (fun () -> run_bucket ~sink ~label env store b))
-                rest
+        | buckets ->
+            let pool =
+              match pool with
+              | Some p -> p
+              | None -> invalid_arg "Exec: parallel phase without a pool"
             in
-            let b0 = run_bucket ~sink ~label env store first in
-            Array.of_list (b0 :: List.map Domain.join spawned)
+            Workers.run pool
+              (Array.of_list
+                 (List.map
+                    (fun b () -> run_bucket ~sink ~label exec b)
+                    buckets))
       in
       (n_units, loads, Array.map fst stats, Array.map snd stats)
     end
@@ -162,24 +171,51 @@ let run_phase_timed ?(sink = Obs.Sink.null) env store ~threads phase =
     seconds = Obs.Clock.elapsed_s t0;
   }
 
-let run_timed ?(sink = Obs.Sink.null) env ~threads s =
+let run_timed ?(sink = Obs.Sink.null) ?(engine = `Compiled) ?workers env
+    ~threads s =
+  let threads = max 1 threads in
   let store = Interp.scan_bounds env in
-  let t0 = Obs.Clock.now_ns () in
-  let phase_stats =
-    List.map
-      (fun phase ->
-        Obs.Span.with_ ~sink ~name:("phase:" ^ Sched.phase_label phase)
-          (fun () -> run_phase_timed ~sink env store ~threads phase))
-      s.Sched.phases
+  (* Engine setup (kernel compilation) happens outside the timed region,
+     like store setup: [seconds] measures execution of the hot loop. *)
+  let exec =
+    match engine with
+    | `Interp -> Interp.exec_instance env store
+    | `Compiled ->
+        let compiled =
+          Obs.Span.with_ ~sink ~name:"compile" (fun () ->
+              Compile.program env store)
+        in
+        Compile.exec_instance compiled
   in
-  { store; seconds = Obs.Clock.elapsed_s t0; phase_stats }
+  let pool, owned =
+    if threads = 1 then (None, false)
+    else
+      match workers with
+      | Some w -> (Some w, false)
+      | None -> (Some (Workers.create ~domains:threads), true)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if owned then Option.iter Workers.shutdown pool)
+    (fun () ->
+      let t0 = Obs.Clock.now_ns () in
+      let phase_stats =
+        List.map
+          (fun phase ->
+            Obs.Span.with_ ~sink ~name:("phase:" ^ Sched.phase_label phase)
+              (fun () -> run_phase_timed ~sink ~pool exec ~threads phase))
+          s.Sched.phases
+      in
+      { store; seconds = Obs.Clock.elapsed_s t0; phase_stats })
 
-let run env ~threads s = (run_timed env ~threads s).store
-let wall_time env ~threads s = (run_timed env ~threads s).seconds
+let run ?engine env ~threads s = (run_timed ?engine env ~threads s).store
 
-let check env ~threads s =
+let wall_time ?engine env ~threads s =
+  (run_timed ?engine env ~threads s).seconds
+
+let check ?engine env ~threads s =
   let seq = Interp.run_sequential env in
-  let got = run env ~threads s in
+  let got = run ?engine env ~threads s in
   if Arrays.equal seq got then Ok ()
   else
     Error

@@ -4,13 +4,22 @@
     leaves the store identical to the sequential run) and provides
     wall-clock measurements.
 
-    Phases are separated by joins (barriers).  Within a phase, DOALL
-    instances are block-distributed and sequential tasks are dealt
-    round-robin by decreasing length.
+    Two engines share one instrumented path: [`Compiled] (default) runs
+    each instance through {!Compile} kernels — closures with fused affine
+    offsets, no per-instance allocation — while [`Interp] walks the AST
+    via {!Interp.exec_instance}.  {!Interp.run_sequential} remains the
+    reference oracle either way ({!check}).
+
+    Phases are separated by barriers.  Within a phase, DOALL instances are
+    block-distributed and sequential tasks are dealt round-robin by
+    decreasing length.  Parallel buckets run on a persistent
+    {!Workers.t} pool: pass [?workers] to reuse one pool across many runs
+    (the analysis service does), or let {!run_timed} create a transient
+    pool — domains are then spawned once per run, not once per phase.
 
     All entry points accept any thread count: values ≤ 1 run sequentially
-    on the calling domain (never raise), and domains are only spawned for
-    buckets that actually hold work.
+    on the calling domain (never raise), and only buckets that actually
+    hold work are handed to the pool.
 
     Every run goes through one instrumented path ({!run_timed}); {!run},
     {!wall_time} and {!check} are thin views of it, and the pipeline layer
@@ -19,6 +28,11 @@
     per-domain bucket and sequential task (= recurrence chain for REC
     plans) additionally becomes a span on the executing domain's
     timeline. *)
+
+type engine = [ `Compiled | `Interp ]
+
+val engine_name : engine -> string
+(** ["compiled"] / ["interp"]. *)
 
 type phase_stat = {
   label : string;  (** the phase's {!Sched.phase_label} *)
@@ -40,23 +54,35 @@ type phase_stat = {
 
 type timed = {
   store : Arrays.t;  (** final array store *)
-  seconds : float;  (** total wall time (store setup excluded) *)
+  seconds : float;  (** total wall time (store setup and kernel
+                        compilation excluded) *)
   phase_stats : phase_stat list;  (** one entry per phase, in order *)
 }
 
-val run_timed : ?sink:Obs.Sink.t -> Interp.env -> threads:int -> Sched.t -> timed
+val run_timed :
+  ?sink:Obs.Sink.t ->
+  ?engine:engine ->
+  ?workers:Workers.t ->
+  Interp.env ->
+  threads:int ->
+  Sched.t ->
+  timed
 (** Executes the schedule on [threads] domains (sequential on the calling
     domain when [threads ≤ 1]) and records per-phase wall time and
-    per-domain load/busy time.  [sink] (default {!Obs.Sink.null}) receives
-    phase/bucket/task spans when recording. *)
+    per-domain load/busy time.  [engine] (default [`Compiled]) selects the
+    execution engine; [workers] (default: a transient pool created and
+    shut down inside this call) supplies a persistent executor pool;
+    [sink] (default {!Obs.Sink.null}) receives phase/bucket/task spans
+    when recording. *)
 
-val run : Interp.env -> threads:int -> Sched.t -> Arrays.t
+val run : ?engine:engine -> Interp.env -> threads:int -> Sched.t -> Arrays.t
 (** [run_timed]'s final store. *)
 
-val check : Interp.env -> threads:int -> Sched.t -> (unit, string) result
-(** Parallel run vs sequential run array equality. *)
+val check :
+  ?engine:engine -> Interp.env -> threads:int -> Sched.t -> (unit, string) result
+(** Parallel run vs sequential interpreter run array equality. *)
 
-val wall_time : Interp.env -> threads:int -> Sched.t -> float
+val wall_time : ?engine:engine -> Interp.env -> threads:int -> Sched.t -> float
 (** Seconds for one parallel run (store setup excluded). *)
 
 val thread_loads : timed -> threads:int -> int array

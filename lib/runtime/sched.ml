@@ -32,33 +32,28 @@ let sequential_of_trace (tr : Depend.Trace.t) =
   of_phases [ Tasks { label = "sequential"; tasks = [| task |] } ]
 
 let of_rec ~stmt (c : Core.Partition.concrete_rec) =
-  let mk iter = { stmt; iter } in
-  let p1 =
+  let doall label pts =
     Doall
       {
-        label = "P1";
-        instances = Array.of_list (List.map mk c.Core.Partition.p1_pts);
+        label;
+        instances =
+          Array.init (Core.Points.length pts) (fun i ->
+              { stmt; iter = Core.Points.get pts i });
       }
   in
+  let ch = c.Core.Partition.chains in
   let chains =
     Tasks
       {
         label = "P2-chains";
         tasks =
-          Array.of_list
-            (List.map
-               (fun chain -> Array.of_list (List.map mk chain))
-               c.Core.Partition.chains.Core.Chain.chains);
+          Array.init (Core.Chain.n_chains ch) (fun k ->
+              Array.init (Core.Chain.chain_length ch k) (fun i ->
+                  { stmt; iter = Core.Chain.get ch k i }));
       }
   in
-  let p3 =
-    Doall
-      {
-        label = "P3";
-        instances = Array.of_list (List.map mk c.Core.Partition.p3_pts);
-      }
-  in
-  of_phases [ p1; chains; p3 ]
+  of_phases
+    [ doall "P1" c.Core.Partition.p1_pts; chains; doall "P3" c.Core.Partition.p3_pts ]
 
 let of_fronts (c : Core.Dataflow.concrete) =
   let phases =

@@ -1,0 +1,124 @@
+let spawned_counter = Obs.Counter.make "runtime.workers.spawned"
+let runs_counter = Obs.Counter.make "runtime.workers.runs"
+
+type t = {
+  m : Mutex.t;
+  not_empty : Condition.t;
+  q : (unit -> unit) Queue.t;
+  n_domains : int;
+  n_spawned : int;
+  mutable closing : bool;
+  mutable helpers : unit Domain.t list;
+}
+
+let domains t = t.n_domains
+let spawned t = t.n_spawned
+
+(* Drain-then-exit helper: keeps popping while jobs remain, even after
+   [closing] is set, so shutdown never drops a queued job. *)
+let rec helper t =
+  Mutex.lock t.m;
+  while Queue.is_empty t.q && not t.closing do
+    Condition.wait t.not_empty t.m
+  done;
+  if Queue.is_empty t.q then Mutex.unlock t.m
+  else begin
+    let job = Queue.pop t.q in
+    Mutex.unlock t.m;
+    job ();
+    helper t
+  end
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Workers.create: domains must be >= 1";
+  let t =
+    {
+      m = Mutex.create ();
+      not_empty = Condition.create ();
+      q = Queue.create ();
+      n_domains = domains;
+      n_spawned = domains - 1;
+      closing = false;
+      helpers = [];
+    }
+  in
+  t.helpers <-
+    List.init (domains - 1) (fun _ ->
+        Obs.Counter.incr spawned_counter;
+        Domain.spawn (fun () -> helper t));
+  t
+
+let run t thunks =
+  Obs.Counter.incr runs_counter;
+  let n = Array.length thunks in
+  if n = 0 then [||]
+  else if n = 1 then [| thunks.(0) () |]
+  else begin
+    let results = Array.make n None in
+    (* Call-local barrier state: jobs of concurrent [run] calls share the
+       pool queue but complete against their own counter. *)
+    let cm = Mutex.create () in
+    let all_done = Condition.create () in
+    let remaining = ref (n - 1) in
+    let error = ref None in
+    let record_error e =
+      Mutex.lock cm;
+      if !error = None then error := Some e;
+      Mutex.unlock cm
+    in
+    let job i () =
+      (match thunks.(i) () with
+      | v -> results.(i) <- Some v
+      | exception e -> record_error e);
+      Mutex.lock cm;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast all_done;
+      Mutex.unlock cm
+    in
+    Mutex.lock t.m;
+    for i = 1 to n - 1 do
+      Queue.push (job i) t.q
+    done;
+    Condition.broadcast t.not_empty;
+    Mutex.unlock t.m;
+    (* The caller is a worker too: run the first thunk here, then help
+       drain the queue until this call's jobs are all accounted for. *)
+    (match thunks.(0) () with
+    | v -> results.(0) <- Some v
+    | exception e -> record_error e);
+    let rec drain () =
+      Mutex.lock cm;
+      let pending = !remaining > 0 in
+      Mutex.unlock cm;
+      if pending then begin
+        Mutex.lock t.m;
+        let next = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
+        Mutex.unlock t.m;
+        match next with
+        | Some j ->
+            j ();
+            drain ()
+        | None ->
+            (* Own jobs are in flight on other domains: wait them out. *)
+            Mutex.lock cm;
+            while !remaining > 0 do
+              Condition.wait all_done cm
+            done;
+            Mutex.unlock cm
+      end
+    in
+    drain ();
+    (match !error with Some e -> raise e | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let shutdown t =
+  Mutex.lock t.m;
+  let first = not t.closing in
+  t.closing <- true;
+  Condition.broadcast t.not_empty;
+  Mutex.unlock t.m;
+  if first then begin
+    List.iter Domain.join t.helpers;
+    t.helpers <- []
+  end

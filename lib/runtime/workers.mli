@@ -1,0 +1,40 @@
+(** Persistent executor domain pool — domains are spawned once and reused
+    across every phase of a run (and across requests when the pool is
+    shared by the analysis service), replacing per-phase
+    [Domain.spawn]/[join] with a queue hand-off and a completion barrier.
+
+    The pool follows the [Svc.Pool] bounded-queue design (mutex + condition
+    variables + job queue + drain-then-join shutdown) but adds
+    caller participation: {!run} executes its first thunk on the calling
+    domain and then helps drain the shared queue until its own jobs are
+    done, so a pool of [domains = 1] spawns nothing and degenerates to
+    sequential execution, and concurrent {!run} calls from several service
+    workers share one pool without starving each other.  Jobs must not
+    call {!run} themselves (no nesting).
+
+    {!run} is a barrier: it returns only when all of its thunks have
+    finished.  The first exception raised by any thunk is re-raised in the
+    caller after the barrier. *)
+
+type t
+
+val create : domains:int -> t
+(** Spawns [domains - 1] helper domains ([domains ≥ 1]; the calling domain
+    is the remaining worker).  Each spawn increments the global
+    ["runtime.workers.spawned"] counter — the service smoke test asserts
+    this stays equal to the pool size, not the request count. *)
+
+val domains : t -> int
+(** The configured size (helpers + the participating caller). *)
+
+val spawned : t -> int
+(** Helper domains actually spawned ([domains - 1]). *)
+
+val run : t -> (unit -> 'a) array -> 'a array
+(** Executes the thunks (first one on the calling domain, the rest through
+    the pool queue), waits for all of them, and returns their results in
+    order.  Safe to call concurrently from multiple domains; also safe
+    after {!shutdown} (the caller then drains its own jobs itself). *)
+
+val shutdown : t -> unit
+(** Signals the helpers to drain the queue and joins them; idempotent. *)

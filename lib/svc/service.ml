@@ -7,6 +7,7 @@ type config = {
   check : bool;
   measure : bool;
   deadline_s : float option;
+  exec_engine : Runtime.Exec.engine;
   sink : Obs.Sink.t;
   events : Obs.Event.t;
 }
@@ -21,6 +22,7 @@ let default_config =
     check = true;
     measure = true;
     deadline_s = None;
+    exec_engine = `Compiled;
     sink = Obs.Sink.null;
     events = Obs.Event.null;
   }
@@ -34,7 +36,15 @@ type value = {
   v_report : Pipeline.Report.t option;
 }
 
-type t = { config : config; cache : value Cache.t; pool : Pool.t }
+type t = {
+  config : config;
+  cache : value Cache.t;
+  pool : Pool.t;
+  exec : Runtime.Workers.t;
+      (* one executor pool for every request's parallel phases: spawned at
+         service creation, shared across the whole batch/serve lifetime
+         (spawn count scales with [threads], not with requests) *)
+}
 
 let create ?(config = default_config) () =
   {
@@ -45,10 +55,15 @@ let create ?(config = default_config) () =
     pool =
       Pool.create ~queue_capacity:config.queue_capacity
         ~events:config.events ~domains:config.domains ();
+    exec = Runtime.Workers.create ~domains:(max 1 config.threads);
   }
 
 let cache_stats t = Cache.stats t.cache
-let shutdown t = Pool.shutdown t.pool
+let exec_pool t = t.exec
+
+let shutdown t =
+  Pool.shutdown t.pool;
+  Runtime.Workers.shutdown t.exec
 
 (* Same exception → Diag mapping as Pipeline.Driver.guarded: the known
    library exceptions become typed errors; anything else escapes to the
@@ -155,6 +170,8 @@ let compute t (req : Proto.request) prog ~threads =
           check = t.config.check;
           measure = t.config.measure;
           strategy = req.strategy;
+          exec_engine = t.config.exec_engine;
+          workers = Some t.exec;
           sink = t.config.sink;
           events = t.config.events;
         }
@@ -280,6 +297,7 @@ let process t (req : Proto.request) ~submitted_ns =
                   Printf.sprintf "threads=%d" threads;
                   Printf.sprintf "check=%b" t.config.check;
                   Printf.sprintf "measure=%b" t.config.measure;
+                  "exec=" ^ Runtime.Exec.engine_name t.config.exec_engine;
                   Printf.sprintf "survey=%b" req.Proto.survey;
                 ]
               ~params:req.Proto.params prog

@@ -23,13 +23,17 @@ type config = {
   check : bool;  (** validate legality + sequential equivalence *)
   measure : bool;
   deadline_s : float option;  (** default per-request deadline *)
+  exec_engine : Runtime.Exec.engine;
+      (** schedule execution engine for [Run] requests (part of the cache
+          key) *)
   sink : Obs.Sink.t;  (** spans: submit→dequeue→analyze→respond *)
   events : Obs.Event.t;  (** decision + service lifecycle events *)
 }
 
 val default_config : config
 (** 4 domains, queue 64, cache 512 over 8 shards, 2 threads, check and
-    measure on, no deadline, no-op sink and event log. *)
+    measure on, no deadline, compiled execution, no-op sink and event
+    log. *)
 
 type t
 
@@ -47,5 +51,12 @@ val batch : t -> Proto.request list -> Proto.response list
 
 val cache_stats : t -> Cache.stats
 
+val exec_pool : t -> Runtime.Workers.t
+(** The persistent executor pool shared by every request's parallel
+    phases — created once with [config.threads] domains at {!create}
+    (its spawn count scales with the pool size, never with the request
+    count). *)
+
 val shutdown : t -> unit
-(** Drain in-flight work and join the workers.  Idempotent. *)
+(** Drain in-flight work, join the workers and shut the executor pool
+    down.  Idempotent. *)

@@ -61,14 +61,14 @@ let ex1_plan () =
 let test_ex1_sets_at_10 () =
   let rp = ex1_plan () in
   let c = Partition.materialize_rec rp ~params:[| 10; 10 |] in
-  Alcotest.(check int) "P1" 82 (List.length c.Partition.p1_pts);
+  Alcotest.(check int) "P1" 82 (Core.Points.length c.Partition.p1_pts);
   Alcotest.(check int) "P2 (2 chains of 1)" 2
     (Chain.total_points c.Partition.chains);
-  Alcotest.(check int) "P3" 16 (List.length c.Partition.p3_pts);
+  Alcotest.(check int) "P3" 16 (Core.Points.length c.Partition.p3_pts);
   Alcotest.(check int) "covers 100 iterations" 100
     (List.length (Partition.rec_points_in_order c));
   (* The intermediate points are (4,3) and (4,4). *)
-  let p2 = List.concat c.Partition.chains.Chain.chains in
+  let p2 = List.concat (Chain.to_lists c.Partition.chains) in
   Alcotest.(check bool) "(4,3)" true (List.exists (Ivec.equal [| 4; 3 |]) p2);
   Alcotest.(check bool) "(4,4)" true (List.exists (Ivec.equal [| 4; 4 |]) p2)
 
@@ -110,7 +110,7 @@ let test_ex2_intermediate_single () =
       | _ -> Alcotest.fail "intermediate set should be a single iteration");
       let c = Partition.materialize_rec rp ~params:[| 12 |] in
       Alcotest.(check int) "single chain" 1
-        (List.length c.Partition.chains.Chain.chains);
+        (Chain.n_chains c.Partition.chains);
       Alcotest.(check int) "144 iterations covered" 144
         (List.length (Partition.rec_points_in_order c))
   | _ -> Alcotest.fail "example2 must take the REC branch"
@@ -246,17 +246,23 @@ let legal_schedule_prop (alpha, beta, gamma, delta, n) =
   in
   let prog = Loopir.Parser.parse ~name:"rand" src in
   match Partition.choose prog with
+  (* degenerate coupled pairs (e.g. cyclic successor maps) are rejected
+     with a diagnostic; the driver degrades, so that is a legal outcome *)
+  | Partition.Rec_chains rp
+    when Diag.result (fun () -> Partition.materialize_rec rp ~params:[||])
+         |> Result.is_error ->
+      true
   | Partition.Rec_chains rp ->
       let c = Partition.materialize_rec rp ~params:[||] in
       (* position of each iteration: P1 < chains < P3; within a chain,
          sequence order. *)
       let pos = Hashtbl.create 64 in
-      List.iter (fun p -> Hashtbl.replace pos p.(0) (0, 0)) c.Partition.p1_pts;
+      Core.Points.iter (fun p -> Hashtbl.replace pos p.(0) (0, 0)) c.Partition.p1_pts;
       List.iteri
         (fun ci ch ->
           List.iteri (fun k p -> Hashtbl.replace pos p.(0) (1 + ci, k)) ch)
-        c.Partition.chains.Chain.chains;
-      List.iter (fun p -> Hashtbl.replace pos p.(0) (max_int, 0)) c.Partition.p3_pts;
+        (Chain.to_lists c.Partition.chains);
+      Core.Points.iter (fun p -> Hashtbl.replace pos p.(0) (max_int, 0)) c.Partition.p3_pts;
       (* all dependences respect the phase/chain order *)
       let dep_pairs =
         Enum.points (Iset.bind_params (Rel.to_set rp.Partition.simple.Solve.rd) [||])
@@ -327,6 +333,114 @@ let prop_random_2d_cover =
   QCheck2.Test.make ~name:"REC covers random 2-D coupled loops" ~count:60
     gen_coupled_2d legal_2d
 
+(* Satellite of the flat-storage refactor: the scan-based materializer
+   must produce the same partition as the enumeration-based one (same
+   packed P1/P3 points, same chains up to chain order, same bound). *)
+let scan_vs_enum_prop (alpha, beta, gamma, delta, n) =
+  let src =
+    Printf.sprintf "DO i = 1, %d\n  a(%d*i + %d) = a(%d*i + %d)\nENDDO" n alpha
+      beta gamma delta
+  in
+  let prog = Loopir.Parser.parse ~name:"rand-se" src in
+  match Partition.choose prog with
+  | Partition.Rec_chains rp -> (
+      match
+        ( Diag.result (fun () -> Partition.materialize_rec rp ~params:[||]),
+          Diag.result (fun () -> Partition.materialize_rec_scan rp ~params:[||])
+        )
+      with
+      | Ok a, Ok b ->
+          a.Partition.p1_pts = b.Partition.p1_pts
+          && a.Partition.p3_pts = b.Partition.p3_pts
+          && List.sort compare (Chain.to_lists a.Partition.chains)
+             = List.sort compare (Chain.to_lists b.Partition.chains)
+          && a.Partition.theorem_bound = b.Partition.theorem_bound
+      (* degenerate pairs (cyclic successor maps, intersecting chains)
+         must be rejected by BOTH engines, not silently diverge *)
+      | Error _, Error _ -> true
+      | Ok _, Error _ | Error _, Ok _ -> false
+      | exception Presburger.Omega.Blowup _ -> true)
+  | Partition.Dataflow_const | Partition.Pdm_fallback _ -> true
+
+let prop_scan_vs_enum =
+  QCheck2.Test.make
+    ~name:"Scan ≡ Enum materialization on random 1-D coupled loops" ~count:120
+    gen_coupled_1d scan_vs_enum_prop
+
+(* Regression: a(i) = a(-i + 10) has the involution successor map
+   f(x) = 10 - x, so 3 -> 7 -> 3 is a 2-cycle inside the space.  The
+   scan materializer used to follow it forever; both engines must now
+   terminate and agree (either both build the partition or both reject
+   with a diagnostic). *)
+let test_scan_cycle_terminates () =
+  let src = "DO i = 1, 24\n  a(i) = a(-1*i + 10)\nENDDO" in
+  let prog = Loopir.Parser.parse ~name:"cycle" src in
+  match Partition.choose prog with
+  | Partition.Rec_chains rp ->
+      let a =
+        Diag.result (fun () -> Partition.materialize_rec rp ~params:[||])
+      in
+      let b =
+        Diag.result (fun () -> Partition.materialize_rec_scan rp ~params:[||])
+      in
+      Alcotest.(check bool)
+        "engines agree on acceptance" (Result.is_ok a) (Result.is_ok b)
+  | Partition.Dataflow_const | Partition.Pdm_fallback _ ->
+      (* still fine: the pair never reaches the chain walkers *)
+      ()
+
+(* ------------------------------------------------------------------ *)
+(* Flat storage: packed points and chains                               *)
+
+let ivec_list = Alcotest.list (Alcotest.array Alcotest.int)
+
+let test_points_roundtrip () =
+  let pts = [ [| 1; 2 |]; [| 3; 4 |]; [| 5; 6 |] ] in
+  let p = Core.Points.of_list ~dim:2 pts in
+  Alcotest.(check int) "length" 3 (Core.Points.length p);
+  Alcotest.check ivec_list "roundtrip" pts (Core.Points.to_list p);
+  Alcotest.check (Alcotest.array Alcotest.int) "get" [| 3; 4 |]
+    (Core.Points.get p 1);
+  (* get hands out a fresh copy: mutating it must not reach the buffer *)
+  (Core.Points.get p 1).(0) <- 99;
+  Alcotest.check (Alcotest.array Alcotest.int) "get is a copy" [| 3; 4 |]
+    (Core.Points.get p 1);
+  Alcotest.(check int) "empty" 0 (Core.Points.length (Core.Points.empty ~dim:3))
+
+let test_points_builder_growth () =
+  let b = Core.Points.Builder.create ~dim:2 in
+  for i = 0 to 999 do
+    Core.Points.Builder.add b [| i; -i |]
+  done;
+  let p = Core.Points.Builder.finish b in
+  Alcotest.(check int) "n" 1000 (Core.Points.length p);
+  Alcotest.check (Alcotest.array Alcotest.int) "first" [| 0; 0 |]
+    (Core.Points.get p 0);
+  Alcotest.check (Alcotest.array Alcotest.int) "last" [| 999; -999 |]
+    (Core.Points.get p 999)
+
+let test_chain_roundtrip () =
+  let chains =
+    [
+      [ [| 1; 1 |]; [| 2; 2 |] ];
+      [ [| 5; 3 |] ];
+      [ [| 7; 1 |]; [| 8; 2 |]; [| 9; 3 |] ];
+    ]
+  in
+  let c = Chain.of_lists ~dim:2 chains in
+  Alcotest.(check int) "n_chains" 3 (Chain.n_chains c);
+  Alcotest.(check int) "total" 6 (Chain.total_points c);
+  Alcotest.(check int) "longest" 3 c.Chain.longest;
+  Alcotest.(check int) "length of chain 1" 1 (Chain.chain_length c 1);
+  Alcotest.check (Alcotest.array Alcotest.int) "get" [| 8; 2 |]
+    (Chain.get c 2 1);
+  Alcotest.check
+    (Alcotest.list ivec_list)
+    "roundtrip" chains (Chain.to_lists c);
+  let empty = Chain.of_lists ~dim:2 [] in
+  Alcotest.(check int) "no chains" 0 (Chain.n_chains empty);
+  Alcotest.(check int) "no points" 0 (Chain.total_points empty)
+
 let () =
   Alcotest.run "core"
     [
@@ -373,9 +487,19 @@ let () =
           Alcotest.test_case "integrality filtering" `Quick
             test_recurrence_neighbors_integrality;
         ] );
+      ( "flat-storage",
+        [
+          Alcotest.test_case "points roundtrip" `Quick test_points_roundtrip;
+          Alcotest.test_case "points builder growth" `Quick
+            test_points_builder_growth;
+          Alcotest.test_case "chain roundtrip" `Quick test_chain_roundtrip;
+          Alcotest.test_case "cyclic successor map terminates" `Quick
+            test_scan_cycle_terminates;
+        ] );
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_random_1d_legal;
           QCheck_alcotest.to_alcotest prop_random_2d_cover;
+          QCheck_alcotest.to_alcotest prop_scan_vs_enum;
         ] );
     ]

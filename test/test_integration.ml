@@ -28,8 +28,8 @@ let rec_plan_exn prog =
 let same_concrete (a : Partition.concrete_rec) (b : Partition.concrete_rec) =
   a.Partition.p1_pts = b.Partition.p1_pts
   && a.Partition.p3_pts = b.Partition.p3_pts
-  && List.sort compare a.Partition.chains.Core.Chain.chains
-     = List.sort compare b.Partition.chains.Core.Chain.chains
+  && List.sort compare (Core.Chain.to_lists a.Partition.chains)
+     = List.sort compare (Core.Chain.to_lists b.Partition.chains)
   && a.Partition.theorem_bound = b.Partition.theorem_bound
 
 let test_scan_vs_enum_ex1 () =

@@ -660,8 +660,8 @@ let test_engines_agree () =
   Alcotest.(check bool) "same P1" true
     (a.Core.Partition.p1_pts = b.Core.Partition.p1_pts);
   Alcotest.(check bool) "same chains" true
-    (List.sort compare a.Core.Partition.chains.Core.Chain.chains
-    = List.sort compare b.Core.Partition.chains.Core.Chain.chains)
+    (List.sort compare (Core.Chain.to_lists a.Core.Partition.chains)
+    = List.sort compare (Core.Chain.to_lists b.Core.Partition.chains))
 
 (* ------------------------------------------------------------------ *)
 (* Codegen through the pipeline                                         *)

@@ -299,6 +299,50 @@ let test_iset_params () =
   Alcotest.(check bool) "mem 7" true (Iset.mem b [| 7 |]);
   Alcotest.(check bool) "not mem 8" false (Iset.mem b [| 8 |])
 
+let test_cardinal_matches_points () =
+  (* cardinal counts during the projection recursion without building the
+     point lists; it must agree with the enumeration on overlapping
+     unions, intersections and differences. *)
+  let mk cons = P.make 2 cons in
+  let s1 = Iset.make ~iters:iters2 ~params:no_params [ mk (box 2 1 5) ] in
+  let s2 = Iset.make ~iters:iters2 ~params:no_params [ mk (box 2 3 8) ] in
+  List.iter
+    (fun (label, s) ->
+      Alcotest.(check int) label
+        (List.length (Enum.points s))
+        (Enum.cardinal s))
+    [
+      ("box", s1);
+      ("union", Iset.union s1 s2);
+      ("inter", Iset.inter s1 s2);
+      ("diff", Iset.diff s1 s2);
+      ("empty", Iset.empty ~iters:iters2 ~params:no_params);
+    ]
+
+let prop_cardinal_matches_enum =
+  QCheck2.Test.make ~name:"Enum.cardinal = |Enum.points|" ~count:100
+    QCheck2.Gen.(pair (gen_poly 2) (gen_poly 2))
+    (fun (a, b) ->
+      let s = Iset.make ~iters:iters2 ~params:no_params [ a; b ] in
+      Enum.cardinal s = List.length (Enum.points s))
+
+let test_values_1d_eq_negative_coef () =
+  (* -3i + 12 = 0 has the single solution i = 4 whatever the sign of the
+     leading coefficient; -3i + 7 = 0 has no integer solution. *)
+  let iters = [| "i" |] in
+  let solvable =
+    Iset.make ~iters ~params:no_params
+      [ P.make 1 [ eq 1 [ -3 ] 12; ge 1 [ 1 ] 0 ] ]
+  in
+  Alcotest.(check int) "one solution" 1 (Enum.cardinal solvable);
+  Alcotest.(check bool) "it is 4" true (Enum.points solvable = [ [| 4 |] ]);
+  let unsolvable =
+    Iset.make ~iters ~params:no_params
+      [ P.make 1 [ eq 1 [ -3 ] 7; ge 1 [ 1 ] 0 ] ]
+  in
+  Alcotest.(check int) "no integer solution" 0 (Enum.cardinal unsolvable);
+  Alcotest.(check bool) "empty" true (Enum.points unsolvable = [])
+
 (* The figure-2 relation of the paper: pairs (i,j) with 2i = 21 - j over
    1..20, oriented forward. *)
 let fig2_rel () =
@@ -405,6 +449,11 @@ let () =
         [
           Alcotest.test_case "set algebra" `Quick test_iset_ops;
           Alcotest.test_case "parameters" `Quick test_iset_params;
+          Alcotest.test_case "cardinal = |points|" `Quick
+            test_cardinal_matches_points;
+          QCheck_alcotest.to_alcotest prop_cardinal_matches_enum;
+          Alcotest.test_case "1-D equality, negative coefficient" `Quick
+            test_values_1d_eq_negative_coef;
         ] );
       ( "rel",
         [

@@ -287,6 +287,124 @@ let test_exec_determinism_paper_examples () =
         [ 1; 2; 4; 8 ])
     cases
 
+let test_compiled_matches_interp_examples () =
+  (* Both engines must leave bit-for-bit identical stores (and both equal
+     the sequential oracle) on every paper example, at 1/2/4 domains. *)
+  let cases =
+    [
+      ("example1", Loopir.Builtin.example1, [ ("n1", 10); ("n2", 10) ]);
+      ("fig2", Loopir.Builtin.fig2, []);
+      ("example2", Loopir.Builtin.example2, [ ("n", 12) ]);
+      ( "cholesky",
+        Loopir.Builtin.cholesky,
+        [ ("nmat", 2); ("m", 2); ("n", 5); ("nrhs", 1) ] );
+    ]
+  in
+  List.iter
+    (fun (name, prog, params) ->
+      let sched =
+        match Partition.choose prog with
+        | Partition.Rec_chains rp ->
+            let arr = Array.of_list (List.map snd params) in
+            Sched.of_rec ~stmt:0
+              (Partition.materialize_rec_scan rp ~params:arr)
+        | Partition.Dataflow_const | Partition.Pdm_fallback _ ->
+            Sched.of_fronts (Dataflow.peel_concrete prog ~params)
+      in
+      let env = Interp.prepare prog ~params in
+      let oracle = Interp.run_sequential env in
+      List.iter
+        (fun threads ->
+          let compiled = Exec.run ~engine:`Compiled env ~threads sched in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s compiled t=%d ≡ sequential" name threads)
+            true
+            (Arrays.equal compiled oracle);
+          let interp = Exec.run ~engine:`Interp env ~threads sched in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s compiled t=%d ≡ interp" name threads)
+            true
+            (Arrays.equal compiled interp))
+        [ 1; 2; 4 ])
+    cases
+
+let test_compiled_matches_interp_corpus () =
+  (* Every corpus kernel through a sequential-order schedule: exercises
+     the compiler's general paths (non-affine subscripts, parameters in
+     subscripts, multi-statement bodies, reductions). *)
+  List.iter
+    (fun (name, prog) ->
+      let params =
+        List.map (fun p -> (p, 8)) prog.Loopir.Ast.params
+      in
+      let tr = Trace.build prog ~params in
+      let sched = Sched.sequential_of_trace tr in
+      let env = Interp.prepare prog ~params in
+      let compiled = Exec.run ~engine:`Compiled env ~threads:1 sched in
+      Alcotest.(check bool)
+        (name ^ ": compiled ≡ sequential interp")
+        true
+        (Arrays.equal compiled (Interp.run_sequential env)))
+    Loopir.Builtin.corpus
+
+(* ------------------------------------------------------------------ *)
+(* Workers: the persistent executor pool                                *)
+
+module Workers = Runtime.Workers
+
+let test_workers_results_in_order () =
+  let w = Workers.create ~domains:3 in
+  let r = Workers.run w (Array.init 10 (fun i () -> i * i)) in
+  Workers.shutdown w;
+  Alcotest.(check (array int)) "in order" (Array.init 10 (fun i -> i * i)) r
+
+let test_workers_reuse_no_respawn () =
+  let w = Workers.create ~domains:4 in
+  Alcotest.(check int) "spawned = domains - 1" 3 (Workers.spawned w);
+  for k = 1 to 50 do
+    let r = Workers.run w (Array.init 8 (fun i () -> i + k)) in
+    Alcotest.(check int) "sum" ((8 * k) + 28) (Array.fold_left ( + ) 0 r)
+  done;
+  Alcotest.(check int) "no respawn across 50 runs" 3 (Workers.spawned w);
+  Workers.shutdown w
+
+let test_workers_pool_of_one () =
+  let w = Workers.create ~domains:1 in
+  Alcotest.(check int) "nothing spawned" 0 (Workers.spawned w);
+  let r = Workers.run w (Array.init 5 (fun i () -> 2 * i)) in
+  Alcotest.(check (array int)) "caller drains alone" [| 0; 2; 4; 6; 8 |] r;
+  Workers.shutdown w
+
+let test_workers_oversubscription () =
+  (* far more thunks than domains: everything still runs exactly once *)
+  let w = Workers.create ~domains:2 in
+  let r = Workers.run w (Array.init 100 (fun i () -> i)) in
+  Alcotest.(check int) "all jobs ran" (100 * 99 / 2)
+    (Array.fold_left ( + ) 0 r);
+  Workers.shutdown w
+
+exception Boom
+
+let test_workers_exception_propagates () =
+  let w = Workers.create ~domains:2 in
+  (match Workers.run w [| (fun () -> 1); (fun () -> raise Boom) |] with
+  | _ -> Alcotest.fail "expected Boom to propagate"
+  | exception Boom -> ());
+  (* the pool survives a failed call *)
+  let r = Workers.run w [| (fun () -> 3); (fun () -> 4) |] in
+  Alcotest.(check (array int)) "pool survives" [| 3; 4 |] r;
+  Workers.shutdown w
+
+let test_workers_shutdown_idempotent_and_post_run () =
+  let w = Workers.create ~domains:3 in
+  ignore (Workers.run w (Array.init 4 (fun i () -> i)));
+  Workers.shutdown w;
+  Workers.shutdown w;
+  (* a run after shutdown still completes: the caller drains its own jobs *)
+  let r = Workers.run w (Array.init 4 (fun i () -> i + 1)) in
+  Alcotest.(check (array int)) "post-shutdown run" [| 1; 2; 3; 4 |] r;
+  Alcotest.(check int) "domains unchanged" 3 (Workers.domains w)
+
 let test_exec_degenerate_threads () =
   (* threads ≤ 0 must clamp to sequential execution, not crash or spawn. *)
   let prog = List.assoc "vecadd" Loopir.Builtin.corpus in
@@ -426,10 +544,28 @@ let () =
             test_exec_fronts_parallel;
           Alcotest.test_case "determinism at 1/2/4/8 threads" `Quick
             test_exec_determinism_paper_examples;
+          Alcotest.test_case "compiled ≡ interp (paper examples, 1/2/4)"
+            `Quick test_compiled_matches_interp_examples;
+          Alcotest.test_case "compiled ≡ interp (full corpus)" `Quick
+            test_compiled_matches_interp_corpus;
           Alcotest.test_case "degenerate thread counts" `Quick
             test_exec_degenerate_threads;
           Alcotest.test_case "thread_loads overflow folding" `Quick
             test_thread_loads_overflow;
           Alcotest.test_case "busy arrays" `Quick test_run_timed_busy_arrays;
+        ] );
+      ( "workers",
+        [
+          Alcotest.test_case "results in submission order" `Quick
+            test_workers_results_in_order;
+          Alcotest.test_case "pool reuse spawns once" `Quick
+            test_workers_reuse_no_respawn;
+          Alcotest.test_case "pool of one" `Quick test_workers_pool_of_one;
+          Alcotest.test_case "over-subscription" `Quick
+            test_workers_oversubscription;
+          Alcotest.test_case "exception propagation" `Quick
+            test_workers_exception_propagates;
+          Alcotest.test_case "shutdown idempotent, post-shutdown run" `Quick
+            test_workers_shutdown_idempotent_and_post_run;
         ] );
     ]
