@@ -632,6 +632,106 @@ let metrics_json (m : Obs.Metrics.t) =
              m.Obs.Metrics.histograms) );
     ]
 
+(* E13 — analyze-stage memoization: cold vs memo-warm classification over
+   the builtin corpus, per worker-pool size.  The memo tables are cleared
+   before the cold pass, so "cold" really recomputes every set-algebra
+   result and "warm" answers from the {!Presburger.Hc} tables.  Timings
+   (and the hit counts, which depend on scheduling at t > 1) are plain
+   fields; the gate-checked counters are only emitted for the t = 1 run,
+   where sequential execution makes omega call counts and memo miss counts
+   exactly reproducible. *)
+let analyze_entry () =
+  let corpus =
+    [
+      ("example1", Loopir.Builtin.example1);
+      ("fig2", Loopir.Builtin.fig2);
+      ("example2", Loopir.Builtin.example2);
+      ("example3", Loopir.Builtin.example3);
+    ]
+  in
+  Printf.printf
+    "  analyze-stage memoization (classify over %d nests, cold vs warm):\n"
+    (List.length corpus);
+  Printf.printf "  domains    cold s     warm s  speedup  warm hits/misses\n";
+  let omega_calls (m : Obs.Metrics.t) =
+    List.fold_left
+      (fun acc (name, v) ->
+        match name with
+        | "omega.eliminate_calls" | "omega.project_out_calls"
+        | "omega.is_empty_calls" ->
+            acc + v
+        | _ -> acc)
+      0 m.Obs.Metrics.counters
+  in
+  let runs =
+    List.map
+      (fun domains ->
+        let pool = Runtime.Workers.create ~domains in
+        Runtime.Workers.install_dnf_runner pool;
+        Presburger.Hc.clear_all ();
+        let pass () =
+          let before = Obs.Metrics.snapshot () in
+          let t0 = Obs.Clock.now_ns () in
+          List.iter
+            (fun (name, prog) ->
+              match Pipeline.Driver.classify prog with
+              | Ok _ -> ()
+              | Error e ->
+                  failwith
+                    (Printf.sprintf "analyze bench: %s: %s" name
+                       (Diag.to_string e)))
+            corpus;
+          let dt = Obs.Clock.elapsed_s t0 in
+          (dt, Obs.Metrics.diff ~before ~after:(Obs.Metrics.snapshot ()))
+        in
+        let m0 = Presburger.Hc.totals () in
+        let cold_s, cold_m = pass () in
+        let m1 = Presburger.Hc.totals () in
+        let warm_s, warm_m = pass () in
+        let m2 = Presburger.Hc.totals () in
+        Runtime.Workers.uninstall_dnf_runner ();
+        Runtime.Workers.shutdown pool;
+        let open Presburger.Hc in
+        let cold_hits = m1.hits - m0.hits
+        and cold_misses = m1.misses - m0.misses
+        and warm_hits = m2.hits - m1.hits
+        and warm_misses = m2.misses - m1.misses in
+        Printf.printf "     %d    %8.4f   %8.4f   %5.1fx  %d/%d\n" domains
+          cold_s warm_s (cold_s /. warm_s) warm_hits warm_misses;
+        let gated =
+          if domains <> 1 then []
+          else
+            [
+              ("omega_calls_cold", Pipeline.Json.Int (omega_calls cold_m));
+              ("omega_calls_warm", Pipeline.Json.Int (omega_calls warm_m));
+              ("memo_misses_cold", Pipeline.Json.Int cold_misses);
+              ("memo_misses_warm", Pipeline.Json.Int warm_misses);
+            ]
+        in
+        ( cold_s /. warm_s,
+          Pipeline.Json.Obj
+            [
+              ("threads", Pipeline.Json.Int domains);
+              ("cold_seconds", Pipeline.Json.Float cold_s);
+              ("warm_seconds", Pipeline.Json.Float warm_s);
+              ("warm_speedup", Pipeline.Json.Float (cold_s /. warm_s));
+              ("memo_hits_cold", Pipeline.Json.Int cold_hits);
+              ("memo_hits_warm", Pipeline.Json.Int warm_hits);
+              ( "metrics",
+                Pipeline.Json.Obj [ ("counters", Pipeline.Json.Obj gated) ] );
+            ] ))
+      [ 1; 2; 4 ]
+  in
+  let worst = List.fold_left (fun m (s, _) -> min m s) infinity runs in
+  Printf.printf "  memo-warm analyze speedup (worst over pool sizes): %.1fx%s\n"
+    worst
+    (if worst >= 2.0 then "" else "  (below the 2x target!)");
+  Pipeline.Json.Obj
+    [
+      ("program", Pipeline.Json.Str "analyze-memo");
+      ("runs", Pipeline.Json.List (List.map snd runs));
+    ]
+
 let pipeline_json () =
   section "E10 / pipeline reports: BENCH_pipeline.json";
   let sc = if quick then 1 else 2 in
@@ -736,10 +836,12 @@ let pipeline_json () =
                  ]))
       programs
   in
+  let entries = entries @ [ analyze_entry () ] in
   let doc =
     Pipeline.Json.Obj
       [
-        ("schema_version", Pipeline.Json.Int 1);
+        (* v2 = v1 plus the "analyze-memo" entry. *)
+        ("schema_version", Pipeline.Json.Int 2);
         ("entries", Pipeline.Json.List entries);
       ]
   in

@@ -401,6 +401,7 @@ let explain_cmd =
   let run spec passoc strategy json events_path =
     let prog = load_program spec in
     let log = Obs.Event.make () in
+    let before = Obs.Metrics.snapshot () in
     let outcome =
       Obs.Event.with_ambient log (fun () ->
           let plan = Pipeline.Driver.classify ?strategy prog in
@@ -413,6 +414,15 @@ let explain_cmd =
               ignore (Pipeline.Driver.materialize p ~prog ~params)
           | _ -> ());
           plan)
+    in
+    (* How much set algebra the decision burned, and how much of it was
+       answered from the presburger memo tables. *)
+    let analysis_metrics =
+      Obs.Metrics.diff ~before ~after:(Obs.Metrics.snapshot ())
+      |> Obs.Metrics.filter (fun name ->
+             List.exists
+               (fun p -> String.starts_with ~prefix:p name)
+               [ "presburger."; "omega."; "iset." ])
     in
     (match events_path with
     | Some path ->
@@ -442,7 +452,10 @@ let explain_cmd =
            (Pipeline.Json.Obj
               (("program", Pipeline.Json.Str spec)
                :: plan_json
-              @ [ ("events", events_json log) ])))
+              @ [
+                  ("events", events_json log);
+                  ("metrics", Pipeline.Report.metrics_json analysis_metrics);
+                ])))
     end
     else begin
       (match outcome with
@@ -454,7 +467,13 @@ let explain_cmd =
           Printf.printf "%s: no strategy applies — %s\n" spec
             (Diag.to_string e));
       print_endline "decision log:";
-      print_string (render_events log)
+      print_string (render_events log);
+      if not (Obs.Metrics.is_empty analysis_metrics) then begin
+        print_endline "analysis metrics:";
+        List.iter
+          (fun (name, v) -> Printf.printf "  %-32s %d\n" name v)
+          analysis_metrics.Obs.Metrics.counters
+      end
     end;
     if Result.is_error outcome then exit 1
   in
@@ -590,7 +609,16 @@ let batch_summary responses stats exec_pool =
   Printf.eprintf "exec-pool: domains=%d spawned=%d requests=%d\n"
     (Runtime.Workers.domains exec_pool)
     (Runtime.Workers.spawned exec_pool)
-    n
+    n;
+  (* Request-level cache hits above; this line is the set-algebra layer
+     below it (CI asserts the hit count is non-zero on the batch corpus). *)
+  let t = Presburger.Hc.totals () in
+  Printf.eprintf
+    "presburger-memo: hits=%d misses=%d evictions=%d (%.0f%% hit rate)\n"
+    t.Presburger.Hc.hits t.Presburger.Hc.misses t.Presburger.Hc.evictions
+    (let calls = t.Presburger.Hc.hits + t.Presburger.Hc.misses in
+     if calls = 0 then 0.0
+     else 100.0 *. float_of_int t.Presburger.Hc.hits /. float_of_int calls)
 
 let batch_cmd =
   let file_arg =

@@ -40,4 +40,10 @@ let diff ~before ~after =
   in
   { counters; histograms }
 
+let filter pred t =
+  {
+    counters = List.filter (fun (name, _) -> pred name) t.counters;
+    histograms = List.filter (fun (name, _) -> pred name) t.histograms;
+  }
+
 let is_empty t = t.counters = [] && t.histograms = []

@@ -16,4 +16,8 @@ val diff : before:t -> after:t -> t
     saw no observations are dropped, so a diff only lists the layers the
     run actually exercised. *)
 
+val filter : (string -> bool) -> t -> t
+(** Keeps the counters and histograms whose name satisfies the predicate
+    (e.g. only the [presburger.]/[omega.] analysis metrics). *)
+
 val is_empty : t -> bool

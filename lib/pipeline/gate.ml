@@ -13,7 +13,9 @@ let entries = function
   | Json.List l -> Ok l
   | Json.Obj _ as doc -> (
       match Json.member "schema_version" doc with
-      | Some (Json.Int 1) -> (
+      (* v2 added the analyze (memoization) section; entries are
+         backward-compatible, so both versions read the same way. *)
+      | Some (Json.Int (1 | 2)) -> (
           match Json.member "entries" doc with
           | Some (Json.List l) -> Ok l
           | Some _ -> Error "bench document: \"entries\" is not a list"

@@ -86,4 +86,9 @@ type t = {
 
 val to_text : t -> string
 val to_json : t -> Json.t
+
+val metrics_json : Obs.Metrics.t -> Json.t
+(** The ["metrics"] object embedded in {!to_json}; also used by [recpart
+    explain --json] for its analysis-metrics section. *)
+
 val check_result_string : check_result -> string

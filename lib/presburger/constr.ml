@@ -78,12 +78,23 @@ let holds c xs =
   | Div (m, e) -> S.emod (L.eval e xs) m = 0
 
 let equal a b =
+  a == b
+  ||
   match (a, b) with
   | Eq x, Eq y | Ge x, Ge y -> L.equal x y
   | Div (m, x), Div (n, y) -> m = n && L.equal x y
   | _ -> false
 
 let compare = Stdlib.compare
+
+(* A tag byte keeps the three forms (and Div moduli) from colliding in the
+   content digest. *)
+let feed d c =
+  let module D = Numeric.Digest in
+  match c with
+  | Eq e -> L.feed (D.add_char d 'E') e
+  | Ge e -> L.feed (D.add_char d 'G') e
+  | Div (m, e) -> L.feed (D.add_int (D.add_char d 'D') m) e
 
 let pp names ppf = function
   | Eq e -> Format.fprintf ppf "%a = 0" (L.pp names) e

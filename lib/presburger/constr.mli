@@ -31,5 +31,11 @@ val expr : t -> Linexpr.t
 val uses : t -> int -> bool
 val map_expr : (Linexpr.t -> Linexpr.t) -> t -> t
 val equal : t -> t -> bool
+(** Physical equality is checked first (O(1) on hash-consed values). *)
+
 val compare : t -> t -> int
+
+val feed : Numeric.Digest.t -> t -> Numeric.Digest.t
+(** Feeds the constraint (with a form tag) into a running content digest. *)
+
 val pp : string array -> Format.formatter -> t -> unit

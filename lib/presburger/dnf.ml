@@ -1,8 +1,71 @@
 module C = Constr
 module P = Poly
+module D = Numeric.Digest
+
+(* ---- parallel disjunct elimination ---------------------------------- *)
+
+(* The presburger layer sits below Runtime in the dependency order, so the
+   worker pool is injected: Runtime.Workers installs a runner that executes
+   an array of jobs on its domains ([Svc.Service] shares its exec pool this
+   way).  Without a runner — or below the threshold, or when already inside
+   a parallel disjunct job (the pool forbids nested barriers) — the work
+   runs sequentially on the caller. *)
+let runner : ((unit -> unit) array -> unit) option Atomic.t = Atomic.make None
+let set_runner r = Atomic.set runner r
+let par_threshold = 4
+let in_par_job : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+
+let par_map f xs =
+  match Atomic.get runner with
+  | None -> List.map f xs
+  | Some run ->
+      if !(Domain.DLS.get in_par_job) then List.map f xs
+      else
+        let arr = Array.of_list xs in
+        let n = Array.length arr in
+        if n < par_threshold then List.map f xs
+        else begin
+          let out = Array.make n None in
+          let job i () =
+            (* The flag is per executing domain: a job that re-enters the
+               Dnf layer (e.g. remove_redundant → Omega.is_empty) stays
+               sequential instead of submitting a nested barrier. *)
+            let flag = Domain.DLS.get in_par_job in
+            flag := true;
+            Fun.protect
+              ~finally:(fun () -> flag := false)
+              (fun () -> out.(i) <- Some (f arr.(i)))
+          in
+          run (Array.init n job);
+          Array.to_list
+            (Array.map (function Some v -> v | None -> assert false) out)
+        end
+
+(* ---- memo tables ----------------------------------------------------- *)
+
+(* Operator-level memoization over whole disjunct lists, keyed by the
+   order-sensitive fold of the element digests.  Each operator has its own
+   table, so keys need no operator tag. *)
+let polys_digest ps =
+  List.fold_left
+    (fun d p -> D.add_digest d (P.digest p))
+    (D.add_int D.seed (List.length ps))
+    ps
+
+let pair_digest a b = D.add_digest (polys_digest a) (polys_digest b)
+
+let memo_inter : P.t list Hc.memo = Hc.memo ~name:"dnf.inter" ~capacity:4096 ()
+let memo_diff : P.t list Hc.memo = Hc.memo ~name:"dnf.diff" ~capacity:4096 ()
+
+let memo_simplify : P.t list Hc.memo =
+  Hc.memo ~name:"dnf.simplify" ~capacity:4096 ()
+
+(* ---- operators ------------------------------------------------------- *)
 
 let inter a b =
-  List.concat_map (fun pa -> List.map (fun pb -> P.inter pa pb) b) a
+  Hc.get memo_inter (pair_digest a b) @@ fun () ->
+  List.map P.intern
+    (List.concat_map (fun pa -> List.map (fun pb -> P.inter pa pb) b) a)
 
 (* a \ b as the disjoint refinement: walking b's constraints c1..cm, emit
    a ∧ c1 ∧ … ∧ c_{i-1} ∧ ¬c_i. *)
@@ -20,26 +83,34 @@ let poly_diff a b =
 
 let max_diff_disjuncts = 20_000
 
+(* Emptiness filtering dominates [diff]/[simplify]; the disjuncts are
+   independent, so they go through the worker pool when one is installed. *)
+let filter_nonempty polys =
+  par_map (fun p -> if Omega.is_empty p then None else Some p) polys
+  |> List.filter_map Fun.id
+
 let diff a b =
+  Hc.get memo_diff (pair_digest a b) @@ fun () ->
   (* Pruning empty pieces at every step keeps the worklist from exploding
      exponentially on high-dimensional unions; a hard cap turns the
      remaining pathological cases into a loud {!Omega.Blowup}. *)
-  List.fold_left
-    (fun acc pb ->
-      if List.length acc > max_diff_disjuncts then
-        raise (Omega.Blowup "difference produced too many disjuncts");
-      List.concat_map (fun pa -> poly_diff pa pb) acc
-      |> List.filter_map P.normalize
-      |> List.filter (fun p -> not (Omega.is_empty p)))
-    (List.filter (fun p -> not (Omega.is_empty p)) a)
-    b
+  List.map P.intern
+    (List.fold_left
+       (fun acc pb ->
+         if List.length acc > max_diff_disjuncts then
+           raise (Omega.Blowup "difference produced too many disjuncts");
+         List.concat_map (fun pa -> poly_diff pa pb) acc
+         |> List.filter_map P.normalize
+         |> filter_nonempty)
+       (filter_nonempty a)
+       b)
 
-let is_empty polys = List.for_all Omega.is_empty polys
+let is_empty polys = List.for_all Fun.id (par_map Omega.is_empty polys)
 let subset a b = is_empty (diff a b)
 let equal a b = subset a b && subset b a
 
 let project_out polys ks =
-  List.concat_map (fun p -> Omega.project_out p ks) polys
+  List.concat (par_map (fun p -> Omega.project_out p ks) polys)
 
 (* Constraint c is redundant in p when p minus c still implies c. *)
 let remove_redundant p =
@@ -57,7 +128,7 @@ let remove_redundant p =
             else go (c :: kept) rest
         | C.Eq _ -> go (c :: kept) rest)
   in
-  { p with P.cons = go [] (P.constraints p) }
+  P.with_cons p (go [] (P.constraints p))
 
 let poly_subset_poly a b =
   List.for_all
@@ -66,11 +137,18 @@ let poly_subset_poly a b =
     (P.constraints b)
 
 let simplify ?(aggressive = false) polys =
+  let key = D.add_char (polys_digest polys) (if aggressive then 'a' else 'p') in
+  Hc.get memo_simplify key @@ fun () ->
   let polys =
-    List.filter_map P.normalize polys
-    |> List.filter (fun p -> not (Omega.is_empty p))
-    |> List.map remove_redundant
-    |> List.filter_map P.normalize
+    (* Per-disjunct normalization, emptiness, and redundancy removal are
+       independent — one parallel job per disjunct. *)
+    par_map
+      (fun p ->
+        match P.normalize p with
+        | Some p when not (Omega.is_empty p) -> P.normalize (remove_redundant p)
+        | Some _ | None -> None)
+      polys
+    |> List.filter_map Fun.id
   in
   (* Drop syntactic duplicates cheaply. *)
   let polys =
@@ -80,18 +158,19 @@ let simplify ?(aggressive = false) polys =
       [] polys
     |> List.rev
   in
-  if not aggressive then polys
-  else
-    (* Drop disjuncts subsumed by another (kept) disjunct. *)
-    let rec go kept = function
-      | [] -> List.rev kept
-      | p :: rest ->
-          if
-            List.exists (fun q -> poly_subset_poly p q) rest
-            || List.exists (fun q -> poly_subset_poly p q) kept
-          then go kept rest
-          else go (p :: kept) rest
-    in
-    go [] polys
+  List.map P.intern
+    (if not aggressive then polys
+     else
+       (* Drop disjuncts subsumed by another (kept) disjunct. *)
+       let rec go kept = function
+         | [] -> List.rev kept
+         | p :: rest ->
+             if
+               List.exists (fun q -> poly_subset_poly p q) rest
+               || List.exists (fun q -> poly_subset_poly p q) kept
+             then go kept rest
+             else go (p :: kept) rest
+       in
+       go [] polys)
 
 let mem polys xs = List.exists (fun p -> P.mem p xs) polys

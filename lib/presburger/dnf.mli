@@ -1,6 +1,19 @@
 (** Operations on unions of polyhedra (disjunctive normal form) over a
     common variable space.  {!Iset} and {!Rel} wrap these with variable-name
-    bookkeeping. *)
+    bookkeeping.
+
+    The big operators ({!inter}, {!diff}, {!simplify}) are memoized in
+    digest-keyed {!Hc} tables, and independent per-disjunct elimination work
+    is spread over an injected worker pool (see {!set_runner}). *)
+
+val set_runner : ((unit -> unit) array -> unit) option -> unit
+(** Installs (or removes, with [None]) the parallel job runner used for
+    independent disjunct elimination.  The runner must execute every job in
+    the array before returning (a barrier) and may re-raise a job's
+    exception; [Runtime.Workers.install_dnf_runner] wires a worker pool in.
+    Jobs never submit nested runner calls (re-entry falls back to
+    sequential), but the runner itself must tolerate concurrent calls from
+    several domains. *)
 
 val inter : Poly.t list -> Poly.t list -> Poly.t list
 (** Pairwise conjunction. *)

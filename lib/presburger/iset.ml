@@ -1,5 +1,6 @@
 module L = Linexpr
 module P = Poly
+module D = Numeric.Digest
 
 (* One counter per set operation: the pipeline report diffs these to show
    how much set algebra each strategy burned. *)
@@ -18,7 +19,7 @@ let make ~iters ~params polys =
   List.iter
     (fun p -> if P.dim p <> n then invalid_arg "Iset.make: dimension mismatch")
     polys;
-  { iters; params; polys }
+  { iters; params; polys = List.map P.intern polys }
 
 let universe ~iters ~params =
   make ~iters ~params [ P.universe (Array.length iters + Array.length params) ]
@@ -28,19 +29,41 @@ let names s = Array.append s.iters s.params
 let dim s = Array.length s.iters + Array.length s.params
 let n_iters s = Array.length s.iters
 let polys s = s.polys
-let same_space a b = a.iters = b.iters && a.params = b.params
+
+(* Hash-consed sets share their name arrays across derived values, so the
+   physical checks settle the common case in O(1). *)
+let names_equal a b = a == b || a = b
+
+let same_space a b =
+  a == b || (names_equal a.iters b.iters && names_equal a.params b.params)
 
 let check_space a b =
   if not (same_space a b) then invalid_arg "Iset: space mismatch"
 
 let add_poly s p =
   if P.dim p <> dim s then invalid_arg "Iset.add_poly: dimension mismatch";
-  { s with polys = p :: s.polys }
+  { s with polys = P.intern p :: s.polys }
+
+(* Appending disjunct lists verbatim made repeated unions accumulate
+   duplicate polyhedra; content digests make the dedup one table probe per
+   disjunct, so s ∪ s = s up to order. *)
+let dedup_polys polys =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun p ->
+      let d = P.digest p in
+      if Hashtbl.mem seen d then false
+      else begin
+        Hashtbl.add seen d ();
+        true
+      end)
+    polys
 
 let union a b =
   Obs.Counter.incr c_union;
   check_space a b;
-  { a with polys = a.polys @ b.polys }
+  if a.polys == b.polys then a
+  else { a with polys = dedup_polys (a.polys @ b.polys) }
 
 let inter a b =
   Obs.Counter.incr c_inter;
@@ -59,12 +82,12 @@ let is_empty s =
 let subset a b =
   Obs.Counter.incr c_subset;
   check_space a b;
-  Dnf.subset a.polys b.polys
+  a == b || a.polys == b.polys || Dnf.subset a.polys b.polys
 
 let equal a b =
   Obs.Counter.incr c_equal;
   check_space a b;
-  Dnf.equal a.polys b.polys
+  a == b || a.polys == b.polys || Dnf.equal a.polys b.polys
 
 let simplify ?aggressive s =
   Obs.Counter.incr c_simplify;
@@ -96,6 +119,18 @@ let bind_params s values =
       s.polys
   in
   { iters = s.iters; params = [||]; polys }
+
+let digest s =
+  let feed_names d ns =
+    Array.fold_left
+      (fun d n -> D.add_char (D.add_string d n) '\x00')
+      (D.add_int d (Array.length ns))
+      ns
+  in
+  List.fold_left
+    (fun d p -> D.add_digest d (P.digest p))
+    (feed_names (feed_names D.seed s.iters) s.params)
+    s.polys
 
 let pp ppf s =
   let nm = names s in

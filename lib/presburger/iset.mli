@@ -31,6 +31,10 @@ val subset : t -> t -> bool
 val equal : t -> t -> bool
 val simplify : ?aggressive:bool -> t -> t
 
+val digest : t -> Numeric.Digest.t
+(** Content digest of the space names and (order-sensitive) disjunct
+    digests; used as a memo key by {!Rel} and callers. *)
+
 val mem : t -> int array -> bool
 (** [mem s xs] with [xs] covering iteration variables and parameters. *)
 

@@ -31,7 +31,17 @@ let scale k a =
 
 let add_const a c = { a with const = S.add a.const c }
 let is_const a = Array.for_all (fun c -> c = 0) a.coef
-let equal a b = a.n = b.n && a.const = b.const && a.coef = b.coef
+
+(* Hash-consed callers mostly compare physically-shared expressions; the
+   pointer check makes that O(1) before the structural fallback. *)
+let equal a b =
+  a == b || (a.n = b.n && a.const = b.const && a.coef = b.coef)
+
+let feed d e =
+  let module D = Numeric.Digest in
+  let d = D.add_int d e.n in
+  let d = Array.fold_left D.add_int d e.coef in
+  D.add_int d e.const
 
 let eval e xs =
   if Array.length xs <> e.n then invalid_arg "Linexpr.eval: dimension";

@@ -22,7 +22,14 @@ val neg : t -> t
 val scale : int -> t -> t
 val add_const : t -> int -> t
 val is_const : t -> bool
+
 val equal : t -> t -> bool
+(** Physical equality is checked first; hash-consed callers compare shared
+    expressions in O(1). *)
+
+val feed : Numeric.Digest.t -> t -> Numeric.Digest.t
+(** Feeds the full syntactic content ([n], coefficients, constant) into a
+    running content digest. *)
 
 val eval : t -> int array -> int
 (** [eval e xs] evaluates [e] at the point [xs] (length [n]). *)

@@ -77,7 +77,7 @@ let pivot_eliminate p k f =
       p.P.cons
   in
   let cons = if a > 1 then C.Div (a, rhs) :: cons else cons in
-  drop_dim { p with P.cons = cons } k
+  drop_dim (P.with_cons p cons) k
 
 (* Fourier–Motzkin combination of a lower bound a·x_k ≥ -L (from f_l ≥ 0,
    coeff a > 0) and an upper bound b·x_k ≤ U (from f_u ≥ 0, coeff -b < 0):
@@ -141,7 +141,7 @@ let rec eliminate_b budget p k =
                 if lowers = [] || uppers = [] then
                   (* Unbounded in one direction: the projection drops every
                      constraint involving x_k. *)
-                  [ drop_dim { p with P.cons = List.rev others } k ]
+                  [ drop_dim (P.with_cons p (List.rev others)) k ]
                 else
                   let exact =
                     List.for_all
@@ -156,7 +156,7 @@ let rec eliminate_b budget p k =
                           List.map (fun up -> C.Ge (fm_combine k ~dark lo up)) uppers)
                         lowers
                     in
-                    drop_dim { p with P.cons = combos @ List.rev others } k
+                    drop_dim (P.with_cons p (combos @ List.rev others)) k
                   in
                   if exact then [ shadow ~dark:false ]
                   else
@@ -176,21 +176,40 @@ let rec eliminate_b budget p k =
                     shadow ~dark:true :: splinters)
       end
 
+(* Public entries are memoized on the polyhedron's content digest
+   (Blowup propagates without caching, so a failed computation is retried
+   rather than remembered); result polyhedra are interned for maximal
+   sharing across repeated sub-relations. *)
+let memo_eliminate : P.t list Hc.memo =
+  Hc.memo ~name:"omega.eliminate" ~capacity:16384 ()
+
+let memo_project : P.t list Hc.memo =
+  Hc.memo ~name:"omega.project_out" ~capacity:16384 ()
+
+let memo_is_empty : bool Hc.memo =
+  Hc.memo ~name:"omega.is_empty" ~capacity:65536 ()
+
 let eliminate p k =
   Obs.Counter.incr c_eliminate_calls;
-  with_budget 100_000 (fun budget -> eliminate_b budget p k)
+  Hc.get memo_eliminate (Numeric.Digest.add_int (P.digest p) k) @@ fun () ->
+  List.map P.intern
+    (with_budget 100_000 (fun budget -> eliminate_b budget p k))
 
 let project_out p ks =
   Obs.Counter.incr c_project_calls;
-  with_budget 200_000 @@ fun budget ->
   let ks = List.sort_uniq compare ks in
-  List.fold_left
-    (fun polys k -> List.concat_map (fun p -> eliminate_b budget p k) polys)
-    [ p ]
-    (List.rev ks)
+  let key = List.fold_left Numeric.Digest.add_int (P.digest p) ks in
+  Hc.get memo_project key @@ fun () ->
+  List.map P.intern
+    ( with_budget 200_000 @@ fun budget ->
+      List.fold_left
+        (fun polys k -> List.concat_map (fun p -> eliminate_b budget p k) polys)
+        [ p ]
+        (List.rev ks) )
 
 let is_empty p =
   Obs.Counter.incr c_is_empty_calls;
+  Hc.get memo_is_empty (P.digest p) @@ fun () ->
   with_budget 500_000 @@ fun budget ->
   let rec go p =
     decr budget;

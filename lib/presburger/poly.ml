@@ -1,25 +1,48 @@
 module L = Linexpr
 module C = Constr
+module D = Numeric.Digest
 
-type t = { n : int; cons : C.t list }
+(* [dg] caches the content digest of (n, cons) — order-sensitive, so
+   digest equality means syntactic identity and interning never reorders
+   constraints.  The field is mutable but write-once with an immutable
+   payload: a racy double-compute from two domains stores the same value,
+   and the pointer store is atomic, so lazy initialization is benign. *)
+type t = { n : int; cons : C.t list; mutable dg : D.t option }
 
-let universe n = { n; cons = [] }
+let mk n cons = { n; cons; dg = None }
+let universe n = mk n []
 
 let make n cons =
   List.iter
     (fun c -> if C.dim c <> n then invalid_arg "Poly.make: dimension mismatch")
     cons;
-  { n; cons }
+  mk n cons
+
+let with_cons p cons = mk p.n cons
+
+let digest p =
+  match p.dg with
+  | Some d -> d
+  | None ->
+      let d = List.fold_left C.feed (D.add_int D.seed p.n) p.cons in
+      p.dg <- Some d;
+      d
+
+(* Hash-consing: one canonical representative per digest, process-wide.
+   Eviction only loses sharing; a re-interned equal value becomes the new
+   representative. *)
+let intern_tbl : t Hc.memo = Hc.memo ~name:"intern" ~capacity:16384 ()
+let intern p = Hc.get intern_tbl (digest p) (fun () -> p)
 
 let add_constr p c =
   if C.dim c <> p.n then invalid_arg "Poly.add_constr: dimension mismatch";
-  { p with cons = c :: p.cons }
+  mk p.n (c :: p.cons)
 
 let add_constrs p cs = List.fold_left add_constr p cs
 
 let inter a b =
   if a.n <> b.n then invalid_arg "Poly.inter: dimension mismatch";
-  { n = a.n; cons = a.cons @ b.cons }
+  mk a.n (a.cons @ b.cons)
 
 exception Empty
 
@@ -51,26 +74,33 @@ let normalize p =
           | (C.Eq _ | C.Div _) as c -> [ c ])
         kept
     in
-    Some { p with cons = kept }
+    Some (mk p.n kept)
   with Empty -> None
 
 let mem p xs = List.for_all (fun c -> C.holds c xs) p.cons
 let dim p = p.n
 let constraints p = p.cons
 let uses_var p k = List.exists (fun c -> C.uses c k) p.cons
-let map_exprs f p = { p with cons = List.map (C.map_expr f) p.cons }
+let map_exprs f p = mk p.n (List.map (C.map_expr f) p.cons)
 let assign p k v = map_exprs (fun e -> L.assign e k v) p
 let drop_dim p k =
-  { n = p.n - 1; cons = List.map (C.map_expr (fun e -> L.drop_var e k)) p.cons }
+  mk (p.n - 1) (List.map (C.map_expr (fun e -> L.drop_var e k)) p.cons)
 
-let extend p n' = { n = n'; cons = List.map (C.map_expr (fun e -> L.extend e n')) p.cons }
+let extend p n' = mk n' (List.map (C.map_expr (fun e -> L.extend e n')) p.cons)
 
 let remap p n' perm =
-  { n = n'; cons = List.map (C.map_expr (fun e -> L.remap e n' perm)) p.cons }
+  mk n' (List.map (C.map_expr (fun e -> L.remap e n' perm)) p.cons)
 
 let equal_syntactic a b =
-  a.n = b.n
-  && List.sort C.compare a.cons = List.sort C.compare b.cons
+  a == b
+  || (a.n = b.n
+     &&
+     (* Shared digests decide in O(1) when both are already cached;
+        otherwise fall back to the order-insensitive comparison. *)
+     match (a.dg, b.dg) with
+     | Some da, Some db when D.equal da db -> true
+     | _ ->
+         List.sort C.compare a.cons = List.sort C.compare b.cons)
 
 let pp names ppf p =
   if p.cons = [] then Format.pp_print_string ppf "true"

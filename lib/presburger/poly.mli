@@ -2,12 +2,24 @@
     variables, possibly with divisibility (stride) constraints.
 
     A value of type [t] is just a conjunction; emptiness over the integers is
-    decided exactly by {!Omega.is_empty}. *)
+    decided exactly by {!Omega.is_empty}.  Every polyhedron carries a
+    lazily-computed 128-bit content digest ({!digest}) used by the
+    hash-cons/memo tables in {!Hc}; the record is private so construction
+    sites cannot copy a stale digest. *)
 
-type t = { n : int; cons : Constr.t list }
+type t = private {
+  n : int;
+  cons : Constr.t list;
+  mutable dg : Numeric.Digest.t option;
+}
 
 val universe : int -> t
 val make : int -> Constr.t list -> t
+
+val with_cons : t -> Constr.t list -> t
+(** [with_cons p cons] is a polyhedron of the same dimension with a new
+    constraint list (the digest cache is reset). *)
+
 val add_constr : t -> Constr.t -> t
 val add_constrs : t -> Constr.t list -> t
 val inter : t -> t -> t
@@ -35,5 +47,18 @@ val drop_dim : t -> int -> t
 val extend : t -> int -> t
 val remap : t -> int -> int array -> t
 val map_exprs : (Linexpr.t -> Linexpr.t) -> t -> t
+
+val digest : t -> Numeric.Digest.t
+(** Content digest of [(n, cons)] in constraint order; computed once and
+    cached on the value. *)
+
+val intern : t -> t
+(** [intern p] returns the canonical representative for [p]'s digest from
+    the process-wide hash-cons table (registering [p] if absent), so
+    structurally identical polyhedra become physically shared. *)
+
 val equal_syntactic : t -> t -> bool
+(** Order-insensitive constraint-multiset equality, with O(1) physical and
+    cached-digest fast paths. *)
+
 val pp : string array -> Format.formatter -> t -> unit

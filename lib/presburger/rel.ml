@@ -1,4 +1,5 @@
 module P = Poly
+module D = Numeric.Digest
 
 type t = {
   inn : string array;
@@ -15,20 +16,55 @@ let make ~inn ~out ~params polys =
   List.iter
     (fun p -> if P.dim p <> n then invalid_arg "Rel.make: dimension mismatch")
     polys;
-  { inn; out; params; polys }
+  { inn; out; params; polys = List.map P.intern polys }
 
 let empty ~inn ~out ~params = make ~inn ~out ~params []
 let dim r = dim_of r.inn r.out r.params
 let names r = Array.concat [ r.inn; r.out; r.params ]
 let polys r = r.polys
 
+(* Name arrays are usually shared physically between derived relations, so
+   the [==] checks settle the common case before the structural compare. *)
+let names_equal a b = a == b || a = b
+
 let check_space a b =
-  if not (a.inn = b.inn && a.out = b.out && a.params = b.params) then
-    invalid_arg "Rel: space mismatch"
+  if
+    not
+      (a == b
+      || (names_equal a.inn b.inn && names_equal a.out b.out
+         && names_equal a.params b.params))
+  then invalid_arg "Rel: space mismatch"
+
+let feed_names d ns =
+  Array.fold_left
+    (fun d n -> D.add_char (D.add_string d n) '\x00')
+    (D.add_int d (Array.length ns))
+    ns
+
+let digest r =
+  List.fold_left
+    (fun d p -> D.add_digest d (P.digest p))
+    (feed_names (feed_names (feed_names D.seed r.inn) r.out) r.params)
+    r.polys
+
+(* Same duplicate-disjunct fix as {!Iset.union}: digests make the dedup one
+   table probe per disjunct. *)
+let dedup_polys polys =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun p ->
+      let d = P.digest p in
+      if Hashtbl.mem seen d then false
+      else begin
+        Hashtbl.add seen d ();
+        true
+      end)
+    polys
 
 let union a b =
   check_space a b;
-  { a with polys = a.polys @ b.polys }
+  if a.polys == b.polys then a
+  else { a with polys = dedup_polys (a.polys @ b.polys) }
 
 let inter a b =
   check_space a b;
@@ -42,7 +78,7 @@ let is_empty r = Dnf.is_empty r.polys
 
 let equal a b =
   check_space a b;
-  Dnf.equal a.polys b.polys
+  a == b || a.polys == b.polys || Dnf.equal a.polys b.polys
 
 let simplify ?aggressive r = { r with polys = Dnf.simplify ?aggressive r.polys }
 
@@ -62,15 +98,32 @@ let inverse r =
     polys = List.map (fun p -> P.remap p n perm) r.polys;
   }
 
+(* Relation-level memo tables hold the result's disjunct list (already
+   interned by the Dnf layer); the cheap name bookkeeping is redone per
+   call.  Keys are the relation content digest, which covers the name
+   arrays, so two same-shaped relations with different labels do not
+   collide. *)
+let memo_dom : P.t list Hc.memo = Hc.memo ~name:"rel.dom" ~capacity:4096 ()
+let memo_ran : P.t list Hc.memo = Hc.memo ~name:"rel.ran" ~capacity:4096 ()
+
+let memo_compose : P.t list Hc.memo =
+  Hc.memo ~name:"rel.compose" ~capacity:4096 ()
+
 let dom r =
   let ni = Array.length r.inn and no = Array.length r.out in
   let outs = List.init no (fun k -> ni + k) in
-  Iset.make ~iters:r.inn ~params:r.params (Dnf.project_out r.polys outs)
+  let polys =
+    Hc.get memo_dom (digest r) (fun () -> Dnf.project_out r.polys outs)
+  in
+  Iset.make ~iters:r.inn ~params:r.params polys
 
 let ran r =
   let ni = Array.length r.inn in
   let ins = List.init ni (fun k -> k) in
-  Iset.make ~iters:r.out ~params:r.params (Dnf.project_out r.polys ins)
+  let polys =
+    Hc.get memo_ran (digest r) (fun () -> Dnf.project_out r.polys ins)
+  in
+  Iset.make ~iters:r.out ~params:r.params polys
 
 let to_set r =
   Iset.make ~iters:(Array.append r.inn r.out) ~params:r.params r.polys
@@ -115,16 +168,15 @@ let compose r s =
   let perm_s =
     Array.init (nb + nc + np) (fun k -> na + k)
   in
-  let pr = List.map (fun p -> P.remap p n perm_r) r.polys in
-  let ps = List.map (fun p -> P.remap p n perm_s) s.polys in
-  let joined = Dnf.inter pr ps in
-  let mids = List.init nb (fun k -> na + k) in
-  {
-    inn = r.inn;
-    out = s.out;
-    params = r.params;
-    polys = Dnf.project_out joined mids;
-  }
+  let polys =
+    Hc.get memo_compose (D.add_digest (digest r) (digest s)) @@ fun () ->
+    let pr = List.map (fun p -> P.remap p n perm_r) r.polys in
+    let ps = List.map (fun p -> P.remap p n perm_s) s.polys in
+    let joined = Dnf.inter pr ps in
+    let mids = List.init nb (fun k -> na + k) in
+    Dnf.project_out joined mids
+  in
+  { inn = r.inn; out = s.out; params = r.params; polys }
 
 let lex_forward r =
   let ni = Array.length r.inn in

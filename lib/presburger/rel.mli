@@ -26,6 +26,11 @@ val inter : t -> t -> t
 val diff : t -> t -> t
 val is_empty : t -> bool
 val equal : t -> t -> bool
+
+val digest : t -> Numeric.Digest.t
+(** Content digest of the three name tuples and the (order-sensitive)
+    disjunct digests; memo key for {!dom}/{!ran}/{!compose}. *)
+
 val simplify : ?aggressive:bool -> t -> t
 
 val inverse : t -> t

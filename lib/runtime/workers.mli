@@ -36,5 +36,13 @@ val run : t -> (unit -> 'a) array -> 'a array
     order.  Safe to call concurrently from multiple domains; also safe
     after {!shutdown} (the caller then drains its own jobs itself). *)
 
+val install_dnf_runner : t -> unit
+(** Registers this pool as [Presburger.Dnf]'s parallel job runner, so
+    independent DNF-disjunct elimination shares the executor domains.
+    Process-global: the last installed pool wins. *)
+
+val uninstall_dnf_runner : unit -> unit
+(** Clears the Dnf runner (set algebra falls back to sequential). *)
+
 val shutdown : t -> unit
 (** Signals the helpers to drain the queue and joins them; idempotent. *)

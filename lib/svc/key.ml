@@ -49,15 +49,6 @@ let canonical prog =
 
 let canonical_string prog = Loopir.Pretty.program_to_string (canonical prog)
 
-(* 64-bit FNV-1a; two passes with distinct offset bases give a 128-bit
-   digest without any external dependency. *)
-let fnv1a ~seed s =
-  let prime = 0x100000001b3L in
-  String.fold_left
-    (fun h c ->
-      Int64.mul (Int64.logxor h (Int64.of_int (Char.code c))) prime)
-    seed s
-
 let of_request ?strategy ?(extra = []) ~params prog =
   let c = canonical prog in
   let buf = Buffer.create 256 in
@@ -78,7 +69,6 @@ let of_request ?strategy ?(extra = []) ~params prog =
       Buffer.add_char buf '+';
       Buffer.add_string buf e)
     extra;
-  let s = Buffer.contents buf in
-  Printf.sprintf "%016Lx%016Lx"
-    (fnv1a ~seed:0xcbf29ce484222325L s)
-    (fnv1a ~seed:0x84222325cbf29ce4L s)
+  (* 128-bit FNV-1a over the canonical request text; the digest discipline
+     lives in Numeric.Digest, shared with the presburger hash-cons layer. *)
+  Numeric.Digest.(to_hex (of_string (Buffer.contents buf)))

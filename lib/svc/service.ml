@@ -47,21 +47,28 @@ type t = {
 }
 
 let create ?(config = default_config) () =
-  {
-    config;
-    cache =
-      Cache.create ~shards:config.cache_shards
-        ~capacity:config.cache_capacity ~name:"results" ();
-    pool =
-      Pool.create ~queue_capacity:config.queue_capacity
-        ~events:config.events ~domains:config.domains ();
-    exec = Runtime.Workers.create ~domains:(max 1 config.threads);
-  }
+  let t =
+    {
+      config;
+      cache =
+        Cache.create ~shards:config.cache_shards
+          ~capacity:config.cache_capacity ~name:"results" ();
+      pool =
+        Pool.create ~queue_capacity:config.queue_capacity
+          ~events:config.events ~domains:config.domains ();
+      exec = Runtime.Workers.create ~domains:(max 1 config.threads);
+    }
+  in
+  (* The exec pool doubles as the presburger layer's DNF-disjunct runner,
+     so analysis-side set algebra parallelizes over the same domains. *)
+  Runtime.Workers.install_dnf_runner t.exec;
+  t
 
 let cache_stats t = Cache.stats t.cache
 let exec_pool t = t.exec
 
 let shutdown t =
+  Runtime.Workers.uninstall_dnf_runner ();
   Pool.shutdown t.pool;
   Runtime.Workers.shutdown t.exec
 

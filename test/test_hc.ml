@@ -1,0 +1,396 @@
+(* Tests for the hash-consing/memoization substrate: Numeric.Digest, the
+   Presburger.Hc tables, the Iset/Rel union dedup, and — via QCheck —
+   extensional agreement between every memoized operator and its
+   unmemoized reference computation. *)
+
+module D = Numeric.Digest
+module Hc = Presburger.Hc
+module L = Presburger.Linexpr
+module C = Presburger.Constr
+module P = Presburger.Poly
+module Iset = Presburger.Iset
+module Rel = Presburger.Rel
+module Service = Svc.Service
+module Proto = Svc.Proto
+
+let ge _n coef const = C.Ge (L.make (Array.of_list coef) const)
+let eq _n coef const = C.Eq (L.make (Array.of_list coef) const)
+
+let box n lo hi =
+  List.concat
+    (List.init n (fun k ->
+         [
+           C.Ge (L.add_const (L.var n k) (-lo));
+           C.Ge (L.add_const (L.neg (L.var n k)) hi);
+         ]))
+
+let rec box_points n lo hi =
+  if n = 0 then [ [] ]
+  else
+    let rest = box_points (n - 1) lo hi in
+    List.concat_map
+      (fun v -> List.map (fun tl -> v :: tl) rest)
+      (List.init (hi - lo + 1) (fun i -> lo + i))
+
+let with_memo_disabled f =
+  Hc.set_enabled false;
+  Fun.protect ~finally:(fun () -> Hc.set_enabled true) f
+
+(* ------------------------------------------------------------------ *)
+(* Digest                                                               *)
+
+let test_digest_basics () =
+  (* The seed is the FNV-1a 64-bit offset basis on lane a and its
+     byte-rotated form on lane b — pinned, since Svc.Key's cache keys and
+     every memo table key derive from it. *)
+  Alcotest.(check string)
+    "seed pins the two FNV lanes" "cbf29ce48422232584222325cbf29ce4"
+    (D.to_hex D.seed);
+  let h = D.to_hex (D.of_string "recurrence") in
+  Alcotest.(check int) "hex width" 32 (String.length h);
+  Alcotest.(check string) "deterministic" h (D.to_hex (D.of_string "recurrence"));
+  Alcotest.(check bool)
+    "distinct inputs" false
+    (D.equal (D.of_string "a") (D.of_string "b"));
+  Alcotest.(check bool)
+    "int feeding is order-sensitive" false
+    (D.equal
+       (D.add_int (D.add_int D.seed 1) 2)
+       (D.add_int (D.add_int D.seed 2) 1));
+  Alcotest.(check bool)
+    "add_digest is not string append" false
+    (D.equal (D.add_digest D.seed (D.of_string "x")) (D.of_string "x"));
+  Alcotest.(check int)
+    "compare consistent with equal" 0
+    (D.compare (D.of_string "chain") (D.of_string "chain"))
+
+let test_poly_digest_syntactic () =
+  let p1 = P.make 2 [ ge 2 [ 1; 2 ] 3; eq 2 [ 1; -1 ] 0 ] in
+  let p2 = P.make 2 [ ge 2 [ 1; 2 ] 3; eq 2 [ 1; -1 ] 0 ] in
+  let p3 = P.make 2 [ eq 2 [ 1; -1 ] 0; ge 2 [ 1; 2 ] 3 ] in
+  Alcotest.(check bool)
+    "same syntax, same digest" true
+    (D.equal (P.digest p1) (P.digest p2));
+  (* Digests are order-sensitive so interning never reorders constraint
+     lists; multiset equality is the job of equal_syntactic. *)
+  Alcotest.(check bool)
+    "reordered constraints, different digest" false
+    (D.equal (P.digest p1) (P.digest p3));
+  Alcotest.(check bool) "equal_syntactic ignores order" true
+    (P.equal_syntactic p1 p3)
+
+let test_intern_sharing () =
+  let mk () = P.make 2 [ ge 2 [ 1; 2 ] 3; eq 2 [ 1; -1 ] 0 ] in
+  let a = P.intern (mk ()) in
+  let b = P.intern (mk ()) in
+  Alcotest.(check bool) "physically shared" true (a == b)
+
+(* ------------------------------------------------------------------ *)
+(* Hc tables                                                            *)
+
+let key i = D.add_int D.seed i
+
+let test_memo_lru () =
+  let t : int Hc.memo = Hc.memo ~shards:1 ~name:"test.lru" ~capacity:4 () in
+  for i = 0 to 3 do
+    Hc.add t (key i) i
+  done;
+  Alcotest.(check int) "filled to capacity" 4 (Hc.length t);
+  (* Touch key 0 so key 1 becomes the eviction victim. *)
+  Alcotest.(check bool) "find hits" true (Hc.find t (key 0) = Some 0);
+  Hc.add t (key 4) 4;
+  Alcotest.(check int) "capacity bound holds" 4 (Hc.length t);
+  Alcotest.(check bool)
+    "recently-used key survives" true
+    (Hc.find t (key 0) <> None);
+  Alcotest.(check bool) "LRU key evicted" true (Hc.find t (key 1) = None)
+
+let test_memo_get () =
+  let t : int Hc.memo = Hc.memo ~shards:1 ~name:"test.get" ~capacity:8 () in
+  let calls = ref 0 in
+  let f () =
+    incr calls;
+    42
+  in
+  Alcotest.(check int) "computed on miss" 42 (Hc.get t (key 10) f);
+  Alcotest.(check int) "served on hit" 42 (Hc.get t (key 10) f);
+  Alcotest.(check int) "computed exactly once" 1 !calls;
+  (* Exceptions propagate and cache nothing. *)
+  (match Hc.get t (key 11) (fun () -> failwith "boom") with
+  | _ -> Alcotest.fail "expected the compute exception"
+  | exception Failure _ -> ());
+  Alcotest.(check int)
+    "failed compute was not cached" 7
+    (Hc.get t (key 11) (fun () -> 7));
+  Hc.clear_all ();
+  Alcotest.(check int) "clear_all empties the table" 0 (Hc.length t)
+
+let test_memo_disabled () =
+  let t : int Hc.memo = Hc.memo ~shards:1 ~name:"test.off" ~capacity:8 () in
+  with_memo_disabled (fun () ->
+      Alcotest.(check bool) "reports disabled" false (Hc.enabled ());
+      let calls = ref 0 in
+      let f () =
+        incr calls;
+        1
+      in
+      ignore (Hc.get t (key 1) f);
+      ignore (Hc.get t (key 1) f);
+      Alcotest.(check int) "no caching when disabled" 2 !calls;
+      Alcotest.(check int) "table untouched" 0 (Hc.length t));
+  Alcotest.(check bool) "re-enabled" true (Hc.enabled ())
+
+(* ------------------------------------------------------------------ *)
+(* Iset/Rel union dedup (regression: union used to append verbatim)     *)
+
+let test_union_dedup () =
+  let iters = [| "i"; "j" |] and params = [||] in
+  let p1 = P.make 2 (box 2 0 10) in
+  let p2 = P.make 2 (eq 2 [ 1; -1 ] 0 :: box 2 0 10) in
+  let s0 = Iset.make ~iters ~params [ p1; p2 ] in
+  let s = ref s0 in
+  for _ = 1 to 10 do
+    s := Iset.union !s !s
+  done;
+  Alcotest.(check int)
+    "iterated self-union keeps the disjunct list bounded" 2
+    (List.length (Iset.polys !s));
+  Alcotest.(check bool) "and is still the same set" true (Iset.equal !s s0);
+  let a = Iset.make ~iters ~params [ p1 ] in
+  let b = Iset.make ~iters ~params [ p2 ] in
+  Alcotest.(check int)
+    "distinct disjuncts are both kept" 2
+    (List.length (Iset.polys (Iset.union a b)))
+
+let test_rel_union_dedup () =
+  let inn = [| "i" |] and out = [| "j" |] and params = [||] in
+  let p = P.make 2 (eq 2 [ 1; -1 ] 1 :: box 2 0 10) in
+  let r = Rel.make ~inn ~out ~params [ p; p ] in
+  Alcotest.(check int)
+    "self-union dedups" 2
+    (List.length (Rel.polys (Rel.union r r)))
+
+(* ------------------------------------------------------------------ *)
+(* Memoized operators ≡ unmemoized reference (extensional)              *)
+
+let gen_constr n =
+  QCheck2.Gen.(
+    let* kind = int_range 0 2 in
+    let* coef = array_size (pure n) (int_range (-3) 3) in
+    let* const = int_range (-8) 8 in
+    match kind with
+    | 0 -> pure (C.Ge (L.make coef const))
+    | 1 -> pure (C.Eq (L.make coef const))
+    | _ ->
+        let* m = int_range 2 4 in
+        pure (C.Div (m, L.make coef const)))
+
+let gen_poly n =
+  QCheck2.Gen.(
+    let* k = int_range 0 3 in
+    let* cs = list_size (pure k) (gen_constr n) in
+    pure (P.make n (cs @ box n (-10) 10)))
+
+let iters2 = [| "i"; "j" |]
+
+let gen_iset =
+  QCheck2.Gen.(
+    let* k = int_range 1 3 in
+    let* ps = list_size (pure k) (gen_poly 2) in
+    pure (Iset.make ~iters:iters2 ~params:[||] ps))
+
+let gen_rel =
+  QCheck2.Gen.(
+    let* k = int_range 1 2 in
+    let* ps = list_size (pure k) (gen_poly 2) in
+    pure (Rel.make ~inn:[| "i" |] ~out:[| "j" |] ~params:[||] ps))
+
+let pts2 = box_points 2 (-12) 12
+let pts1 = box_points 1 (-12) 12
+
+let iset_ext_equal a b =
+  List.for_all
+    (fun l ->
+      let xs = Array.of_list l in
+      Iset.mem a xs = Iset.mem b xs)
+    pts2
+
+let iset1_ext_equal a b =
+  List.for_all
+    (fun l ->
+      let xs = Array.of_list l in
+      Iset.mem a xs = Iset.mem b xs)
+    pts1
+
+let rel_ext_equal a b =
+  List.for_all
+    (fun l ->
+      let xs = Array.of_list l in
+      Rel.mem a ~params:[||] [| xs.(0) |] [| xs.(1) |]
+      = Rel.mem b ~params:[||] [| xs.(0) |] [| xs.(1) |])
+    pts2
+
+(* Each property computes the operator twice — once through the (warm,
+   process-global) memo tables and once with memoization disabled — and
+   demands extensional agreement on every box point. *)
+let prop_inter_matches_reference =
+  QCheck2.Test.make ~name:"memoized inter = reference" ~count:60
+    QCheck2.Gen.(pair gen_iset gen_iset)
+    (fun (a, b) ->
+      iset_ext_equal (Iset.inter a b)
+        (with_memo_disabled (fun () -> Iset.inter a b)))
+
+let prop_diff_matches_reference =
+  QCheck2.Test.make ~name:"memoized diff = reference" ~count:40
+    QCheck2.Gen.(pair gen_iset gen_iset)
+    (fun (a, b) ->
+      iset_ext_equal (Iset.diff a b)
+        (with_memo_disabled (fun () -> Iset.diff a b)))
+
+let prop_simplify_matches_reference =
+  QCheck2.Test.make ~name:"memoized simplify = reference" ~count:60 gen_iset
+    (fun s ->
+      iset_ext_equal
+        (Iset.simplify ~aggressive:true s)
+        (with_memo_disabled (fun () -> Iset.simplify ~aggressive:true s)))
+
+let prop_decisions_match_reference =
+  QCheck2.Test.make ~name:"memoized is_empty/subset/equal = reference"
+    ~count:60
+    QCheck2.Gen.(pair gen_iset gen_iset)
+    (fun (a, b) ->
+      let memoized = (Iset.is_empty a, Iset.subset a b, Iset.equal a b) in
+      memoized
+      = with_memo_disabled (fun () ->
+            (Iset.is_empty a, Iset.subset a b, Iset.equal a b)))
+
+let prop_dom_ran_match_reference =
+  QCheck2.Test.make ~name:"memoized dom/ran = reference" ~count:40 gen_rel
+    (fun r ->
+      let rd, rr = with_memo_disabled (fun () -> (Rel.dom r, Rel.ran r)) in
+      iset1_ext_equal (Rel.dom r) rd && iset1_ext_equal (Rel.ran r) rr)
+
+let prop_compose_matches_reference =
+  QCheck2.Test.make ~name:"memoized compose = reference" ~count:25
+    QCheck2.Gen.(pair gen_rel gen_rel)
+    (fun (r, s) ->
+      rel_ext_equal (Rel.compose r s)
+        (with_memo_disabled (fun () -> Rel.compose r s)))
+
+let test_mixed_space_rejected () =
+  let a = Iset.universe ~iters:[| "i" |] ~params:[||] in
+  let b = Iset.universe ~iters:[| "k" |] ~params:[||] in
+  let raises f =
+    match f () with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  List.iter
+    (fun (what, f) ->
+      Alcotest.(check bool) (what ^ " rejects, memo path") true (raises f);
+      Alcotest.(check bool)
+        (what ^ " rejects, reference path")
+        true
+        (with_memo_disabled (fun () -> raises f)))
+    [
+      ("union", fun () -> ignore (Iset.union a b));
+      ("inter", fun () -> ignore (Iset.inter a b));
+      ("diff", fun () -> ignore (Iset.diff a b));
+      ("subset", fun () -> ignore (Iset.subset a b));
+      ("equal", fun () -> ignore (Iset.equal a b));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Memo consistency under a concurrent 4-domain analysis pool           *)
+
+let test_four_domain_stress () =
+  (* Distinct parameter bindings defeat the request-level result cache, so
+     every request re-runs the analysis and the presburger memo tables are
+     hammered from four domains at once. *)
+  let requests =
+    List.concat
+      (List.init 3 (fun round ->
+           List.map
+             (fun (name, prog) ->
+               Proto.request
+                 ~id:(Printf.sprintf "%s#%d" name round)
+                 ~name
+                 ~params:
+                   (List.map (fun p -> (p, 6 + round)) prog.Loopir.Ast.params)
+                 ~mode:Proto.Classify (Proto.Prog prog))
+             Loopir.Builtin.corpus))
+  in
+  let config domains =
+    { Service.default_config with domains; threads = 1; check = false;
+      measure = false }
+  in
+  let before = Hc.totals () in
+  let pooled = Service.create ~config:(config 4) () in
+  let via_pool = Service.batch pooled requests in
+  Service.shutdown pooled;
+  let after = Hc.totals () in
+  let direct = Service.create ~config:(config 1) () in
+  let via_seq = List.map (Service.run_one direct) requests in
+  Service.shutdown direct;
+  let essence (r : Proto.response) =
+    ( r.Proto.id,
+      match r.Proto.body with
+      | Proto.Done { strategy; survey; _ } ->
+          Ok (strategy, Option.map (fun s -> s.Proto.cls) survey)
+      | Proto.Failed f -> Error (Proto.failure_kind f) )
+  in
+  Alcotest.(check int)
+    "one response per request"
+    (List.length requests)
+    (List.length via_pool);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "4-domain answer matches sequential for %s"
+           (fst (essence a)))
+        true
+        (essence a = essence b))
+    via_pool via_seq;
+  Alcotest.(check bool)
+    "memo tables were exercised concurrently" true
+    (after.Hc.hits + after.Hc.misses > before.Hc.hits + before.Hc.misses)
+
+let () =
+  Alcotest.run "hc"
+    [
+      ( "digest",
+        [
+          Alcotest.test_case "lanes and hex format" `Quick test_digest_basics;
+          Alcotest.test_case "poly digests are syntactic" `Quick
+            test_poly_digest_syntactic;
+          Alcotest.test_case "interning shares structure" `Quick
+            test_intern_sharing;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "lru eviction order" `Quick test_memo_lru;
+          Alcotest.test_case "get computes once" `Quick test_memo_get;
+          Alcotest.test_case "disabled bypass" `Quick test_memo_disabled;
+        ] );
+      ( "dedup",
+        [
+          Alcotest.test_case "iset self-union bounded" `Quick test_union_dedup;
+          Alcotest.test_case "rel union dedups" `Quick test_rel_union_dedup;
+        ] );
+      ( "reference",
+        [
+          QCheck_alcotest.to_alcotest prop_inter_matches_reference;
+          QCheck_alcotest.to_alcotest prop_diff_matches_reference;
+          QCheck_alcotest.to_alcotest prop_simplify_matches_reference;
+          QCheck_alcotest.to_alcotest prop_decisions_match_reference;
+          QCheck_alcotest.to_alcotest prop_dom_ran_match_reference;
+          QCheck_alcotest.to_alcotest prop_compose_matches_reference;
+          Alcotest.test_case "mixed spaces rejected on both paths" `Quick
+            test_mixed_space_rejected;
+        ] );
+      ( "stress",
+        [
+          Alcotest.test_case "4-domain memo consistency" `Quick
+            test_four_domain_stress;
+        ] );
+    ]

@@ -262,8 +262,21 @@ let test_run_with_recording_sink () =
           Alcotest.(check int) "partition point counters cover the space" 144
             (count "partition.p1_points" + count "partition.p2_points"
            + count "partition.p3_points");
+          (* Earlier runs in this process may have warmed the presburger
+             memo tables, in which case the set algebra resolves via memo
+             hits without reaching Omega. *)
+          let memo_hits =
+            List.fold_left
+              (fun acc (name, v) ->
+                if
+                  String.starts_with ~prefix:"presburger.memo." name
+                  && String.ends_with ~suffix:".hits" name
+                then acc + v
+                else acc)
+              0 m.Obs.Metrics.counters
+          in
           Alcotest.(check bool) "omega was exercised" true
-            (count "omega.is_empty_calls" > 0));
+            (count "omega.is_empty_calls" > 0 || memo_hits > 0));
       (* Balance and metrics render in both report formats. *)
       let text = Report.to_text report in
       List.iter
@@ -630,8 +643,8 @@ let test_gate_on_committed_baseline () =
     | Error m -> Alcotest.fail ("baseline does not parse: " ^ m)
     | Ok doc -> (
         (match Json.member "schema_version" doc with
-        | Some (Json.Int 1) -> ()
-        | _ -> Alcotest.fail "baseline lacks schema_version 1");
+        | Some (Json.Int (1 | 2)) -> ()
+        | _ -> Alcotest.fail "baseline lacks a supported schema_version");
         match Gate.check ~threshold_pct:25.0 ~baseline:doc ~current:doc () with
         | Ok { Gate.regressions = []; compared } ->
             Alcotest.(check bool) "baseline self-comparison is non-trivial"
