@@ -668,6 +668,10 @@ let analyze_entry () =
       (fun domains ->
         let pool = Runtime.Workers.create ~domains in
         Runtime.Workers.install_dnf_runner pool;
+        (* cold-run isolation: zero every registry (and clear the memo
+           tables) so counts accumulated by earlier sections or pool
+           sizes cannot leak into this run's diffs *)
+        Obs.Metrics.reset_all ();
         Presburger.Hc.clear_all ();
         let pass () =
           let before = Obs.Metrics.snapshot () in
@@ -905,6 +909,9 @@ let service_bench () =
             cache_capacity = 64;
           }
         in
+        (* cold-run isolation: the latency histograms and cache/memo
+           counters must reflect only this domain count's passes *)
+        Obs.Metrics.reset_all ();
         let svc = Svc.Service.create ~config () in
         let time f =
           let t0 = Obs.Clock.now_ns () in
@@ -913,9 +920,71 @@ let service_bench () =
         in
         let cold_s, cold = time (fun () -> Svc.Service.batch svc corpus) in
         let mid = Svc.Service.cache_stats svc in
+        let mid_m = Obs.Metrics.snapshot () in
         let warm_s, warm = time (fun () -> Svc.Service.batch svc corpus) in
         let stop = Svc.Service.cache_stats svc in
+        let warm_m =
+          Obs.Metrics.diff ~before:mid_m ~after:(Obs.Metrics.snapshot ())
+        in
+        (* more warm passes with the flight recorder on vs off, to expose
+           the always-on telemetry overhead (plain info, not gated); one
+           warm pass is ~1ms of mostly pool-wakeup jitter, so amplify to
+           a 4x corpus, alternate on/off within each round so machine
+           drift hits both arms equally, and take the best of 10 *)
+        let big = corpus @ corpus @ corpus @ corpus in
+        (* Batch wall time is pool-wakeup-jitter heavy, so a min-of-N
+           per arm still swings several percent run to run.  Instead:
+           in each round run both arms back to back (order swapped every
+           round so neither arm always pays the first-position penalty)
+           and keep the round's on/off ratio — adjacent-in-time pairs
+           cancel machine drift, and the median over rounds discards the
+           jitter tails that a min cannot. *)
+        let rounds = 21 in
+        let reps = 5 in
+        let on_s = ref infinity and off_s = ref infinity in
+        let arm cell setup =
+          setup ();
+          let s =
+            fst
+              (time (fun () ->
+                   for _ = 1 to reps do
+                     ignore (Svc.Service.batch svc big)
+                   done))
+            /. float_of_int reps
+          in
+          cell := min !cell s;
+          s
+        in
+        let on () = arm on_s (fun () -> Obs.Flight.enable ()) in
+        let off () = arm off_s (fun () -> Obs.Flight.disable ()) in
+        let ratios =
+          List.init rounds (fun i ->
+              if i land 1 = 0 then
+                let a = on () in
+                let b = off () in
+                a /. b
+              else
+                let b = off () in
+                let a = on () in
+                a /. b)
+        in
+        let median =
+          List.nth (List.sort compare ratios) (rounds / 2)
+        in
+        let on_s = !on_s and off_s = !off_s in
+        Obs.Flight.enable ();
         Svc.Service.shutdown svc;
+        let lat_p50, lat_p99 =
+          match
+            List.assoc_opt "svc.request.latency_us"
+              warm_m.Obs.Metrics.histograms
+          with
+          | Some h ->
+              ( Obs.Histogram.percentile h 0.5,
+                Obs.Histogram.percentile h 0.99 )
+          | None -> (0.0, 0.0)
+        in
+        let flight_overhead_pct = (median -. 1.0) *. 100.0 in
         let errors =
           List.length
             (List.filter (fun r -> not (Svc.Proto.ok r)) (cold @ warm))
@@ -929,6 +998,13 @@ let service_bench () =
           (float_of_int n /. warm_s)
           (cold_s /. warm_s) warm_hits n
           (if errors = 0 then "" else Printf.sprintf "  (%d errors!)" errors);
+        Printf.printf
+          "          warm latency p50/p99 = %.0f/%.0f us; flight on/off \
+           best: %.0f/%.0f req/s (median overhead %+.1f%%)\n"
+          lat_p50 lat_p99
+          (float_of_int (4 * n) /. on_s)
+          (float_of_int (4 * n) /. off_s)
+          flight_overhead_pct;
         Pipeline.Json.Obj
           [
             ("threads", Pipeline.Json.Int domains);
@@ -936,6 +1012,11 @@ let service_bench () =
             ("errors", Pipeline.Json.Int errors);
             ("cold_seconds", Pipeline.Json.Float cold_s);
             ("warm_seconds", Pipeline.Json.Float warm_s);
+            ("warm_latency_p50_us", Pipeline.Json.Float lat_p50);
+            ("warm_latency_p99_us", Pipeline.Json.Float lat_p99);
+            ("warm_flight_on_seconds", Pipeline.Json.Float on_s);
+            ("warm_flight_off_seconds", Pipeline.Json.Float off_s);
+            ("flight_overhead_pct", Pipeline.Json.Float flight_overhead_pct);
             ( "cold_requests_per_s",
               Pipeline.Json.Float (float_of_int n /. cold_s) );
             ( "warm_requests_per_s",

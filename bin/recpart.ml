@@ -562,8 +562,23 @@ let no_check_arg =
   let doc = "Skip legality/semantics validation (faster batch throughput)." in
   Arg.(value & flag & info [ "no-check" ] ~doc)
 
+let slow_ms_arg =
+  let doc =
+    "Log requests slower than this many milliseconds to stderr, with their \
+     stage timings and presburger-memo delta."
+  in
+  Arg.(value & opt (some float) None & info [ "slow-ms" ] ~docv:"MS" ~doc)
+
+let flight_dir_arg =
+  let doc =
+    "Directory for flight-recorder postmortems: a request failing with a \
+     deadline/pipeline/panic error dumps its recent spans and events there \
+     as JSONL."
+  in
+  Arg.(value & opt (some string) None & info [ "flight-dir" ] ~docv:"DIR" ~doc)
+
 let svc_config ~domains ~cache ~threads ~deadline ~no_check ~engine ~sink
-    ~events =
+    ~events ~slow_ms ~flight_dir =
   {
     Svc.Service.default_config with
     domains;
@@ -575,6 +590,8 @@ let svc_config ~domains ~cache ~threads ~deadline ~no_check ~engine ~sink
     exec_engine = engine;
     sink;
     events;
+    slow_ms;
+    flight_dir;
   }
 
 (* One response record per input line, errors as records: an unparsable
@@ -618,7 +635,20 @@ let batch_summary responses stats exec_pool =
     t.Presburger.Hc.hits t.Presburger.Hc.misses t.Presburger.Hc.evictions
     (let calls = t.Presburger.Hc.hits + t.Presburger.Hc.misses in
      if calls = 0 then 0.0
-     else 100.0 *. float_of_int t.Presburger.Hc.hits /. float_of_int calls)
+     else 100.0 *. float_of_int t.Presburger.Hc.hits /. float_of_int calls);
+  (* Per-request processing latency over the whole batch, from the
+     svc.request.latency_us histogram the service observes. *)
+  (match List.assoc_opt "svc.request.latency_us" (Obs.Histogram.snapshot ()) with
+  | Some s when s.Obs.Histogram.count > 0 ->
+      Printf.eprintf
+        "latency: p50=%.0fus p90=%.0fus p99=%.0fus over %d requests (%.0f%% \
+         cache hit rate)\n"
+        (Obs.Histogram.percentile s 0.5)
+        (Obs.Histogram.percentile s 0.9)
+        (Obs.Histogram.percentile s 0.99)
+        s.Obs.Histogram.count
+        (if n = 0 then 0.0 else 100.0 *. float_of_int hits /. float_of_int n)
+  | _ -> ())
 
 let batch_cmd =
   let file_arg =
@@ -629,11 +659,12 @@ let batch_cmd =
     let doc = "Write JSONL responses here instead of stdout." in
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let run file out domains cache threads deadline no_check engine trace =
+  let run file out domains cache threads deadline no_check engine trace
+      slow_ms flight_dir =
     let sink = if trace = None then Obs.Sink.null else Obs.Sink.make () in
     let config =
       svc_config ~domains ~cache ~threads ~deadline ~no_check ~engine ~sink
-        ~events:Obs.Event.null
+        ~events:Obs.Event.null ~slow_ms ~flight_dir
     in
     let svc = Svc.Service.create ~config () in
     let ic = open_in file in
@@ -695,13 +726,13 @@ let batch_cmd =
           completes), summary statistics on stderr")
     Term.(const run $ file_arg $ out_arg $ domains_arg $ cache_arg
           $ threads_arg $ deadline_arg $ no_check_arg $ engine_arg
-          $ trace_arg)
+          $ trace_arg $ slow_ms_arg $ flight_dir_arg)
 
 let serve_cmd =
-  let run domains cache threads deadline no_check engine =
+  let run domains cache threads deadline no_check engine slow_ms flight_dir =
     let config =
       svc_config ~domains ~cache ~threads ~deadline ~no_check ~engine
-        ~sink:Obs.Sink.null ~events:Obs.Event.null
+        ~sink:Obs.Sink.null ~events:Obs.Event.null ~slow_ms ~flight_dir
     in
     let svc = Svc.Service.create ~config () in
     let lineno = ref 0 in
@@ -725,7 +756,90 @@ let serve_cmd =
           line, respond with one JSONL record per line (flushed), sharing \
           the content-addressed cache across requests until EOF")
     Term.(const run $ domains_arg $ cache_arg $ threads_arg $ deadline_arg
-          $ no_check_arg $ engine_arg)
+          $ no_check_arg $ engine_arg $ slow_ms_arg $ flight_dir_arg)
+
+(* ---- metrics ----------------------------------------------------------- *)
+
+let metrics_cmd =
+  let corpus_arg =
+    let doc =
+      "Optional JSONL request corpus to run through the service first, so \
+       the snapshot reflects real traffic instead of an idle process."
+    in
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.jsonl" ~doc)
+  in
+  let json_arg =
+    let doc = "Print the JSON snapshot instead of Prometheus text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let health_arg =
+    let doc =
+      "Print the health report (pool/queue/cache/exec liveness) instead of \
+       metrics; exits non-zero when unhealthy."
+    in
+    Arg.(value & flag & info [ "health" ] ~doc)
+  in
+  let run corpus json health domains cache threads deadline no_check engine =
+    let config =
+      svc_config ~domains ~cache ~threads ~deadline ~no_check ~engine
+        ~sink:Obs.Sink.null ~events:Obs.Event.null ~slow_ms:None
+        ~flight_dir:None
+    in
+    let svc = Svc.Service.create ~config () in
+    (match corpus with
+    | None -> ()
+    | Some file ->
+        let ic = open_in file in
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> close_in ic);
+        let reqs =
+          List.rev !lines
+          |> List.filter_map (fun l ->
+                 if String.trim l = "" then None
+                 else Result.to_option (Svc.Proto.request_of_line l))
+        in
+        let resps = Svc.Service.batch svc reqs in
+        Printf.eprintf "corpus: %d requests, %d ok\n"
+          (List.length resps)
+          (List.length (List.filter Svc.Proto.ok resps)));
+    let mode = if health then Svc.Proto.Health else Svc.Proto.Metrics in
+    let req =
+      Svc.Proto.request ~mode ~id:"metrics-cli"
+        ~name:(Svc.Proto.mode_name mode) (Svc.Proto.Src "")
+    in
+    let resp = Svc.Service.run_one svc req in
+    Svc.Service.shutdown svc;
+    match resp.Svc.Proto.body with
+    | Svc.Proto.Stats { prometheus; snapshot } ->
+        if json then print_endline (Pipeline.Json.to_string_pretty snapshot)
+        else print_string prometheus
+    | Svc.Proto.Healthy { ok; detail } ->
+        let j =
+          match detail with
+          | Pipeline.Json.Obj fields ->
+              Pipeline.Json.Obj (("healthy", Pipeline.Json.Bool ok) :: fields)
+          | j -> j
+        in
+        print_endline (Pipeline.Json.to_string_pretty j);
+        if not ok then exit 1
+    | _ ->
+        prerr_endline "unexpected response to introspection request";
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Print the live-telemetry snapshot the service's $(b,metrics) \
+          protocol op exposes — Prometheus text (default), the JSON \
+          snapshot ($(b,--json)), or the health report ($(b,--health)); \
+          optionally after replaying a request corpus")
+    Term.(const run $ corpus_arg $ json_arg $ health_arg $ domains_arg
+          $ cache_arg $ threads_arg $ deadline_arg $ no_check_arg
+          $ engine_arg)
 
 (* ---- simulate ---------------------------------------------------------- *)
 
@@ -815,6 +929,7 @@ let main =
     [
       list_cmd; show_cmd; analyze_cmd; partition_cmd; codegen_cmd; run_cmd;
       explain_cmd; profile_cmd; simulate_cmd; viz_cmd; batch_cmd; serve_cmd;
+      metrics_cmd;
     ]
 
 let () = exit (Cmd.eval main)

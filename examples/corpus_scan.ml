@@ -48,7 +48,7 @@ let () =
             Printf.printf "%-22s %-14s %s\n" r.Svc.Proto.id s.Svc.Proto.cls
               (if s.Svc.Proto.coupled then "yes" else "no");
             Some s
-        | Svc.Proto.Done _ ->
+        | Svc.Proto.Done _ | Svc.Proto.Stats _ | Svc.Proto.Healthy _ ->
             Printf.printf "%-22s (response carried no survey block)\n"
               r.Svc.Proto.id;
             None

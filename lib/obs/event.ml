@@ -65,23 +65,61 @@ let with_ambient t f =
   Atomic.set ambient_log t;
   Fun.protect ~finally:(fun () -> Atomic.set ambient_log prev) f
 
+let value_to_string = function
+  | Bool b -> if b then "true" else "false"
+  | Int n -> string_of_int n
+  | Float f -> Printf.sprintf "%.9g" f
+  | Str s -> s
+
 let emit ?log ?(severity = Info) ~scope ~name fields =
   let log = match log with Some l -> l | None -> Atomic.get ambient_log in
+  (* The always-on flight ring keeps Info and above (every span is kept
+     too, by Span itself).  Debug events are breadcrumbs for attached
+     event logs, so with no log wired they cost one branch — hot paths
+     can afford them. *)
+  let flight_on = Flight.enabled () && severity <> Debug in
   match log with
-  | Null -> ()
-  | Rec l ->
-      let c = my_cell l in
-      c.recorded <-
-        {
-          scope;
-          name;
-          severity;
-          fields = fields ();
-          tid = c.tid;
-          t_ns = Clock.now_ns ();
-          seq = Atomic.fetch_and_add l.seq 1;
-        }
-        :: c.recorded
+  | Null when not flight_on -> ()
+  | _ ->
+      (* Request attribution: an event emitted while an Obs.Ctx is
+         installed gains a ("req", trace-id) field. *)
+      let req = Ctx.current_id () in
+      let fs = fields () in
+      let tid = (Domain.self () :> int) in
+      let t_ns = Clock.now_ns () in
+      (match log with
+      | Null -> ()
+      | Rec l ->
+          let c = my_cell l in
+          c.recorded <-
+            {
+              scope;
+              name;
+              severity;
+              fields =
+                (match req with
+                | Some id -> fs @ [ ("req", Str id) ]
+                | None -> fs);
+              tid = c.tid;
+              t_ns;
+              seq = Atomic.fetch_and_add l.seq 1;
+            }
+            :: c.recorded);
+      if flight_on then
+        (* The flight entry carries the request id in its own [req]
+           field, so the detail list is the fields as given — no append
+           on the always-on path. *)
+        Flight.record
+          {
+            Flight.kind = "event";
+            scope;
+            name;
+            req = Option.value req ~default:"";
+            tid;
+            t_ns;
+            dur_ns = 0L;
+            detail = List.map (fun (k, v) -> (k, value_to_string v)) fs;
+          }
 
 let events = function
   | Null -> []

@@ -52,8 +52,14 @@ val emit :
   (unit -> (string * value) list) ->
   unit
 (** [emit ~scope ~name fields] appends one event to [log] (default: the
-    ambient log).  The field thunk is only forced on a recording log.
-    Lock-free; safe from any domain. *)
+    ambient log) and, when the {!Flight} recorder is enabled and the
+    severity is [Info] or above, to the calling domain's flight ring —
+    [Debug] events are breadcrumbs for attached logs only, so hot paths
+    can emit them for the price of one branch.  The field thunk is only
+    forced when something records; if an {!Ctx} is installed, a
+    [("req", trace-id)] field is appended (logs record it as a field,
+    the flight ring in the entry's [req] slot).  Lock-free; safe from
+    any domain. *)
 
 val events : t -> event list
 (** Everything recorded so far, in emission ([seq]) order.  Call after

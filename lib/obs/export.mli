@@ -1,0 +1,26 @@
+(** Metric exporters — the wire formats the service's [metrics] op and
+    [recpart metrics] print.
+
+    Both renderers take a cumulative {!Metrics.t} snapshot and optionally
+    a {!Window.t}, whose windowed per-histogram quantiles (p50/p90/p99
+    over the last [n] periods) are appended as gauges / a ["windows"]
+    block. *)
+
+val sanitize : string -> string
+(** Dotted metric names to Prometheus identifiers: every character
+    outside [[A-Za-z0-9_]] becomes ['_']
+    (e.g. [svc.cache.results.hits → svc_cache_results_hits]). *)
+
+val prometheus : ?prefix:string -> ?window:Window.t -> Metrics.t -> string
+(** Prometheus text exposition format (version 0.0.4): counters as
+    [counter], histograms as cumulative [_bucket{le="..."}] series plus
+    [_sum]/[_count], windowed quantiles as
+    [<prefix>window_quantile{name="...",q="0.5|0.9|0.99"}] gauges.
+    [prefix] defaults to ["recpart_"]. *)
+
+val json_string : ?window:Window.t -> Metrics.t -> string
+(** One JSON object — [{"counters": {...}, "histograms": {name:
+    {count, sum, p50, p90, p99, buckets: [[ub, n], ...]}}, "windows":
+    {period_s, max, closed, histograms: {...}}}] — guaranteed to parse
+    with [Pipeline.Json.parse] (obs sits below the pipeline layer, so it
+    writes the text directly). *)

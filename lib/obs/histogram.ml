@@ -69,6 +69,33 @@ let snap t : snap =
   in
   go 8
 
+(* Quantile estimate from the power-of-two buckets: find the bucket
+   holding the q-th sample and interpolate linearly inside its
+   (lower, upper] range.  The estimate is always inside the true sample's
+   bucket, so the worst-case error is the bucket width (a factor of 2). *)
+let percentile (s : snap) q =
+  if s.count <= 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let target = q *. float_of_int s.count in
+    let rec go cum = function
+      | [] -> (
+          (* count outran the buckets (torn snapshot): report the top
+             observed bound *)
+          match List.rev s.buckets with
+          | (ub, _) :: _ -> float_of_int ub
+          | [] -> 0.0)
+      | (ub, n) :: rest ->
+          let cum' = cum + n in
+          if float_of_int cum' >= target then
+            let lo = if ub <= 1 then 0.0 else float_of_int (ub / 2) in
+            let frac = (target -. float_of_int cum) /. float_of_int n in
+            lo +. (frac *. (float_of_int ub -. lo))
+          else go cum' rest
+    in
+    go 0 s.buckets
+  end
+
 let snapshot () =
   Atomic.get registry
   |> List.map (fun h -> (h.name, snap h))

@@ -30,6 +30,14 @@ val snap : t -> snap
     since {!observe} bumps [count] before the bucket, the reported
     bucket totals never exceed the reported [count]. *)
 
+val percentile : snap -> float -> float
+(** [percentile s q] estimates the [q]-quantile ([q ∈ [0,1]], clamped) of
+    the observed samples by locating the bucket holding the [q]-th sample
+    and interpolating linearly inside its [(lower, upper]] range.  The
+    estimate always lands in the true sample's bucket, so the relative
+    error is bounded by the bucket width (2×).  [0.0] on an empty
+    snapshot. *)
+
 val snapshot : unit -> (string * snap) list
 (** Every registered histogram, sorted by name. *)
 

@@ -40,6 +40,44 @@ let diff ~before ~after =
   in
   { counters; histograms }
 
+let merge a b =
+  let assoc0 k l = Option.value ~default:0 (List.assoc_opt k l) in
+  let counters =
+    List.sort_uniq compare (List.map fst a.counters @ List.map fst b.counters)
+    |> List.filter_map (fun n ->
+           match assoc0 n a.counters + assoc0 n b.counters with
+           | 0 -> None
+           | v -> Some (n, v))
+  in
+  let hist_merge (x : Histogram.snap) (y : Histogram.snap) : Histogram.snap =
+    let ubs =
+      List.sort_uniq compare (List.map fst x.buckets @ List.map fst y.buckets)
+    in
+    {
+      Histogram.count = x.Histogram.count + y.Histogram.count;
+      sum = x.Histogram.sum + y.Histogram.sum;
+      buckets =
+        List.map
+          (fun ub -> (ub, assoc0 ub x.buckets + assoc0 ub y.buckets))
+          ubs;
+    }
+  in
+  let empty : Histogram.snap = { Histogram.count = 0; sum = 0; buckets = [] } in
+  let histograms =
+    List.sort_uniq compare
+      (List.map fst a.histograms @ List.map fst b.histograms)
+    |> List.filter_map (fun n ->
+           let ha = Option.value ~default:empty (List.assoc_opt n a.histograms) in
+           let hb = Option.value ~default:empty (List.assoc_opt n b.histograms) in
+           let h = hist_merge ha hb in
+           if h.Histogram.count = 0 then None else Some (n, h))
+  in
+  { counters; histograms }
+
+let reset_all () =
+  Counter.reset_all ();
+  Histogram.reset_all ()
+
 let filter pred t =
   {
     counters = List.filter (fun (name, _) -> pred name) t.counters;

@@ -16,6 +16,16 @@ val diff : before:t -> after:t -> t
     saw no observations are dropped, so a diff only lists the layers the
     run actually exercised. *)
 
+val merge : t -> t -> t
+(** Per-name addition (counter values summed, histogram counts/sums/
+    buckets summed) — how {!Window} folds per-window diffs back into one
+    view.  Names that sum to zero are dropped, mirroring {!diff}. *)
+
+val reset_all : unit -> unit
+(** Zeroes every registered counter and histogram ({!Counter.reset_all} +
+    {!Histogram.reset_all}).  For section isolation in benchmarks and
+    tests — cumulative process metrics restart from a clean slate. *)
+
 val filter : (string -> bool) -> t -> t
 (** Keeps the counters and histograms whose name satisfies the predicate
     (e.g. only the [presburger.]/[omega.] analysis metrics). *)

@@ -4,7 +4,8 @@ let depth_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
 let with_ ?sink ~name ?(args = []) f =
   let sink = match sink with Some s -> s | None -> Sink.ambient () in
-  if not (Sink.enabled sink) then f ()
+  let sink_on = Sink.enabled sink in
+  if not (sink_on || Flight.enabled ()) then f ()
   else begin
     let depth = Domain.DLS.get depth_key in
     let d = !depth in
@@ -12,14 +13,34 @@ let with_ ?sink ~name ?(args = []) f =
     let t0 = Clock.now_ns () in
     let finish () =
       depth := d;
-      Sink.record sink
+      let dur_ns = Int64.sub (Clock.now_ns ()) t0 in
+      let tid = (Domain.self () :> int) in
+      (* Request attribution: a span closed while an Obs.Ctx is installed
+         carries its trace id, whichever domain it ran on. *)
+      let req = Ctx.current_id () in
+      if sink_on then
+        Sink.record sink
+          {
+            Sink.name;
+            args =
+              (match req with
+              | Some id -> ("req", id) :: args
+              | None -> args);
+            tid;
+            start_ns = t0;
+            dur_ns;
+            depth = d;
+          };
+      Flight.record
         {
-          Sink.name;
-          args;
-          tid = (Domain.self () :> int);
-          start_ns = t0;
-          dur_ns = Int64.sub (Clock.now_ns ()) t0;
-          depth = d;
+          Flight.kind = "span";
+          scope = "";
+          name;
+          req = Option.value req ~default:"";
+          tid;
+          t_ns = t0;
+          dur_ns;
+          detail = args;
         }
     in
     match f () with
@@ -33,13 +54,31 @@ let with_ ?sink ~name ?(args = []) f =
 
 let instant ?sink ~name ?(args = []) () =
   let sink = match sink with Some s -> s | None -> Sink.ambient () in
-  if Sink.enabled sink then
-    Sink.record sink
+  let sink_on = Sink.enabled sink in
+  if sink_on || Flight.enabled () then begin
+    let t0 = Clock.now_ns () in
+    let tid = (Domain.self () :> int) in
+    let req = Ctx.current_id () in
+    if sink_on then
+      Sink.record sink
+        {
+          Sink.name;
+          args =
+            (match req with Some id -> ("req", id) :: args | None -> args);
+          tid;
+          start_ns = t0;
+          dur_ns = 0L;
+          depth = !(Domain.DLS.get depth_key);
+        };
+    Flight.record
       {
-        Sink.name;
-        args;
-        tid = (Domain.self () :> int);
-        start_ns = Clock.now_ns ();
+        Flight.kind = "span";
+        scope = "";
+        name;
+        req = Option.value req ~default:"";
+        tid;
+        t_ns = t0;
         dur_ns = 0L;
-        depth = !(Domain.DLS.get depth_key);
+        detail = args;
       }
+  end

@@ -1,10 +1,13 @@
 (** Nested, monotonic-clock-timed spans.
 
     [with_ ~name f] times [f] and records one {!Sink.span} into the
-    ambient sink (or [?sink]) when that sink is recording; with the no-op
-    sink the overhead is a single branch.  Nesting depth is tracked per
-    domain, so spans opened inside spawned domains are independent
-    timelines tagged with that domain's id. *)
+    ambient sink (or [?sink]) when that sink is recording, and an entry
+    into the {!Flight} recorder when that is enabled; with the no-op sink
+    and the recorder off the overhead is a single branch.  When an
+    {!Ctx} is installed on the recording domain, the span carries a
+    [("req", trace-id)] argument.  Nesting depth is tracked per domain,
+    so spans opened inside spawned domains are independent timelines
+    tagged with that domain's id. *)
 
 val with_ :
   ?sink:Sink.t ->

@@ -1,0 +1,107 @@
+type window = { until_ns : int64; metrics : Metrics.t }
+
+type t = {
+  period_ns : int64;
+  n : int;
+  m : Mutex.t;
+  ring : window option array;
+  mutable next : int;  (* next write position *)
+  mutable closed : int;  (* windows closed so far *)
+  mutable base : Metrics.t;  (* cumulative snapshot at the last roll *)
+  mutable opened_ns : int64;
+}
+
+let create ?(windows = 60) ~period_s () =
+  if windows < 1 then invalid_arg "Obs.Window.create: windows must be >= 1";
+  if period_s <= 0.0 then
+    invalid_arg "Obs.Window.create: period_s must be > 0";
+  {
+    period_ns = Int64.of_float (period_s *. 1e9);
+    n = windows;
+    m = Mutex.create ();
+    ring = Array.make windows None;
+    next = 0;
+    closed = 0;
+    base = Metrics.snapshot ();
+    opened_ns = Clock.now_ns ();
+  }
+
+let period_s t = Int64.to_float t.period_ns *. 1e-9
+let max_windows t = t.n
+
+let roll_locked t now =
+  let after = Metrics.snapshot () in
+  t.ring.(t.next) <-
+    Some { until_ns = now; metrics = Metrics.diff ~before:t.base ~after };
+  t.next <- (t.next + 1) mod t.n;
+  t.closed <- t.closed + 1;
+  t.base <- after;
+  t.opened_ns <- now
+
+let roll t =
+  Mutex.lock t.m;
+  roll_locked t (Clock.now_ns ());
+  Mutex.unlock t.m
+
+let roll_if_due t =
+  (* Unlocked age check first: the per-request cost is one clock read
+     until a period boundary actually passes. *)
+  let now = Clock.now_ns () in
+  if Int64.sub now t.opened_ns >= t.period_ns then begin
+    Mutex.lock t.m;
+    (* another domain may have rolled while we waited for the lock *)
+    if Int64.sub now t.opened_ns >= t.period_ns then roll_locked t now;
+    Mutex.unlock t.m
+  end
+
+let closed t =
+  Mutex.lock t.m;
+  let c = min t.closed t.n in
+  Mutex.unlock t.m;
+  c
+
+let windows t =
+  Mutex.lock t.m;
+  let out = ref [] in
+  (* walk backwards from the most recent write: newest first *)
+  for i = 0 to t.n - 1 do
+    let k = ((t.next - 1 - i) mod t.n + t.n) mod t.n in
+    match t.ring.(k) with
+    | Some w -> out := w :: !out
+    | None -> ()
+  done;
+  Mutex.unlock t.m;
+  List.rev !out
+
+let merged t =
+  Mutex.lock t.m;
+  let parts =
+    Array.to_list t.ring
+    |> List.filter_map (Option.map (fun w -> w.metrics))
+  in
+  (* include the in-progress window, so a freshly started service still
+     reports its recent activity *)
+  let current = Metrics.diff ~before:t.base ~after:(Metrics.snapshot ()) in
+  Mutex.unlock t.m;
+  List.fold_left Metrics.merge current parts
+
+type quantiles = {
+  count : int;
+  sum : int;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let quantiles_of (s : Histogram.snap) =
+  {
+    count = s.Histogram.count;
+    sum = s.Histogram.sum;
+    p50 = Histogram.percentile s 0.5;
+    p90 = Histogram.percentile s 0.9;
+    p99 = Histogram.percentile s 0.99;
+  }
+
+let summary t =
+  let m = merged t in
+  List.map (fun (name, h) -> (name, quantiles_of h)) m.Metrics.histograms

@@ -1,0 +1,62 @@
+(** Rolling time-window aggregates over the process-wide
+    {!Counter}/{!Histogram} registries.
+
+    The registries are cumulative; a live service wants "the last few
+    minutes", not "since boot".  A window keeps a ring of the last [n]
+    per-period {!Metrics.diff}s plus the cumulative snapshot where the
+    current period started.  {!roll_if_due} is called from the request
+    hot path and costs one monotonic-clock read until a period boundary
+    passes, at which point one caller (mutex-elected) snapshots the
+    registries and closes the window.
+
+    {!merged} and {!summary} fold the retained windows — including the
+    in-progress one — back into a single {!Metrics.t} / per-histogram
+    p50/p90/p99 view, which is what the metrics exporters render. *)
+
+type t
+
+type window = {
+  until_ns : int64;  (** {!Clock.now_ns} when the window closed *)
+  metrics : Metrics.t;  (** activity during the window (a diff) *)
+}
+
+val create : ?windows:int -> period_s:float -> unit -> t
+(** A ring of [windows] (default 60, ≥ 1) periods of [period_s] (> 0)
+    seconds, based at the current registry state. *)
+
+val period_s : t -> float
+
+val max_windows : t -> int
+
+val roll_if_due : t -> unit
+(** Closes the current window if at least one period has elapsed since it
+    opened (late calls close one window, not several — the ring tracks
+    activity, not wall-clock alignment).  Safe from any domain. *)
+
+val roll : t -> unit
+(** Closes the current window unconditionally (tests, section
+    boundaries). *)
+
+val closed : t -> int
+(** Closed windows currently retained (≤ [max_windows]). *)
+
+val windows : t -> window list
+(** The retained closed windows, newest first. *)
+
+val merged : t -> Metrics.t
+(** All retained windows plus the in-progress one, {!Metrics.merge}d. *)
+
+type quantiles = {
+  count : int;
+  sum : int;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val quantiles_of : Histogram.snap -> quantiles
+
+val summary : t -> (string * quantiles) list
+(** Per-histogram windowed quantiles over {!merged}, sorted by name —
+    e.g. [svc.request.latency_us → {p50; p90; p99}] over the last
+    [n × period_s] seconds. *)

@@ -218,8 +218,10 @@ let to_text r =
           m.Obs.Metrics.counters;
         List.iter
           (fun (name, h) ->
-            line "  %-32s count %d, sum %d" name h.Obs.Histogram.count
-              h.Obs.Histogram.sum)
+            line "  %-32s count %d, sum %d, p50 %.0f, p99 %.0f" name
+              h.Obs.Histogram.count h.Obs.Histogram.sum
+              (Obs.Histogram.percentile h 0.5)
+              (Obs.Histogram.percentile h 0.99))
           m.Obs.Metrics.histograms
       end);
   Buffer.contents buf
@@ -292,6 +294,8 @@ let metrics_json (m : Obs.Metrics.t) =
                    [
                      ("count", Json.Int h.Obs.Histogram.count);
                      ("sum", Json.Int h.Obs.Histogram.sum);
+                     ("p50", Json.Float (Obs.Histogram.percentile h 0.5));
+                     ("p99", Json.Float (Obs.Histogram.percentile h 0.99));
                      ( "buckets",
                        Json.Obj
                          (List.map

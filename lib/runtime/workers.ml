@@ -55,6 +55,14 @@ let run t thunks =
   else if n = 1 then [| thunks.(0) () |]
   else begin
     let results = Array.make n None in
+    (* Jobs handed to helper domains run under the submitter's request
+       context, so spans/events they emit keep the originating trace id.
+       (The caller's own thunk already runs with it installed.) *)
+    let ctx = Obs.Ctx.current () in
+    (* Always install (even [None]): the domain draining this job may be a
+       caller from a concurrent [run] with its own context, which must not
+       leak into someone else's thunk. *)
+    let wrap f = Obs.Ctx.with_opt ctx f in
     (* Call-local barrier state: jobs of concurrent [run] calls share the
        pool queue but complete against their own counter. *)
     let cm = Mutex.create () in
@@ -67,8 +75,8 @@ let run t thunks =
       Mutex.unlock cm
     in
     let job i () =
-      (match thunks.(i) () with
-      | v -> results.(i) <- Some v
+      (match wrap (fun () -> results.(i) <- Some (thunks.(i) ())) with
+      | () -> ()
       | exception e -> record_error e);
       Mutex.lock cm;
       decr remaining;

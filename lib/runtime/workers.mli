@@ -34,7 +34,11 @@ val run : t -> (unit -> 'a) array -> 'a array
 (** Executes the thunks (first one on the calling domain, the rest through
     the pool queue), waits for all of them, and returns their results in
     order.  Safe to call concurrently from multiple domains; also safe
-    after {!shutdown} (the caller then drains its own jobs itself). *)
+    after {!shutdown} (the caller then drains its own jobs itself).
+
+    The caller's {!Obs.Ctx} (if any) is captured and installed around
+    every thunk, wherever it runs — spans and events emitted on helper
+    domains keep the originating request's trace id. *)
 
 val install_dnf_runner : t -> unit
 (** Registers this pool as [Presburger.Dnf]'s parallel job runner, so

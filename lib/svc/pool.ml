@@ -8,7 +8,7 @@ type t = {
   m : Mutex.t;
   not_empty : Condition.t;
   not_full : Condition.t;
-  q : (unit -> unit) Queue.t;
+  q : (Obs.Ctx.t option * (unit -> unit)) Queue.t;
   capacity : int;
   events : Obs.Event.t;
   mutable closing : bool;
@@ -16,6 +16,19 @@ type t = {
 }
 
 let domains t = List.length t.workers
+let capacity t = t.capacity
+
+let queue_length t =
+  Mutex.lock t.m;
+  let n = Queue.length t.q in
+  Mutex.unlock t.m;
+  n
+
+let alive t =
+  Mutex.lock t.m;
+  let a = (not t.closing) && t.workers <> [] in
+  Mutex.unlock t.m;
+  a
 
 (* Drain-then-exit worker: keeps popping while jobs remain, even after
    [closing] is set — graceful shutdown means no queued job is dropped. *)
@@ -26,22 +39,27 @@ let rec worker t wid =
   done;
   if Queue.is_empty t.q then Mutex.unlock t.m
   else begin
-    let job = Queue.pop t.q in
+    let ctx, job = Queue.pop t.q in
     Condition.signal t.not_full;
     Mutex.unlock t.m;
-    Obs.Event.emit ~log:t.events ~severity:Obs.Event.Debug ~scope:"svc"
-      ~name:"pool.dequeue" (fun () -> [ ("worker", Obs.Event.Int wid) ]);
-    (try
-       job ();
-       Obs.Counter.incr completed
-     with e ->
-       Obs.Counter.incr panics;
-       Obs.Event.emit ~log:t.events ~severity:Obs.Event.Warn ~scope:"svc"
-         ~name:"pool.panic" (fun () ->
-           [
-             ("worker", Obs.Event.Int wid);
-             ("exn", Obs.Event.Str (Printexc.to_string e));
-           ]));
+    (* The submitter's request context (captured in [submit]) covers the
+       dequeue event, the job and any panic event — everything this job
+       emits is attributed to its request.  Installing [None] explicitly
+       keeps a context-free job from inheriting the previous job's. *)
+    Obs.Ctx.with_opt ctx (fun () ->
+        Obs.Event.emit ~log:t.events ~severity:Obs.Event.Debug ~scope:"svc"
+          ~name:"pool.dequeue" (fun () -> [ ("worker", Obs.Event.Int wid) ]);
+        try
+          job ();
+          Obs.Counter.incr completed
+        with e ->
+          Obs.Counter.incr panics;
+          Obs.Event.emit ~log:t.events ~severity:Obs.Event.Warn ~scope:"svc"
+            ~name:"pool.panic" (fun () ->
+              [
+                ("worker", Obs.Event.Int wid);
+                ("exn", Obs.Event.Str (Printexc.to_string e));
+              ]));
     worker t wid
   end
 
@@ -65,6 +83,7 @@ let create ?(queue_capacity = 64) ?(events = Obs.Event.null) ~domains () =
   t
 
 let submit t job =
+  let ctx = Obs.Ctx.current () in
   Mutex.lock t.m;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.m)
@@ -73,7 +92,7 @@ let submit t job =
         Condition.wait t.not_full t.m
       done;
       if t.closing then raise Closed;
-      Queue.push job t.q;
+      Queue.push (ctx, job) t.q;
       Obs.Histogram.observe queue_depth (Queue.length t.q);
       Obs.Event.emit ~log:t.events ~severity:Obs.Event.Debug ~scope:"svc"
         ~name:"pool.submit" (fun () ->

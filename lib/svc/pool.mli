@@ -25,8 +25,11 @@ val create : ?queue_capacity:int -> ?events:Obs.Event.t -> domains:int -> unit -
     the pool's lifecycle events (default: none). *)
 
 val submit : t -> (unit -> unit) -> unit
-(** Enqueue one job, blocking while the queue is full.  @raise Closed
-    once {!shutdown} has been called. *)
+(** Enqueue one job, blocking while the queue is full.  The submitter's
+    {!Obs.Ctx} (if any) is captured with the job and installed around it
+    on the worker — the dequeue event and everything the job emits carry
+    the originating request's trace id.  @raise Closed once {!shutdown}
+    has been called. *)
 
 val shutdown : t -> unit
 (** Stop accepting jobs, drain the queue, join the workers.  Idempotent;
@@ -34,3 +37,14 @@ val shutdown : t -> unit
     {!Closed}. *)
 
 val domains : t -> int
+
+val capacity : t -> int
+(** The configured queue capacity. *)
+
+val queue_length : t -> int
+(** Jobs currently queued (point-in-time; the health op's headroom
+    signal). *)
+
+val alive : t -> bool
+(** [true] while the pool accepts work: not shut down and workers
+    running. *)

@@ -1,7 +1,11 @@
 module Json = Pipeline.Json
 
 type source = Src of string | Prog of Loopir.Ast.program
-type mode = Run | Classify
+type mode = Run | Classify | Metrics | Health
+
+let introspective = function
+  | Metrics | Health -> true
+  | Run | Classify -> false
 
 type request = {
   id : string;
@@ -48,23 +52,30 @@ type body =
       survey : survey option;
       report : Pipeline.Report.t option;
     }
+  | Stats of { prometheus : string; snapshot : Json.t }
+  | Healthy of { ok : bool; detail : Json.t }
   | Failed of failure
 
 type response = {
   id : string;
+  trace : string;
   cached : bool;
   queue_s : float;
   run_s : float;
   body : body;
 }
 
-let ok r = match r.body with Done _ -> true | Failed _ -> false
+let ok r = match r.body with Failed _ -> false | _ -> true
 
 (* ---- JSON ------------------------------------------------------------ *)
 
 type parse_failure = { line_id : string option; message : string }
 
-let mode_name = function Run -> "run" | Classify -> "classify"
+let mode_name = function
+  | Run -> "run"
+  | Classify -> "classify"
+  | Metrics -> "metrics"
+  | Health -> "health"
 
 let request_to_json (r : request) =
   let opt l = List.filter_map (fun x -> x) l in
@@ -73,12 +84,11 @@ let request_to_json (r : request) =
        [
          Some ("id", Json.Str r.id);
          Some ("name", Json.Str r.name);
-         Some
-           ( "src",
-             Json.Str
-               (match r.source with
-               | Src s -> s
-               | Prog p -> Loopir.Pretty.program_to_string p) );
+         (match r.source with
+         | Src "" when introspective r.mode -> None
+         | Src s -> Some ("src", Json.Str s)
+         | Prog p ->
+             Some ("src", Json.Str (Loopir.Pretty.program_to_string p)));
          Some
            ( "params",
              Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.params) );
@@ -107,8 +117,27 @@ let request_of_json j =
   in
   let fail message = Error { line_id = Some id; message } in
   let wrap = function Ok v -> Ok v | Error m -> fail m in
-  let* name = wrap (str "name") in
-  let* src = wrap (str "src") in
+  let* mode =
+    match Json.member "mode" j with
+    | None -> Ok Run
+    | Some (Json.Str "run") -> Ok Run
+    | Some (Json.Str "classify") -> Ok Classify
+    | Some (Json.Str "metrics") -> Ok Metrics
+    | Some (Json.Str "health") -> Ok Health
+    | Some _ ->
+        fail "\"mode\" must be \"run\", \"classify\", \"metrics\" or \"health\""
+  in
+  (* Introspective requests have no program: name/src become optional. *)
+  let* name =
+    match (Json.member "name" j, introspective mode) with
+    | None, true -> Ok (mode_name mode)
+    | _ -> wrap (str "name")
+  in
+  let* src =
+    match (Json.member "src" j, introspective mode) with
+    | None, true -> Ok ""
+    | _ -> wrap (str "src")
+  in
   let* params =
     match Json.member "params" j with
     | None -> Ok []
@@ -136,13 +165,6 @@ let request_of_json j =
     | None -> Ok None
     | Some (Json.Int t) when t >= 1 -> Ok (Some t)
     | Some _ -> fail "\"threads\" must be an integer >= 1"
-  in
-  let* mode =
-    match Json.member "mode" j with
-    | None -> Ok Run
-    | Some (Json.Str "run") -> Ok Run
-    | Some (Json.Str "classify") -> Ok Classify
-    | Some _ -> fail "\"mode\" must be \"run\" or \"classify\""
   in
   let* survey =
     match Json.member "survey" j with
@@ -186,17 +208,22 @@ let survey_json s =
 
 let response_to_json r =
   let common =
-    [
-      ("id", Json.Str r.id);
-      ( "status",
-        Json.Str (match r.body with Done _ -> "ok" | Failed _ -> "error") );
-      ("cached", Json.Bool r.cached);
-      ("queue_seconds", Json.Float r.queue_s);
-      ("run_seconds", Json.Float r.run_s);
-    ]
+    ("id", Json.Str r.id)
+    :: (if r.trace = "" then [] else [ ("trace", Json.Str r.trace) ])
+    @ [
+        ( "status",
+          Json.Str (match r.body with Failed _ -> "error" | _ -> "ok") );
+        ("cached", Json.Bool r.cached);
+        ("queue_seconds", Json.Float r.queue_s);
+        ("run_seconds", Json.Float r.run_s);
+      ]
   in
   let rest =
     match r.body with
+    | Stats { prometheus; snapshot } ->
+        [ ("prometheus", Json.Str prometheus); ("metrics", snapshot) ]
+    | Healthy { ok; detail } ->
+        [ ("healthy", Json.Bool ok); ("health", detail) ]
     | Done { strategy; describe; survey; report } ->
         List.filter_map
           (fun x -> x)
@@ -222,5 +249,6 @@ let response_to_json r =
 
 let response_to_line r = Json.to_string (response_to_json r)
 
-let error_response ?(id = "?") ?(queue_s = 0.0) ?(run_s = 0.0) f =
-  { id; cached = false; queue_s; run_s; body = Failed f }
+let error_response ?(id = "?") ?(trace = "") ?(queue_s = 0.0) ?(run_s = 0.0) f
+    =
+  { id; trace; cached = false; queue_s; run_s; body = Failed f }

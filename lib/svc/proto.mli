@@ -8,9 +8,11 @@
 
     [id], [name] and [src] are required ([strategy], [threads], [mode],
     [survey], [deadline_s] optional); programmatic clients may pass an
-    already-parsed program instead of source text.  One response per
-    line: [{"id", "status": "ok" | "error", "cached", timing, …}] with
-    either the plan/report payload or a typed error record — a malformed
+    already-parsed program instead of source text.  Introspective modes
+    ([{"id":"m1","mode":"metrics"}], [{"id":"h1","mode":"health"}]) need
+    only [id].  One response per line: [{"id", "trace", "status": "ok" |
+    "error", "cached", timing, …}] with the plan/report payload, the
+    telemetry/health payload, or a typed error record — a malformed
     request produces an error {e record}, never a crash. *)
 
 type source =
@@ -22,6 +24,19 @@ type mode =
   | Classify
       (** survey classification only (dependence uniformity + coupled
           subscripts); no schedule is built or executed *)
+  | Metrics
+      (** live-telemetry snapshot: Prometheus text + JSON over the [Obs]
+          registries and windowed quantiles; no program is analyzed *)
+  | Health
+      (** service liveness: pool alive, queue headroom, cache shards
+          responsive *)
+
+val mode_name : mode -> string
+(** ["run"], ["classify"], ["metrics"], ["health"]. *)
+
+val introspective : mode -> bool
+(** [true] for {!Metrics}/{!Health} — requests that carry no program
+    ([name]/[src] optional in the JSON form) and are never cached. *)
 
 type request = {
   id : string;
@@ -74,10 +89,20 @@ type body =
       survey : survey option;
       report : Pipeline.Report.t option;  (** [None] in [Classify] mode *)
     }
+  | Stats of {
+      prometheus : string;  (** {!Obs.Export.prometheus} text *)
+      snapshot : Pipeline.Json.t;  (** parsed {!Obs.Export.json_string} *)
+    }  (** answer to a {!Metrics} request *)
+  | Healthy of { ok : bool; detail : Pipeline.Json.t }
+      (** answer to a {!Health} request; the op itself succeeded even
+          when [ok = false] *)
   | Failed of failure
 
 type response = {
   id : string;
+  trace : string;
+      (** the {!Obs.Ctx} trace id the request ran under ([""] when it
+          never reached the service, e.g. parse-failure records) *)
   cached : bool;
   queue_s : float;  (** submit → dequeue *)
   run_s : float;  (** dequeue → response *)
@@ -106,6 +131,11 @@ val response_to_line : response -> string
 (** Compact single-line rendering (the JSONL response format). *)
 
 val error_response :
-  ?id:string -> ?queue_s:float -> ?run_s:float -> failure -> response
+  ?id:string ->
+  ?trace:string ->
+  ?queue_s:float ->
+  ?run_s:float ->
+  failure ->
+  response
 (** A response record for a request that never reached a worker (e.g. an
-    unparsable line); [id] defaults to ["?"]. *)
+    unparsable line); [id] defaults to ["?"], [trace] to [""]. *)

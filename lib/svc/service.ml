@@ -10,6 +10,11 @@ type config = {
   exec_engine : Runtime.Exec.engine;
   sink : Obs.Sink.t;
   events : Obs.Event.t;
+  slow_ms : float option;
+  flight : bool;
+  flight_dir : string option;
+  window_s : float;
+  windows : int;
 }
 
 let default_config =
@@ -25,7 +30,15 @@ let default_config =
     exec_engine = `Compiled;
     sink = Obs.Sink.null;
     events = Obs.Event.null;
+    slow_ms = None;
+    flight = true;
+    flight_dir = None;
+    window_s = 1.0;
+    windows = 60;
   }
+
+let latency_us = Obs.Histogram.make "svc.request.latency_us"
+let queue_us = Obs.Histogram.make "svc.request.queue_us"
 
 (* The cached payload of one successful request: everything a warm
    response needs except the requester's identity and timing. *)
@@ -44,6 +57,7 @@ type t = {
       (* one executor pool for every request's parallel phases: spawned at
          service creation, shared across the whole batch/serve lifetime
          (spawn count scales with [threads], not with requests) *)
+  window : Obs.Window.t;
 }
 
 let create ?(config = default_config) () =
@@ -57,18 +71,22 @@ let create ?(config = default_config) () =
         Pool.create ~queue_capacity:config.queue_capacity
           ~events:config.events ~domains:config.domains ();
       exec = Runtime.Workers.create ~domains:(max 1 config.threads);
+      window = Obs.Window.create ~windows:config.windows ~period_s:config.window_s ();
     }
   in
   (* The exec pool doubles as the presburger layer's DNF-disjunct runner,
      so analysis-side set algebra parallelizes over the same domains. *)
   Runtime.Workers.install_dnf_runner t.exec;
+  if config.flight then Obs.Flight.enable ();
   t
 
 let cache_stats t = Cache.stats t.cache
 let exec_pool t = t.exec
+let window t = t.window
 
 let shutdown t =
   Runtime.Workers.uninstall_dnf_runner ();
+  if t.config.flight then Obs.Flight.disable ();
   Pool.shutdown t.pool;
   Runtime.Workers.shutdown t.exec
 
@@ -148,6 +166,10 @@ let survey_of prog ~params =
 
 let compute t (req : Proto.request) prog ~threads =
   match req.mode with
+  | Proto.Metrics | Proto.Health ->
+      (* introspective requests never reach compute — [process] answers
+         them before parse/key/cache *)
+      assert false
   | Proto.Classify -> (
       match survey_of prog ~params:req.params with
       | Error (stage, e) -> Error (pipeline_failure stage e)
@@ -219,14 +241,139 @@ let done_of_value req v =
           v.v_report;
     }
 
+(* ---- introspection ops ----------------------------------------------- *)
+
+let stats_body t =
+  let m = Obs.Metrics.snapshot () in
+  let prometheus = Obs.Export.prometheus ~window:t.window m in
+  let snapshot =
+    match Pipeline.Json.parse (Obs.Export.json_string ~window:t.window m) with
+    | Ok j -> j
+    | Error _ -> Pipeline.Json.Null
+  in
+  Proto.Stats { prometheus; snapshot }
+
+let health_body t =
+  let module Json = Pipeline.Json in
+  let alive = Pool.alive t.pool in
+  let qlen = Pool.queue_length t.pool in
+  let qcap = Pool.capacity t.pool in
+  (* Cache.length takes every shard lock in turn — a responsiveness probe
+     as much as a size reading. *)
+  let cache_size = Cache.length t.cache in
+  let st = Cache.stats t.cache in
+  let ok = alive && qlen < qcap in
+  let detail =
+    Json.Obj
+      [
+        ( "pool",
+          Json.Obj
+            [
+              ("alive", Json.Bool alive);
+              ("domains", Json.Int (Pool.domains t.pool));
+              ("queue_depth", Json.Int qlen);
+              ("queue_capacity", Json.Int qcap);
+            ] );
+        ( "cache",
+          Json.Obj
+            [
+              ("size", Json.Int cache_size);
+              ("capacity", Json.Int st.Cache.capacity);
+            ] );
+        ( "exec",
+          Json.Obj
+            [
+              ("domains", Json.Int (Runtime.Workers.domains t.exec));
+              ("spawned", Json.Int (Runtime.Workers.spawned t.exec));
+            ] );
+        ( "windows",
+          Json.Obj
+            [
+              ("period_s", Json.Float (Obs.Window.period_s t.window));
+              ("max", Json.Int (Obs.Window.max_windows t.window));
+            ] );
+      ]
+  in
+  Proto.Healthy { ok; detail }
+
+(* ---- failure postmortems --------------------------------------------- *)
+
+let fs_name_of id =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '_')
+    id
+
+(* Dump the flight recorder's view of a failed request (deadline, pipeline
+   error, panic — not bad-request noise) as JSONL: one header record, then
+   every retained entry attributed to the request's trace id. *)
+let dump_flight t (ctx : Obs.Ctx.t) (req : Proto.request) f =
+  match t.config.flight_dir with
+  | None -> ()
+  | Some dir when Obs.Flight.enabled () -> (
+      let module Json = Pipeline.Json in
+      let trace = Obs.Ctx.id ctx in
+      let header =
+        Json.to_string
+          (Json.Obj
+             [
+               ("flight", Json.Str "v1");
+               ("id", Json.Str req.Proto.id);
+               ("trace", Json.Str trace);
+               ("kind", Json.Str (Proto.failure_kind f));
+               ("error", Json.Str (Proto.failure_message f));
+             ])
+      in
+      let body = Obs.Flight.to_jsonl (Obs.Flight.entries ~req:trace ()) in
+      try
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        let path =
+          Filename.concat dir
+            (Printf.sprintf "flight-%s-%s.jsonl" (fs_name_of req.Proto.id)
+               (fs_name_of trace))
+        in
+        let oc = open_out path in
+        output_string oc header;
+        output_char oc '\n';
+        output_string oc body;
+        close_out oc
+      with Sys_error _ -> ())
+  | Some _ -> ()
+
+let slow_log t (ctx : Obs.Ctx.t) (req : Proto.request) ~run_s ~memo0 body =
+  match t.config.slow_ms with
+  | Some ms when run_s *. 1000.0 >= ms ->
+      let memo1 = Presburger.Hc.totals () in
+      let stages =
+        match body with
+        | Proto.Done { report = Some r; _ } ->
+            r.Pipeline.Report.timings
+            |> List.map (fun (stage, s) ->
+                   Printf.sprintf "%s=%.1fms" stage (s *. 1000.0))
+            |> String.concat " "
+        | Proto.Failed f -> "failed:" ^ Proto.failure_kind f
+        | _ -> "-"
+      in
+      Printf.eprintf
+        "slow-request: id=%s trace=%s run_ms=%.1f memo-hits=+%d \
+         memo-misses=+%d stages=[%s]\n\
+         %!"
+        req.Proto.id (Obs.Ctx.id ctx) (run_s *. 1000.0)
+        (memo1.Presburger.Hc.hits - memo0.Presburger.Hc.hits)
+        (memo1.Presburger.Hc.misses - memo0.Presburger.Hc.misses)
+        stages
+  | _ -> ()
+
 let emit_outcome t (req : Proto.request) ~cached body =
   Obs.Event.emit ~log:t.config.events ~scope:"svc"
     ~name:
       (match body with
-      | Proto.Done _ -> "request.done"
-      | Proto.Failed _ -> "request.error")
+      | Proto.Failed _ -> "request.error"
+      | Proto.Done _ | Proto.Stats _ | Proto.Healthy _ -> "request.done")
     ~severity:
-      (match body with Proto.Done _ -> Obs.Event.Info | _ -> Obs.Event.Warn)
+      (match body with Proto.Failed _ -> Obs.Event.Warn | _ -> Obs.Event.Info)
     (fun () ->
       ("id", Obs.Event.Str req.Proto.id)
       :: ("cached", Obs.Event.Bool cached)
@@ -237,23 +384,59 @@ let emit_outcome t (req : Proto.request) ~cached body =
             ("kind", Obs.Event.Str (Proto.failure_kind f));
             ("why", Obs.Event.Str (Proto.failure_message f));
           ]
-      | Proto.Done _ -> []))
+      | _ -> []))
 
 let process t (req : Proto.request) ~submitted_ns =
+  (* The request context: reuse the one the pool propagated from submit
+     time, or mint one here (run_one, direct library calls).  Everything
+     below — spans, events, worker-domain jobs — runs under it. *)
+  let ctx =
+    match Obs.Ctx.current () with Some c -> c | None -> Obs.Ctx.make ()
+  in
+  Obs.Ctx.with_ctx ctx @@ fun () ->
   let dequeued_ns = Obs.Clock.now_ns () in
   let queue_s =
     Int64.to_float (Int64.sub dequeued_ns submitted_ns) *. 1e-9
   in
+  Obs.Histogram.observe queue_us (int_of_float (queue_s *. 1e6));
+  (* Begin marker: the svc:request span only records when it closes, so
+     without this a request that dies mid-flight would be invisible in
+     its own flight dump. *)
+  Obs.Event.emit ~log:t.config.events ~severity:Obs.Event.Debug ~scope:"svc"
+    ~name:"request.begin" (fun () ->
+      [
+        ("id", Obs.Event.Str req.Proto.id);
+        ("mode", Obs.Event.Str (Proto.mode_name req.Proto.mode));
+      ]);
+  let memo0 = Presburger.Hc.totals () in
   let finish ~cached body =
+    let run_s = Obs.Clock.elapsed_s dequeued_ns in
+    Obs.Histogram.observe latency_us (int_of_float (run_s *. 1e6));
+    Obs.Window.roll_if_due t.window;
+    (* The outcome event goes out before any flight dump so the dump's
+       body includes it (the request's begin breadcrumb is Debug and
+       log-only; the failure event is the one flight-recorded record
+       that names the failure). *)
     emit_outcome t req ~cached body;
+    (match body with
+    | Proto.Failed (Proto.Bad_request _) | Proto.Done _ | Proto.Stats _
+    | Proto.Healthy _ ->
+        ()
+    | Proto.Failed f -> dump_flight t ctx req f);
+    slow_log t ctx req ~run_s ~memo0 body;
     {
       Proto.id = req.Proto.id;
+      trace = Obs.Ctx.id ctx;
       cached;
       queue_s;
-      run_s = Obs.Clock.elapsed_s dequeued_ns;
+      run_s;
       body;
     }
   in
+  match req.Proto.mode with
+  | Proto.Metrics -> finish ~cached:false (stats_body t)
+  | Proto.Health -> finish ~cached:false (health_body t)
+  | Proto.Run | Proto.Classify ->
   Obs.Span.with_ ~sink:t.config.sink ~name:"svc:request"
     ~args:[ ("id", req.Proto.id) ]
   @@ fun () ->
@@ -298,9 +481,7 @@ let process t (req : Proto.request) ~submitted_ns =
             Key.of_request ?strategy:req.Proto.strategy
               ~extra:
                 [
-                  (match req.Proto.mode with
-                  | Proto.Run -> "mode=run"
-                  | Proto.Classify -> "mode=classify");
+                  "mode=" ^ Proto.mode_name req.Proto.mode;
                   Printf.sprintf "threads=%d" threads;
                   Printf.sprintf "check=%b" t.config.check;
                   Printf.sprintf "measure=%b" t.config.measure;
@@ -348,30 +529,49 @@ let batch t reqs =
   let out = Array.make n None in
   let m = Mutex.create () in
   let all_done = Condition.create () in
-  let remaining = ref n in
+  let pooled (req : Proto.request) =
+    not (Proto.introspective req.Proto.mode)
+  in
+  let remaining =
+    ref (Array.fold_left (fun k r -> if pooled r then k + 1 else k) 0 reqs)
+  in
   Array.iteri
     (fun i (req : Proto.request) ->
-      Obs.Event.emit ~log:t.config.events ~severity:Obs.Event.Debug
-        ~scope:"svc" ~name:"request.submit" (fun () ->
-          [ ("id", Obs.Event.Str req.Proto.id) ]);
-      let submitted_ns = Obs.Clock.now_ns () in
-      Pool.submit t.pool (fun () ->
-          let resp =
-            try process t req ~submitted_ns
-            with e ->
-              Proto.error_response ~id:req.Proto.id
-                (Proto.Panic (Printexc.to_string e))
-          in
-          out.(i) <- Some resp;
-          Mutex.lock m;
-          decr remaining;
-          if !remaining = 0 then Condition.signal all_done;
-          Mutex.unlock m))
+      if pooled req then begin
+        (* Mint the request context here and install it around submit:
+           Pool.submit captures it with the job, so the dequeue event and
+           every span/event of the pooled run carry this trace id. *)
+        let ctx = Obs.Ctx.make () in
+        Obs.Ctx.with_ctx ctx @@ fun () ->
+        Obs.Event.emit ~log:t.config.events ~severity:Obs.Event.Debug
+          ~scope:"svc" ~name:"request.submit" (fun () ->
+            [ ("id", Obs.Event.Str req.Proto.id) ]);
+        let submitted_ns = Obs.Clock.now_ns () in
+        Pool.submit t.pool (fun () ->
+            let resp =
+              try process t req ~submitted_ns
+              with e ->
+                Proto.error_response ~id:req.Proto.id ~trace:(Obs.Ctx.id ctx)
+                  (Proto.Panic (Printexc.to_string e))
+            in
+            out.(i) <- Some resp;
+            Mutex.lock m;
+            decr remaining;
+            if !remaining = 0 then Condition.signal all_done;
+            Mutex.unlock m)
+      end)
     reqs;
   Mutex.lock m;
   while !remaining > 0 do
     Condition.wait all_done m
   done;
   Mutex.unlock m;
+  (* Introspective ops run after the pooled work has drained, so a
+     trailing metrics/health line observes the whole batch — and a
+     deterministic cache hit-rate — rather than a race-dependent prefix. *)
+  Array.iteri
+    (fun i (req : Proto.request) ->
+      if not (pooled req) then out.(i) <- Some (run_one t req))
+    reqs;
   Array.to_list
     (Array.map (function Some r -> r | None -> assert false) out)

@@ -12,7 +12,15 @@
     Deadlines are cooperative: a request found expired when dequeued is
     failed without running, and one that finishes past its deadline has
     its (complete) result discarded in favor of a deadline error — a
-    running pipeline stage is never interrupted mid-flight. *)
+    running pipeline stage is never interrupted mid-flight.
+
+    Every request runs under an {!Obs.Ctx} (minted at submit, propagated
+    through the pool and the executor domains), so all spans/events it
+    causes carry its trace id, which is also stamped into the response.
+    Failed requests (deadline/pipeline/panic) dump their flight-recorder
+    history to [config.flight_dir]; {!Proto.Metrics}/{!Proto.Health}
+    requests are answered inline from the [Obs] registries and the
+    rolling {!Obs.Window} without touching the cache. *)
 
 type config = {
   domains : int;  (** worker domains draining the queue *)
@@ -28,12 +36,22 @@ type config = {
           key) *)
   sink : Obs.Sink.t;  (** spans: submit→dequeue→analyze→respond *)
   events : Obs.Event.t;  (** decision + service lifecycle events *)
+  slow_ms : float option;
+      (** log any request slower than this to stderr with stage timings
+          and the presburger-memo delta it caused *)
+  flight : bool;  (** enable the {!Obs.Flight} recorder at {!create} *)
+  flight_dir : string option;
+      (** where failed requests (deadline/pipeline/panic) dump their
+          flight-recorder JSONL postmortems; [None] = no dumps *)
+  window_s : float;  (** aggregation window period (see {!Obs.Window}) *)
+  windows : int;  (** retained windows *)
 }
 
 val default_config : config
 (** 4 domains, queue 64, cache 512 over 8 shards, 2 threads, check and
     measure on, no deadline, compiled execution, no-op sink and event
-    log. *)
+    log; flight recorder on (no dump dir), no slow-request log, 60
+    windows of 1s. *)
 
 type t
 
@@ -50,6 +68,10 @@ val batch : t -> Proto.request list -> Proto.response list
     after the first completes. *)
 
 val cache_stats : t -> Cache.stats
+
+val window : t -> Obs.Window.t
+(** The service's rolling aggregation window (rolled from the request
+    hot path; what the [metrics] op's windowed quantiles read). *)
 
 val exec_pool : t -> Runtime.Workers.t
 (** The persistent executor pool shared by every request's parallel

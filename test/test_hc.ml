@@ -337,7 +337,8 @@ let test_four_domain_stress () =
       match r.Proto.body with
       | Proto.Done { strategy; survey; _ } ->
           Ok (strategy, Option.map (fun s -> s.Proto.cls) survey)
-      | Proto.Failed f -> Error (Proto.failure_kind f) )
+      | Proto.Failed f -> Error (Proto.failure_kind f)
+      | Proto.Stats _ | Proto.Healthy _ -> Error "introspective" )
   in
   Alcotest.(check int)
     "one response per request"

@@ -225,7 +225,8 @@ let test_pool_of_one_sequential () =
       match r.Proto.body with
       | Proto.Done { strategy; survey; _ } ->
           Ok (strategy, Option.map (fun s -> s.Proto.cls) survey)
-      | Proto.Failed f -> Error (Proto.failure_kind f) )
+      | Proto.Failed f -> Error (Proto.failure_kind f)
+      | Proto.Stats _ | Proto.Healthy _ -> Error "introspective" )
   in
   Alcotest.(check int)
     "one response per request"
@@ -392,6 +393,184 @@ let test_service_deadline () =
   | _ -> Alcotest.fail "zero deadline should fail with a deadline record"
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry ops and request tracing                                    *)
+
+let classify_corpus ~copies =
+  List.concat_map
+    (fun copy ->
+      List.map
+        (fun (name, prog) ->
+          Proto.request
+            ~id:(Printf.sprintf "%s#%d" name copy)
+            ~name
+            ~params:(List.map (fun p -> (p, 8)) prog.Loopir.Ast.params)
+            ~mode:Proto.Classify (Proto.Prog prog))
+        [
+          ("example1", Loopir.Builtin.example1);
+          ("fig2", Loopir.Builtin.fig2);
+        ])
+    (List.init copies Fun.id)
+
+(* A batch ending in a metrics op: the op is answered after the pooled
+   analysis drains, so its snapshot must already show this batch's cache
+   hits, and both renderings must be well-formed. *)
+let test_service_metrics_op () =
+  let svc = Service.create ~config:(quiet_config ~domains:2) () in
+  let metrics_req = Proto.request ~id:"m0" ~mode:Proto.Metrics ~name:"metrics" (Proto.Src "") in
+  let responses = Service.batch svc (classify_corpus ~copies:3 @ [ metrics_req ]) in
+  Service.shutdown svc;
+  let m =
+    match List.rev responses with
+    | last :: _ -> last
+    | [] -> Alcotest.fail "no responses"
+  in
+  Alcotest.(check string) "metrics response id" "m0" m.Proto.id;
+  Alcotest.(check bool) "metrics response traced" true (m.Proto.trace <> "");
+  match m.Proto.body with
+  | Proto.Stats { prometheus; snapshot } ->
+      let contains sub s =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool)
+        "prometheus names sanitized" true
+        (contains "recpart_svc_cache_results_hits" prometheus);
+      (match snapshot with
+      | Pipeline.Json.Obj fields -> (
+          match List.assoc_opt "counters" fields with
+          | Some (Pipeline.Json.Obj counters) -> (
+              match List.assoc_opt "svc.cache.results.hits" counters with
+              | Some (Pipeline.Json.Int hits) ->
+                  Alcotest.(check bool)
+                    "duplicate-heavy batch shows cache hits" true (hits > 0)
+              | _ -> Alcotest.fail "svc.cache.results.hits missing")
+          | _ -> Alcotest.fail "counters block missing")
+      | _ -> Alcotest.fail "snapshot is not an object");
+      (* the wire form of the response must itself parse *)
+      (match Pipeline.Json.parse (Proto.response_to_line m) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "metrics response line: %s" e)
+  | _ -> Alcotest.fail "metrics op should answer with Stats"
+
+let test_service_health_op () =
+  let svc = Service.create ~config:(quiet_config ~domains:2) () in
+  let r =
+    Service.run_one svc
+      (Proto.request ~id:"h0" ~mode:Proto.Health ~name:"health" (Proto.Src ""))
+  in
+  Service.shutdown svc;
+  match r.Proto.body with
+  | Proto.Healthy { ok; detail } ->
+      Alcotest.(check bool) "freshly created service is healthy" true ok;
+      (match detail with
+      | Pipeline.Json.Obj fields ->
+          List.iter
+            (fun key ->
+              Alcotest.(check bool) (key ^ " block present") true
+                (List.mem_assoc key fields))
+            [ "pool"; "cache"; "exec"; "windows" ]
+      | _ -> Alcotest.fail "health detail is not an object")
+  | _ -> Alcotest.fail "health op should answer with Healthy"
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+(* A deadline-failed request must leave a flight-recorder postmortem
+   containing its id and trace id. *)
+let test_service_deadline_flight_dump () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "recpart-test-flight"
+  in
+  rm_rf dir;
+  let config = { (quiet_config ~domains:1) with flight_dir = Some dir } in
+  let svc = Service.create ~config () in
+  let r =
+    Service.run_one svc
+      (Proto.request ~id:"late" ~name:"late" ~params:[ ("n", 8) ]
+         ~deadline_s:0.0 (Proto.Src base_src))
+  in
+  Service.shutdown svc;
+  (match r.Proto.body with
+  | Proto.Failed (Proto.Deadline _) -> ()
+  | _ -> Alcotest.fail "zero deadline should fail with a deadline record");
+  Alcotest.(check bool) "response traced" true (r.Proto.trace <> "");
+  let dumps =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f >= 7 && String.sub f 0 7 = "flight-")
+  in
+  (match dumps with
+  | [ file ] ->
+      let ic = open_in (Filename.concat dir file) in
+      let len = in_channel_length ic in
+      let content = really_input_string ic len in
+      close_in ic;
+      let contains sub s =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "dump names the request" true
+        (contains "late" file);
+      Alcotest.(check bool) "dump carries the trace id" true
+        (contains r.Proto.trace content);
+      Alcotest.(check bool) "dump records the failure kind" true
+        (contains "deadline" content)
+  | files ->
+      Alcotest.failf "expected exactly one flight dump, found %d"
+        (List.length files));
+  rm_rf dir
+
+(* Every service span recorded during a pooled batch must carry the
+   originating request's trace id — including the ones that ran on pool
+   worker domains, which is where the Ctx propagation could break. *)
+let test_service_spans_carry_req () =
+  let sink = Obs.Sink.make () in
+  let config = { (quiet_config ~domains:2) with sink } in
+  let svc = Service.create ~config () in
+  let responses = Service.batch svc (classify_corpus ~copies:2) in
+  Service.shutdown svc;
+  let traces =
+    List.filter_map
+      (fun (r : Proto.response) ->
+        if r.Proto.trace = "" then None else Some r.Proto.trace)
+      responses
+  in
+  Alcotest.(check int) "every response traced" (List.length responses)
+    (List.length traces);
+  let svc_spans =
+    List.filter
+      (fun (s : Obs.Sink.span) ->
+        String.length s.Obs.Sink.name >= 4
+        && String.sub s.Obs.Sink.name 0 4 = "svc:")
+      (Obs.Sink.spans sink)
+  in
+  Alcotest.(check bool) "batch recorded service spans" true (svc_spans <> []);
+  let main_tid = (Domain.self () :> int) in
+  let off_main = ref false in
+  List.iter
+    (fun (s : Obs.Sink.span) ->
+      match List.assoc_opt "req" s.Obs.Sink.args with
+      | None -> Alcotest.failf "span %s lost its request id" s.Obs.Sink.name
+      | Some req ->
+          if s.Obs.Sink.tid <> main_tid then off_main := true;
+          Alcotest.(check bool)
+            (Printf.sprintf "span %s req is a batch trace" s.Obs.Sink.name)
+            true (List.mem req traces))
+    svc_spans;
+  Alcotest.(check bool) "spans ran on pool worker domains" true !off_main
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "svc"
@@ -435,5 +614,15 @@ let () =
           Alcotest.test_case "error isolation" `Quick
             test_service_error_isolation;
           Alcotest.test_case "deadline" `Quick test_service_deadline;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "metrics op over a batch" `Quick
+            test_service_metrics_op;
+          Alcotest.test_case "health op" `Quick test_service_health_op;
+          Alcotest.test_case "deadline leaves a flight dump" `Quick
+            test_service_deadline_flight_dump;
+          Alcotest.test_case "spans carry the request trace" `Quick
+            test_service_spans_carry_req;
         ] );
     ]

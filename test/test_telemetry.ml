@@ -1,0 +1,435 @@
+(* Tests for the live-telemetry layer: request contexts (Obs.Ctx) and
+   their propagation across the executor pool, histogram percentile
+   estimation, windowed aggregates (Obs.Window), the flight recorder
+   (Obs.Flight) and the metric exporters — including 4-domain
+   concurrent-writer stress for the lock-free paths. *)
+
+module Ctx = Obs.Ctx
+module Flight = Obs.Flight
+module Window = Obs.Window
+module Hist = Obs.Histogram
+module Counter = Obs.Counter
+module Metrics = Obs.Metrics
+module Export = Obs.Export
+module Json = Pipeline.Json
+
+let flight_off () =
+  Flight.disable ();
+  Flight.clear ()
+
+(* ------------------------------------------------------------------ *)
+(* Ctx                                                                  *)
+
+let test_ctx_ids_unique () =
+  let ids = List.init 1000 (fun _ -> Ctx.id (Ctx.make ())) in
+  let distinct = List.sort_uniq String.compare ids in
+  Alcotest.(check int) "all distinct" 1000 (List.length distinct);
+  List.iter
+    (fun id -> Alcotest.(check bool) "non-empty" true (String.length id > 0))
+    ids
+
+let test_ctx_scoping () =
+  Alcotest.(check (option string)) "none outside" None (Ctx.current_id ());
+  let a = Ctx.make () and b = Ctx.make () in
+  Ctx.with_ctx a (fun () ->
+      Alcotest.(check (option string))
+        "a installed" (Some (Ctx.id a)) (Ctx.current_id ());
+      Ctx.with_ctx b (fun () ->
+          Alcotest.(check (option string))
+            "b nested" (Some (Ctx.id b)) (Ctx.current_id ()));
+      Alcotest.(check (option string))
+        "a restored" (Some (Ctx.id a)) (Ctx.current_id ());
+      Ctx.with_opt None (fun () ->
+          Alcotest.(check (option string))
+            "with_opt None hides" None (Ctx.current_id ())));
+  Alcotest.(check (option string)) "none after" None (Ctx.current_id ());
+  (try Ctx.with_ctx a (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check (option string))
+    "restored after raise" None (Ctx.current_id ())
+
+let test_ctx_of_id () =
+  let c = Ctx.of_id "client-7" in
+  Ctx.with_ctx c (fun () ->
+      Alcotest.(check (option string))
+        "adopted" (Some "client-7") (Ctx.current_id ()))
+
+(* Every thunk run through the executor pool must observe the context
+   that was installed when [run] was called — including the thunks that
+   execute on spawned worker domains. *)
+let test_ctx_crosses_workers () =
+  let pool = Runtime.Workers.create ~domains:4 in
+  Fun.protect
+    ~finally:(fun () -> Runtime.Workers.shutdown pool)
+    (fun () ->
+      let c = Ctx.make () in
+      let seen =
+        Ctx.with_ctx c (fun () ->
+            Runtime.Workers.run pool
+              (Array.init 32 (fun _ () ->
+                   (* a little work so the thunks spread across domains *)
+                   ignore (Sys.opaque_identity (Array.init 4096 Fun.id));
+                   Ctx.current_id ())))
+      in
+      Array.iter
+        (fun id ->
+          Alcotest.(check (option string)) "ctx on worker" (Some (Ctx.id c)) id)
+        seen;
+      (* and with no context installed, the workers see none *)
+      let bare =
+        Runtime.Workers.run pool
+          (Array.init 8 (fun _ () -> Ctx.current_id ()))
+      in
+      Array.iter
+        (fun id -> Alcotest.(check (option string)) "no ctx leaks" None id)
+        bare)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram percentiles                                                *)
+
+let test_percentile_empty () =
+  Metrics.reset_all ();
+  let h = Hist.make "tt.empty" in
+  Alcotest.(check (float 0.0)) "empty p50" 0.0 (Hist.percentile (Hist.snap h) 0.5)
+
+let test_percentile_uniform () =
+  Metrics.reset_all ();
+  let h = Hist.make "tt.uniform" in
+  for v = 1 to 1024 do
+    Hist.observe h v
+  done;
+  let s = Hist.snap h in
+  let p50 = Hist.percentile s 0.5
+  and p90 = Hist.percentile s 0.9
+  and p99 = Hist.percentile s 0.99 in
+  (* the uniform distribution fills every bucket exactly, so linear
+     interpolation recovers the true median *)
+  Alcotest.(check (float 1e-6)) "p50 exact" 512.0 p50;
+  (* true p90 = 922, p99 = 1014; the estimate must land in the sample's
+     bucket (512, 1024] *)
+  Alcotest.(check bool) "p90 in bucket" true (p90 > 512.0 && p90 <= 1024.0);
+  Alcotest.(check bool) "p99 in bucket" true (p99 > 512.0 && p99 <= 1024.0);
+  Alcotest.(check bool) "p99 near true value" true (abs_float (p99 -. 1014.0) < 16.0);
+  Alcotest.(check bool) "monotone" true (p50 <= p90 && p90 <= p99);
+  Alcotest.(check (float 1e-6)) "q clamped low" (Hist.percentile s 0.0)
+    (Hist.percentile s (-1.0));
+  Alcotest.(check (float 1e-6)) "q clamped high" (Hist.percentile s 1.0)
+    (Hist.percentile s 2.0)
+
+let test_percentile_point_mass () =
+  Metrics.reset_all ();
+  let h = Hist.make "tt.point" in
+  for _ = 1 to 1000 do
+    Hist.observe h 100
+  done;
+  let s = Hist.snap h in
+  let p50 = Hist.percentile s 0.5 and p99 = Hist.percentile s 0.99 in
+  (* every sample is 100, in bucket (64, 128]; any estimate must stay in
+     that bucket, and p50/p99 agree since there is only one bucket *)
+  Alcotest.(check bool) "p50 in bucket" true (p50 > 64.0 && p50 <= 128.0);
+  Alcotest.(check bool) "p99 in bucket" true (p99 > 64.0 && p99 <= 128.0)
+
+(* ------------------------------------------------------------------ *)
+(* Window                                                               *)
+
+let test_window_roll_and_merge () =
+  Metrics.reset_all ();
+  let c = Counter.make "tt.w.count" in
+  (* a huge period so only explicit [roll] closes windows *)
+  let w = Window.create ~windows:4 ~period_s:1e6 () in
+  Alcotest.(check int) "no closed windows" 0 (Window.closed w);
+  Counter.add c 5;
+  Window.roll w;
+  Alcotest.(check int) "one closed" 1 (Window.closed w);
+  let merged = Window.merged w in
+  Alcotest.(check (option int))
+    "closed diff visible" (Some 5)
+    (List.assoc_opt "tt.w.count" merged.Metrics.counters);
+  Counter.add c 3;
+  let merged = Window.merged w in
+  Alcotest.(check (option int))
+    "in-progress merged" (Some 8)
+    (List.assoc_opt "tt.w.count" merged.Metrics.counters);
+  Window.roll w;
+  Alcotest.(check int) "two closed" 2 (Window.closed w);
+  (* roll_if_due with a huge period is a no-op *)
+  Window.roll_if_due w;
+  Alcotest.(check int) "not due" 2 (Window.closed w);
+  (* four empty rolls evict both active windows from the 4-slot ring *)
+  for _ = 1 to 4 do
+    Window.roll w
+  done;
+  Alcotest.(check int) "ring capped" 4 (Window.closed w);
+  let merged = Window.merged w in
+  Alcotest.(check (option int))
+    "old activity evicted" None
+    (List.assoc_opt "tt.w.count" merged.Metrics.counters)
+
+let test_window_summary_quantiles () =
+  Metrics.reset_all ();
+  let h = Hist.make "tt.w.lat" in
+  let w = Window.create ~windows:4 ~period_s:1e6 () in
+  for v = 1 to 100 do
+    Hist.observe h v
+  done;
+  Window.roll w;
+  match List.assoc_opt "tt.w.lat" (Window.summary w) with
+  | None -> Alcotest.fail "histogram missing from window summary"
+  | Some q ->
+      Alcotest.(check int) "count" 100 q.Window.count;
+      Alcotest.(check int) "sum" 5050 q.Window.sum;
+      (* true median 50 lives in bucket (32, 64] *)
+      Alcotest.(check bool)
+        "p50 in bucket" true
+        (q.Window.p50 > 32.0 && q.Window.p50 <= 64.0);
+      Alcotest.(check bool)
+        "monotone" true
+        (q.Window.p50 <= q.Window.p90 && q.Window.p90 <= q.Window.p99)
+
+(* 4 domains hammer a counter and a histogram while the main domain
+   keeps closing windows: every per-window diff must be non-negative
+   (snapshots may be torn, but counters are monotone), and the merged
+   view must telescope back to the exact totals once the writers join. *)
+let test_window_stress_4_domains () =
+  Metrics.reset_all ();
+  let c = Counter.make "tt.w.stress" in
+  let h = Hist.make "tt.w.stress_lat" in
+  let w = Window.create ~windows:60 ~period_s:1e6 () in
+  let per_domain = 20_000 in
+  let writers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Counter.incr c;
+              Hist.observe h (i land 1023)
+            done))
+  in
+  for _ = 1 to 40 do
+    Window.roll w
+  done;
+  List.iter Domain.join writers;
+  Window.roll w;
+  List.iter
+    (fun { Window.metrics; _ } ->
+      List.iter
+        (fun (name, v) ->
+          if v < 0 then
+            Alcotest.failf "negative counter diff %s = %d in a window" name v)
+        metrics.Metrics.counters;
+      List.iter
+        (fun (name, (s : Hist.snap)) ->
+          let bucket_total =
+            List.fold_left (fun acc (_, n) -> acc + n) 0 s.Hist.buckets
+          in
+          (* within one snapshot buckets never exceed count, but a diff
+             of two snapshots can skew by the observations in flight at
+             the [before] cut (count bumped, bucket not yet) — at most
+             one per concurrent writer *)
+          if s.Hist.count < 0 || bucket_total > s.Hist.count + 4 then
+            Alcotest.failf "torn histogram diff %s: buckets %d vs count %d"
+              name bucket_total s.Hist.count)
+        metrics.Metrics.histograms)
+    (Window.windows w);
+  let merged = Window.merged w in
+  Alcotest.(check (option int))
+    "merged counter telescopes" (Some (4 * per_domain))
+    (List.assoc_opt "tt.w.stress" merged.Metrics.counters);
+  (match List.assoc_opt "tt.w.stress_lat" merged.Metrics.histograms with
+  | None -> Alcotest.fail "stress histogram missing after merge"
+  | Some s ->
+      Alcotest.(check int) "merged histogram count" (4 * per_domain)
+        s.Hist.count)
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                      *)
+
+let mk_entry ?(req = "") ~t name =
+  {
+    Flight.kind = "event";
+    scope = "tt";
+    name;
+    req;
+    tid = (Domain.self () :> int);
+    t_ns = Int64.of_int t;
+    dur_ns = 0L;
+    detail = [ ("k", "v") ];
+  }
+
+let test_flight_disabled_noop () =
+  flight_off ();
+  Flight.record (mk_entry ~t:1 "dropped");
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Flight.entries ()))
+
+let test_flight_ring_overwrite () =
+  flight_off ();
+  Flight.enable ~capacity:4 ();
+  for i = 0 to 9 do
+    Flight.record (mk_entry ~t:i (Printf.sprintf "e%d" i))
+  done;
+  let names = List.map (fun e -> e.Flight.name) (Flight.entries ()) in
+  Alcotest.(check (list string))
+    "last capacity entries, oldest first"
+    [ "e6"; "e7"; "e8"; "e9" ]
+    names;
+  Flight.clear ();
+  Alcotest.(check int) "clear drops rings" 0 (List.length (Flight.entries ()));
+  flight_off ()
+
+let test_flight_req_filter_and_jsonl () =
+  flight_off ();
+  Flight.enable ~capacity:64 ();
+  for i = 0 to 9 do
+    Flight.record (mk_entry ~req:(if i mod 2 = 0 then "a" else "b") ~t:i
+                     (Printf.sprintf "e%d" i))
+  done;
+  Alcotest.(check int) "req filter" 5
+    (List.length (Flight.entries ~req:"a" ()));
+  let dump = Flight.to_jsonl (Flight.entries ()) in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' dump)
+  in
+  Alcotest.(check int) "one line per entry" 10 (List.length lines);
+  List.iter
+    (fun line ->
+      match Json.parse line with
+      | Ok (Json.Obj fields) ->
+          Alcotest.(check bool) "has req" true (List.mem_assoc "req" fields);
+          Alcotest.(check bool) "has name" true (List.mem_assoc "name" fields)
+      | Ok _ -> Alcotest.fail "flight line is not an object"
+      | Error e -> Alcotest.failf "flight line does not parse: %s" e)
+    lines;
+  flight_off ()
+
+let test_flight_4_domain_writers () =
+  flight_off ();
+  Flight.enable ~capacity:256 ();
+  let per_domain = 100 in
+  let writers =
+    List.init 4 (fun k ->
+        Domain.spawn (fun () ->
+            let req = Printf.sprintf "d%d" k in
+            for i = 1 to per_domain do
+              Flight.record
+                { (mk_entry ~req ~t:0 (Printf.sprintf "%s-%d" req i)) with
+                  t_ns = Obs.Clock.now_ns ();
+                }
+            done))
+  in
+  List.iter Domain.join writers;
+  for k = 0 to 3 do
+    Alcotest.(check int)
+      (Printf.sprintf "domain %d entries all retained" k)
+      per_domain
+      (List.length (Flight.entries ~req:(Printf.sprintf "d%d" k) ()))
+  done;
+  let all = Flight.entries () in
+  Alcotest.(check int) "total" (4 * per_domain) (List.length all);
+  let sorted = ref true in
+  let _ =
+    List.fold_left
+      (fun prev e ->
+        if Int64.compare prev e.Flight.t_ns > 0 then sorted := false;
+        e.Flight.t_ns)
+      Int64.min_int all
+  in
+  Alcotest.(check bool) "merged oldest-first" true !sorted;
+  flight_off ()
+
+(* A span and an event recorded under an installed context must land in
+   the flight ring attributed to that context's trace id. *)
+let test_flight_captures_ctx () =
+  flight_off ();
+  Flight.enable ~capacity:64 ();
+  let c = Ctx.make () in
+  Ctx.with_ctx c (fun () ->
+      Obs.Span.with_ ~name:"tt:span" ~args:[ ("x", "1") ] (fun () ->
+          Obs.Event.emit ~scope:"tt" ~name:"ev" (fun () ->
+              [ ("n", Obs.Event.Int 3) ])));
+  let mine = Flight.entries ~req:(Ctx.id c) () in
+  Alcotest.(check int) "span + event attributed" 2 (List.length mine);
+  let kinds = List.sort compare (List.map (fun e -> e.Flight.kind) mine) in
+  Alcotest.(check (list string)) "kinds" [ "event"; "span" ] kinds;
+  flight_off ()
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                            *)
+
+let test_export_outputs () =
+  Metrics.reset_all ();
+  let c = Counter.make "tt.export.hits" in
+  let h = Hist.make "tt.export.lat" in
+  (* the window must be based before the activity it is to report *)
+  let w = Window.create ~windows:4 ~period_s:1e6 () in
+  Counter.add c 7;
+  for v = 1 to 64 do
+    Hist.observe h v
+  done;
+  Window.roll w;
+  let m = Metrics.snapshot () in
+  let text = Export.prometheus ~window:w m in
+  let contains sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length text && (String.sub text i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "counter line" true
+    (contains "recpart_tt_export_hits 7");
+  Alcotest.(check bool) "+Inf bucket" true
+    (contains "recpart_tt_export_lat_bucket{le=\"+Inf\"} 64");
+  Alcotest.(check bool) "windowed quantile gauge" true
+    (contains "recpart_window_quantile{name=\"tt_export_lat\",q=\"0.5\"}");
+  match Json.parse (Export.json_string ~window:w m) with
+  | Error e -> Alcotest.failf "json export does not parse: %s" e
+  | Ok (Json.Obj fields) ->
+      List.iter
+        (fun key ->
+          Alcotest.(check bool) (key ^ " present") true
+            (List.mem_assoc key fields))
+        [ "counters"; "histograms"; "windows" ]
+  | Ok _ -> Alcotest.fail "json export is not an object"
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "ctx",
+        [
+          Alcotest.test_case "unique ids" `Quick test_ctx_ids_unique;
+          Alcotest.test_case "scoping and restore" `Quick test_ctx_scoping;
+          Alcotest.test_case "adopt external id" `Quick test_ctx_of_id;
+          Alcotest.test_case "crosses the executor pool" `Quick
+            test_ctx_crosses_workers;
+        ] );
+      ( "percentile",
+        [
+          Alcotest.test_case "empty snapshot" `Quick test_percentile_empty;
+          Alcotest.test_case "uniform 1..1024" `Quick test_percentile_uniform;
+          Alcotest.test_case "point mass" `Quick test_percentile_point_mass;
+        ] );
+      ( "window",
+        [
+          Alcotest.test_case "roll, merge, evict" `Quick
+            test_window_roll_and_merge;
+          Alcotest.test_case "summary quantiles" `Quick
+            test_window_summary_quantiles;
+          Alcotest.test_case "4-domain torn-snapshot stress" `Quick
+            test_window_stress_4_domains;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_flight_disabled_noop;
+          Alcotest.test_case "ring overwrite ordering" `Quick
+            test_flight_ring_overwrite;
+          Alcotest.test_case "req filter and JSONL dump" `Quick
+            test_flight_req_filter_and_jsonl;
+          Alcotest.test_case "4-domain concurrent writers" `Quick
+            test_flight_4_domain_writers;
+          Alcotest.test_case "spans/events carry the ctx" `Quick
+            test_flight_captures_ctx;
+        ] );
+      ( "export",
+        [ Alcotest.test_case "prometheus and JSON" `Quick test_export_outputs ] );
+    ]
