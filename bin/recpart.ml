@@ -83,6 +83,65 @@ let write_file path s =
   output_string oc s;
   close_out oc
 
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* ---- cost-model constants on disk ------------------------------------ *)
+
+let cost_to_json (c : Runtime.Sim.cost) =
+  Pipeline.Json.Obj
+    [
+      ("w_iter", Pipeline.Json.Float c.Runtime.Sim.w_iter);
+      ("code_factor", Pipeline.Json.Float c.Runtime.Sim.code_factor);
+      ("fork", Pipeline.Json.Float c.Runtime.Sim.fork);
+      ("barrier", Pipeline.Json.Float c.Runtime.Sim.barrier);
+      ("bound_eval", Pipeline.Json.Float c.Runtime.Sim.bound_eval);
+    ]
+
+let cost_of_json j =
+  let num k =
+    match Pipeline.Json.member k j with
+    | Some (Pipeline.Json.Float f) -> Some f
+    | Some (Pipeline.Json.Int i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  match
+    (num "w_iter", num "code_factor", num "fork", num "barrier",
+     num "bound_eval")
+  with
+  | Some w_iter, Some code_factor, Some fork, Some barrier, Some bound_eval ->
+      Ok { Runtime.Sim.w_iter; code_factor; fork; barrier; bound_eval }
+  | _ ->
+      Error
+        "cost file must bind w_iter, code_factor, fork, barrier and \
+         bound_eval to numbers"
+
+let load_cost = function
+  | None -> None
+  | Some path -> (
+      let src =
+        try read_file path
+        with Sys_error m -> die "recpart: cannot read cost file: %s" m
+      in
+      match Pipeline.Json.parse src with
+      | Error m -> die "recpart: %s: invalid JSON: %s" path m
+      | Ok j -> (
+          match cost_of_json j with
+          | Ok c -> Some c
+          | Error m -> die "recpart: %s: %s" path m))
+
+let cost_file_arg =
+  let doc =
+    "Read cost-model constants (as written by $(b,profile --calibrate \
+     --cost-out)) from a JSON FILE and predict with them instead of the \
+     built-in defaults."
+  in
+  Arg.(value & opt (some string) None & info [ "cost" ] ~docv:"FILE" ~doc)
+
 let write_trace ?metrics sink = function
   | None -> ()
   | Some path ->
@@ -490,6 +549,71 @@ let explain_cmd =
 
 (* ---- profile ----------------------------------------------------------- *)
 
+let critpath_json (cp : Obs.Critpath.t) ~theorem_bound =
+  let module J = Pipeline.Json in
+  let opt f = function None -> J.Null | Some v -> f v in
+  let task_json (t : Obs.Critpath.task) =
+    J.Obj
+      [
+        ( "kind",
+          J.Str
+            (match t.Obs.Critpath.kind with
+            | Obs.Critpath.Chain -> "chain"
+            | Obs.Critpath.Block -> "block") );
+        ("id", J.Int t.Obs.Critpath.id);
+        ("len", J.Int t.Obs.Critpath.len);
+        ("tid", J.Int t.Obs.Critpath.tid);
+        ("start_ns", J.Int (Int64.to_int t.Obs.Critpath.start_ns));
+        ("dur_ns", J.Int (Int64.to_int t.Obs.Critpath.dur_ns));
+      ]
+  in
+  let barrier_json (b : Obs.Critpath.barrier) =
+    J.Obj
+      [
+        ("label", J.Str b.Obs.Critpath.label);
+        ("wall_ns", J.Int (Int64.to_int b.Obs.Critpath.wall_ns));
+        ("tasks", J.Int b.Obs.Critpath.n_tasks);
+        ("domains", J.Int b.Obs.Critpath.n_domains);
+        ("busy_ns", J.Int (Int64.to_int b.Obs.Critpath.busy_ns));
+        ("idle_fraction", J.Float b.Obs.Critpath.idle_fraction);
+        ("crit_ns", J.Int (Int64.to_int b.Obs.Critpath.crit_ns));
+        ("longest_len", J.Int b.Obs.Critpath.longest_len);
+        ("straggler", opt task_json b.Obs.Critpath.straggler);
+      ]
+  in
+  J.Obj
+    [
+      ("threads", J.Int cp.Obs.Critpath.threads);
+      ("wall_ns", J.Int (Int64.to_int cp.Obs.Critpath.wall_ns));
+      ("critical_ns", J.Int (Int64.to_int cp.Obs.Critpath.critical_ns));
+      ("critical_fraction", J.Float cp.Obs.Critpath.critical_fraction);
+      ( "longest_chain",
+        opt (fun l -> J.Int l) cp.Obs.Critpath.longest_chain );
+      ("theorem_bound", opt (fun b -> J.Int b) theorem_bound);
+      ("barriers", J.List (List.map barrier_json cp.Obs.Critpath.barriers));
+    ]
+
+(* Calibration samples: the schedule's size structure zipped positionally
+   with the executor's measured per-phase busy/wall profile (both walk the
+   same phase list). *)
+let samples_of_run ~threads sched (report : Pipeline.Report.t) =
+  match sched with
+  | None -> []
+  | Some s ->
+      let shapes = Runtime.Sim.abstract s in
+      let phases = report.Pipeline.Report.phases in
+      if List.length shapes <> List.length phases then []
+      else
+        List.map2
+          (fun shape (p : Pipeline.Report.phase_profile) ->
+            {
+              Runtime.Sim.s_threads = threads;
+              s_shape = shape;
+              s_busy = p.Pipeline.Report.busy_seconds;
+              s_wall = p.Pipeline.Report.seconds;
+            })
+          shapes phases
+
 let profile_cmd =
   let html_arg =
     let doc =
@@ -498,7 +622,37 @@ let profile_cmd =
     in
     Arg.(value & opt (some string) None & info [ "html" ] ~docv:"FILE" ~doc)
   in
-  let run spec passoc threads strategy engine trace html =
+  let sched_arg =
+    let doc =
+      "Print the scheduler profile: critical path through the barriers, \
+       per-barrier straggler attribution, and the measured longest chain \
+       vs the Theorem 1 bound."
+    in
+    Arg.(value & flag & info [ "sched" ] ~doc)
+  in
+  let sched_json_arg =
+    let doc =
+      "Write the scheduler profile (critical path, straggler table, \
+       predicted-vs-actual report) as JSON to FILE."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "sched-json" ] ~docv:"FILE" ~doc)
+  in
+  let calibrate_arg =
+    let doc =
+      "Fit the cost-model constants ({!Runtime.Sim.calibrate}) from this \
+       run's measured phases and print them; combine with $(b,--cost-out) \
+       to persist."
+    in
+    Arg.(value & flag & info [ "calibrate" ] ~doc)
+  in
+  let cost_out_arg =
+    let doc = "Write the calibrated cost constants to FILE as JSON." in
+    Arg.(value & opt (some string) None
+         & info [ "cost-out" ] ~docv:"FILE" ~doc)
+  in
+  let run spec passoc threads strategy engine trace html sched_prof
+      sched_json calibrate cost_out cost_file =
     let prog = load_program spec in
     let params = params_of_assoc prog passoc in
     let sink = Obs.Sink.make () in
@@ -508,6 +662,7 @@ let profile_cmd =
         threads;
         strategy;
         exec_engine = engine;
+        sim_cost = load_cost cost_file;
         sink;
       }
     in
@@ -524,10 +679,55 @@ let profile_cmd =
         write_trace sink trace;
         write_html ();
         die "recpart: %s" (Pipeline.Driver.error_to_string e)
-    | Ok { report; _ } ->
+    | Ok { report; sched; _ } ->
         print_string (Obs.Trace.to_text sink);
         print_newline ();
         print_string (Pipeline.Report.to_text report);
+        let theorem_bound =
+          Option.bind report.Pipeline.Report.stats (fun st ->
+              st.Pipeline.Report.theorem_bound)
+        in
+        if sched_prof || sched_json <> None then begin
+          let cp = Obs.Critpath.of_spans ~threads (Obs.Sink.spans sink) in
+          if sched_prof then begin
+            print_newline ();
+            print_string (Obs.Critpath.to_text ?theorem_bound cp)
+          end;
+          match sched_json with
+          | None -> ()
+          | Some path ->
+              write_file path
+                (Pipeline.Json.to_string_pretty
+                   (Pipeline.Json.Obj
+                      [
+                        ("program", Pipeline.Json.Str spec);
+                        ("critpath", critpath_json cp ~theorem_bound);
+                        ("report", Pipeline.Report.to_json report);
+                      ]));
+              Printf.eprintf "scheduler profile written to %s\n" path
+        end;
+        if calibrate then begin
+          match
+            Runtime.Sim.calibrate (samples_of_run ~threads sched report)
+          with
+          | None ->
+              prerr_endline
+                "calibration failed: the run measured no executed work \
+                 (nothing to fit)"
+          | Some c ->
+              Printf.printf
+                "calibrated cost (seconds): w_iter=%.3e fork=%.3e \
+                 barrier=%.3e bound_eval=%.3e code_factor=%.2f\n"
+                c.Runtime.Sim.w_iter c.Runtime.Sim.fork
+                c.Runtime.Sim.barrier c.Runtime.Sim.bound_eval
+                c.Runtime.Sim.code_factor;
+              (match cost_out with
+              | None -> ()
+              | Some path ->
+                  write_file path
+                    (Pipeline.Json.to_string_pretty (cost_to_json c));
+                  Printf.eprintf "cost constants written to %s\n" path)
+        end;
         write_trace ?metrics:report.Pipeline.Report.metrics sink trace;
         write_html ?metrics:report.Pipeline.Report.metrics ()
   in
@@ -535,11 +735,14 @@ let profile_cmd =
     (Cmd.info "profile"
        ~doc:
          "Run the pipeline with span recording on: print the per-domain \
-          span tree and the report (with load-imbalance and metrics \
-          sections), and optionally write a Chrome trace with $(b,--trace) \
-          or a standalone HTML report with $(b,--html)")
+          span tree and the report (with load-imbalance, prediction and \
+          metrics sections); $(b,--sched) adds the critical-path/straggler \
+          profile, $(b,--calibrate) fits the cost model from the measured \
+          run, and $(b,--trace)/$(b,--html) write Chrome-trace/HTML \
+          artifacts")
     Term.(const run $ prog_arg $ params_arg $ threads_arg $ strategy_arg
-          $ engine_arg $ trace_arg $ html_arg)
+          $ engine_arg $ trace_arg $ html_arg $ sched_arg $ sched_json_arg
+          $ calibrate_arg $ cost_out_arg $ cost_file_arg)
 
 (* ---- batch / serve ----------------------------------------------------- *)
 
@@ -844,33 +1047,110 @@ let metrics_cmd =
 (* ---- simulate ---------------------------------------------------------- *)
 
 let simulate_cmd =
-  let run spec passoc max_threads strategy =
+  let json_arg =
+    let doc =
+      "Emit the full cost breakdown as JSON: per-phase predicted times, \
+       totals, sequential baseline and speedup at every thread count."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run spec passoc max_threads strategy json cost_file =
+    let module J = Pipeline.Json in
     let prog = load_program spec in
     let params = params_of_assoc prog passoc in
     let plan = classify ?strategy prog in
     let conc = materialize plan ~prog ~params in
     match conc with
     | Pipeline.Driver.Model { tr } ->
-        Printf.printf "threads  makespan (DOACROSS pipeline model)\n";
-        for p = 1 to max_threads do
-          let r =
-            Baselines.Doacross.pipeline tr ~threads:p ~w_iter:1.0
-              ~delay_factor:0.5
-          in
-          Printf.printf "   %2d    %.1f\n" p r.Baselines.Doacross.makespan
-        done
+        let makespans =
+          List.init max_threads (fun i ->
+              let p = i + 1 in
+              ( p,
+                (Baselines.Doacross.pipeline tr ~threads:p ~w_iter:1.0
+                   ~delay_factor:0.5)
+                  .Baselines.Doacross.makespan ))
+        in
+        if json then
+          print_endline
+            (J.to_string_pretty
+               (J.Obj
+                  [
+                    ("program", J.Str spec);
+                    ("model", J.Str "doacross-pipeline");
+                    ( "threads",
+                      J.List
+                        (List.map
+                           (fun (p, m) ->
+                             J.Obj
+                               [
+                                 ("threads", J.Int p);
+                                 ("makespan", J.Float m);
+                               ])
+                           makespans) );
+                  ]))
+        else begin
+          Printf.printf "threads  makespan (DOACROSS pipeline model)\n";
+          List.iter
+            (fun (p, m) -> Printf.printf "   %2d    %.1f\n" p m)
+            makespans
+        end
     | _ ->
         let sched = schedule_of conc in
         let n = Runtime.Sched.n_instances sched in
-        Printf.printf "threads  speedup (simulated SMP, REC code factor 0.8)\n";
-        for p = 1 to max_threads do
-          Printf.printf "   %2d    %.2f\n" p
-            (Runtime.Sim.speedup (Runtime.Sim.with_factor 0.8) ~threads:p
-               ~n_seq:n sched)
-        done
+        let cost, cost_source =
+          match load_cost cost_file with
+          | Some c -> (c, "calibrated")
+          | None -> (Runtime.Sim.with_factor 0.8, "default")
+        in
+        if json then begin
+          let at_threads p =
+            let phases = Runtime.Sim.predict cost ~threads:p sched in
+            let total = List.fold_left (fun a (_, t) -> a +. t) 0.0 phases in
+            J.Obj
+              [
+                ("threads", J.Int p);
+                ( "phases",
+                  J.List
+                    (List.map
+                       (fun (label, t) ->
+                         J.Obj
+                           [ ("label", J.Str label); ("seconds", J.Float t) ])
+                       phases) );
+                ("total_seconds", J.Float total);
+                ( "speedup",
+                  J.Float (Runtime.Sim.speedup cost ~threads:p ~n_seq:n sched)
+                );
+              ]
+          in
+          print_endline
+            (J.to_string_pretty
+               (J.Obj
+                  [
+                    ("program", J.Str spec);
+                    ("model", J.Str "smp");
+                    ("cost_source", J.Str cost_source);
+                    ("cost", cost_to_json cost);
+                    ("n_instances", J.Int n);
+                    ("seq_seconds", J.Float (Runtime.Sim.seq_time cost n));
+                    ( "threads",
+                      J.List
+                        (List.init max_threads (fun i -> at_threads (i + 1)))
+                    );
+                  ]))
+        end
+        else begin
+          Printf.printf "threads  speedup (simulated SMP, %s cost, code \
+                         factor %.2f)\n"
+            cost_source cost.Runtime.Sim.code_factor;
+          for p = 1 to max_threads do
+            Printf.printf "   %2d    %.2f\n" p
+              (Runtime.Sim.speedup cost ~threads:p ~n_seq:n sched)
+          done
+        end
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Predicted speedup on the SMP cost model")
-    Term.(const run $ prog_arg $ params_arg $ threads_arg $ strategy_arg)
+    Term.(const run $ prog_arg $ params_arg $ threads_arg $ strategy_arg
+          $ json_arg $ cost_file_arg)
 
 (* ---- viz ---------------------------------------------------------------- *)
 

@@ -14,8 +14,15 @@ let num buf f =
 
 (* ---- Prometheus text format ------------------------------------------ *)
 
-let prometheus ?(prefix = "recpart_") ?window (m : Metrics.t) =
+let prometheus ?(prefix = "recpart_") ?(gauges = []) ?window (m : Metrics.t) =
   let buf = Buffer.create 2048 in
+  List.iter
+    (fun (name, v) ->
+      let n = prefix ^ sanitize name in
+      Printf.bprintf buf "# TYPE %s gauge\n%s " n n;
+      num buf v;
+      Buffer.add_char buf '\n')
+    gauges;
   List.iter
     (fun (name, v) ->
       let n = prefix ^ sanitize name in
@@ -102,9 +109,21 @@ let hist_json buf (s : Histogram.snap) =
     s.Histogram.buckets;
   Buffer.add_string buf "]}"
 
-let json_string ?window (m : Metrics.t) =
+let json_string ?(gauges = []) ?window (m : Metrics.t) =
   let buf = Buffer.create 2048 in
-  Buffer.add_string buf "{\"counters\": {";
+  Buffer.add_string buf "{";
+  if gauges <> [] then begin
+    Buffer.add_string buf "\"gauges\": {";
+    List.iteri
+      (fun k (name, v) ->
+        if k > 0 then Buffer.add_string buf ", ";
+        escape buf name;
+        Buffer.add_string buf ": ";
+        num buf v)
+      gauges;
+    Buffer.add_string buf "}, "
+  end;
+  Buffer.add_string buf "\"counters\": {";
   List.iteri
     (fun k (name, v) ->
       if k > 0 then Buffer.add_string buf ", ";

@@ -11,16 +11,25 @@ val sanitize : string -> string
     outside [[A-Za-z0-9_]] becomes ['_']
     (e.g. [svc.cache.results.hits → svc_cache_results_hits]). *)
 
-val prometheus : ?prefix:string -> ?window:Window.t -> Metrics.t -> string
+val prometheus :
+  ?prefix:string ->
+  ?gauges:(string * float) list ->
+  ?window:Window.t ->
+  Metrics.t ->
+  string
 (** Prometheus text exposition format (version 0.0.4): counters as
     [counter], histograms as cumulative [_bucket{le="..."}] series plus
     [_sum]/[_count], windowed quantiles as
     [<prefix>window_quantile{name="...",q="0.5|0.9|0.99"}] gauges.
-    [prefix] defaults to ["recpart_"]. *)
+    [gauges] are point-in-time values the registries do not track
+    (pool queue depth, configured domain counts, …), emitted first as
+    [gauge] series.  [prefix] defaults to ["recpart_"]. *)
 
-val json_string : ?window:Window.t -> Metrics.t -> string
-(** One JSON object — [{"counters": {...}, "histograms": {name:
-    {count, sum, p50, p90, p99, buckets: [[ub, n], ...]}}, "windows":
-    {period_s, max, closed, histograms: {...}}}] — guaranteed to parse
-    with [Pipeline.Json.parse] (obs sits below the pipeline layer, so it
+val json_string :
+  ?gauges:(string * float) list -> ?window:Window.t -> Metrics.t -> string
+(** One JSON object — [{"gauges": {...}, "counters": {...},
+    "histograms": {name: {count, sum, p50, p90, p99, buckets:
+    [[ub, n], ...]}}, "windows": {period_s, max, closed, histograms:
+    {...}}}] (["gauges"] only when given) — guaranteed to parse with
+    [Pipeline.Json.parse] (obs sits below the pipeline layer, so it
     writes the text directly). *)

@@ -170,6 +170,7 @@ type options = {
   engine : [ `Enum | `Scan ];
   exec_engine : Runtime.Exec.engine;
   workers : Runtime.Workers.t option;
+  sim_cost : Runtime.Sim.cost option;
   sink : Obs.Sink.t;
   events : Obs.Event.t;
 }
@@ -183,6 +184,7 @@ let default_options =
     engine = `Scan;
     exec_engine = `Compiled;
     workers = None;
+    sim_cost = None;
     sink = Obs.Sink.null;
     events = Obs.Event.null;
   }
@@ -282,6 +284,19 @@ let run ?(options = default_options) ~name ~params prog =
                      | Error m -> Report.Failed m)))
       | _ -> Ok Report.Skipped
     in
+    (* Predict before executing: the cost model is only useful if it is
+       held to account against what the executor then measures. *)
+    let predicted =
+      match sched with
+      | None -> None
+      | Some s ->
+          let cost, cost_source =
+            match options.sim_cost with
+            | Some c -> (c, "calibrated")
+            | None -> (Runtime.Sim.base_seconds, "default")
+          in
+          Some (Strategy.predict ~cost ~threads:options.threads s, cost_source)
+    in
     (* Execution: sequential ground truth + instrumented parallel run, or
        the DOACROSS cost model. *)
     let* ( semantics,
@@ -339,6 +354,8 @@ let run ?(options = default_options) ~name ~params prog =
                              instances = p.Runtime.Exec.n_instances;
                              units = p.Runtime.Exec.n_units;
                              seconds = p.Runtime.Exec.seconds;
+                             busy_seconds =
+                               Array.fold_left ( +. ) 0.0 p.Runtime.Exec.busy;
                              alloc_words =
                                Array.fold_left ( +. ) 0.0
                                  p.Runtime.Exec.alloc;
@@ -373,6 +390,49 @@ let run ?(options = default_options) ~name ~params prog =
           (Some (Runtime.Sched.n_instances s), Some (Runtime.Sched.n_phases s))
       | _ -> (None, None)
     in
+    let prediction =
+      match predicted with
+      | None -> None
+      | Some (per_phase_pred, cost_source) ->
+          (* run_timed profiles phases positionally off the same schedule
+             the prediction walked, so zip when the lengths agree. *)
+          let actuals =
+            if List.length profiles = List.length per_phase_pred then
+              List.map
+                (fun (p : Report.phase_profile) -> Some p.Report.seconds)
+                profiles
+            else List.map (fun _ -> None) per_phase_pred
+          in
+          let per_phase =
+            List.map2
+              (fun (lbl, pred) actual ->
+                {
+                  Report.p_label = lbl;
+                  predicted_s = pred;
+                  actual_s = actual;
+                  p_rel_error =
+                    Option.bind actual (fun a ->
+                        Report.rel_error ~predicted:pred ~actual:a);
+                })
+              per_phase_pred actuals
+          in
+          let total_predicted_s =
+            List.fold_left (fun acc (_, p) -> acc +. p) 0.0 per_phase_pred
+          in
+          let rel_error =
+            Option.bind par_seconds (fun a ->
+                Report.rel_error ~predicted:total_predicted_s ~actual:a)
+          in
+          Option.iter Runtime.Sim.observe_rel_error rel_error;
+          Some
+            {
+              Report.cost_source;
+              per_phase;
+              total_predicted_s;
+              total_actual_s = par_seconds;
+              rel_error;
+            }
+    in
     let metrics =
       Obs.Metrics.diff ~before:metrics_before ~after:(Obs.Metrics.snapshot ())
     in
@@ -399,6 +459,7 @@ let run ?(options = default_options) ~name ~params prog =
         thread_loads = loads;
         phases = profiles;
         balance;
+        prediction;
         gc = List.rev !gcs;
         metrics = (if Obs.Metrics.is_empty metrics then None else Some metrics);
       }

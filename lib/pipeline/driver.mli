@@ -78,6 +78,12 @@ type options = {
   workers : Runtime.Workers.t option;
       (** persistent executor pool to reuse across runs; [None] (the
           default) lets each run create and shut down a transient pool *)
+  sim_cost : Runtime.Sim.cost option;
+      (** cost-model constants for the pre-execution prediction
+          ({!Report.prediction}); [None] (the default) predicts with the
+          uncalibrated {!Runtime.Sim.base_seconds}, [Some c] uses
+          calibrated constants (see {!Runtime.Sim.calibrate}) and tags the
+          report's prediction block ["calibrated"] *)
   sink : Obs.Sink.t;
       (** where stage/execution spans go; {!Obs.Sink.null} (the default)
           records nothing and costs one branch per span site *)

@@ -30,8 +30,30 @@ type phase_profile = {
   instances : int;
   units : int;
   seconds : float;
+  busy_seconds : float;
   alloc_words : float;
 }
+
+type phase_prediction = {
+  p_label : string;
+  predicted_s : float;
+  actual_s : float option;
+  p_rel_error : float option;
+}
+
+type prediction = {
+  cost_source : string;
+  per_phase : phase_prediction list;
+  total_predicted_s : float;
+  total_actual_s : float option;
+  rel_error : float option;
+}
+
+let rel_error ~predicted ~actual =
+  if actual > 0.0 && Float.is_finite predicted then
+    let e = Float.abs (predicted -. actual) /. actual in
+    if Float.is_finite e then Some e else None
+  else None
 
 type balance = {
   busy : float array;
@@ -41,6 +63,16 @@ type balance = {
   idle_fraction : float;
   per_phase_idle : (string * float) list;
 }
+
+(* Idle time is a fraction by construction; degenerate schedules (zero or
+   sub-tick wall time, empty busy arrays, non-finite clock readings) must
+   clamp to 0.0 rather than leak nan/inf into reports and the bench
+   gate. *)
+let idle_frac ~busy_sum ~slots ~wall =
+  if not (Float.is_finite wall) || wall <= 0.0 then 0.0
+  else
+    let f = 1.0 -. (busy_sum /. (float_of_int (max 1 slots) *. wall)) in
+    if Float.is_finite f then Float.max 0.0 (Float.min 1.0 f) else 0.0
 
 let balance_of_phases ~threads stats =
   match stats with
@@ -57,15 +89,12 @@ let balance_of_phases ~threads stats =
                 let k = min k (threads - 1) in
                 slots.(k) <- slots.(k) +. b)
               busy;
-            total_wall := !total_wall +. seconds;
-            let n = max 1 (Array.length busy) in
+            if Float.is_finite seconds && seconds > 0.0 then
+              total_wall := !total_wall +. seconds;
             let sum = Array.fold_left ( +. ) 0.0 busy in
-            let idle =
-              if seconds <= 0.0 then 0.0
-              else
-                max 0.0 (1.0 -. (sum /. (float_of_int n *. seconds)))
-            in
-            (label, idle))
+            ( label,
+              idle_frac ~busy_sum:sum ~slots:(Array.length busy)
+                ~wall:seconds ))
           stats
       in
       let busy_max = Array.fold_left max slots.(0) slots in
@@ -73,9 +102,7 @@ let balance_of_phases ~threads stats =
       let busy_sum = Array.fold_left ( +. ) 0.0 slots in
       let busy_mean = busy_sum /. float_of_int threads in
       let idle_fraction =
-        if !total_wall <= 0.0 then 0.0
-        else
-          max 0.0 (1.0 -. (busy_sum /. (float_of_int threads *. !total_wall)))
+        idle_frac ~busy_sum ~slots:threads ~wall:!total_wall
       in
       Some
         {
@@ -108,6 +135,7 @@ type t = {
   thread_loads : int array option;
   phases : phase_profile list;
   balance : balance option;
+  prediction : prediction option;
   gc : (string * Obs.Gcstats.t) list;
   metrics : Obs.Metrics.t option;
 }
@@ -195,6 +223,27 @@ let to_text r =
         (fun (label, idle) ->
           line "  barrier %-10s idle %.1f%%" label (100.0 *. idle))
         b.per_phase_idle);
+  (match r.prediction with
+  | None -> ()
+  | Some p ->
+      line "predict  : %.4fs total (%s cost model)%s" p.total_predicted_s
+        p.cost_source
+        (match (p.total_actual_s, p.rel_error) with
+        | Some a, Some e ->
+            Printf.sprintf " vs %.4fs measured, rel error %.0f%%" a
+              (100.0 *. e)
+        | Some a, None -> Printf.sprintf " vs %.4fs measured" a
+        | None, _ -> "");
+      List.iter
+        (fun pp ->
+          line "  phase %-12s predicted %.4fs%s" pp.p_label pp.predicted_s
+            (match (pp.actual_s, pp.p_rel_error) with
+            | Some a, Some e ->
+                Printf.sprintf "  actual %.4fs  rel error %.0f%%" a
+                  (100.0 *. e)
+            | Some a, None -> Printf.sprintf "  actual %.4fs" a
+            | None, _ -> ""))
+        p.per_phase);
   (match List.filter (fun (_, g) -> not (Obs.Gcstats.is_zero g)) r.gc with
   | [] -> ()
   | gcs ->
@@ -265,6 +314,33 @@ let balance_json b =
           (List.map (fun (l, idle) -> (l, Json.Float idle)) b.per_phase_idle)
       );
     ]
+
+let prediction_json p =
+  Json.Obj
+    (List.concat
+       [
+         [ ("cost_source", Json.Str p.cost_source) ];
+         [ ("predicted_s", Json.Float p.total_predicted_s) ];
+         opt (fun a -> ("actual_s", Json.Float a)) p.total_actual_s;
+         opt (fun e -> ("rel_error", Json.Float e)) p.rel_error;
+         [
+           ( "per_phase",
+             Json.List
+               (List.map
+                  (fun pp ->
+                    Json.Obj
+                      (List.concat
+                         [
+                           [ ("label", Json.Str pp.p_label) ];
+                           [ ("predicted_s", Json.Float pp.predicted_s) ];
+                           opt (fun a -> ("actual_s", Json.Float a)) pp.actual_s;
+                           opt
+                             (fun e -> ("rel_error", Json.Float e))
+                             pp.p_rel_error;
+                         ]))
+                  p.per_phase) );
+         ];
+       ])
 
 let gcstats_json (g : Obs.Gcstats.t) =
   Json.Obj
@@ -351,11 +427,13 @@ let to_json r =
                             ("instances", Json.Int p.instances);
                             ("units", Json.Int p.units);
                             ("seconds", Json.Float p.seconds);
+                            ("busy_seconds", Json.Float p.busy_seconds);
                             ("alloc_words", Json.Float p.alloc_words);
                           ])
                       ps) );
              ]);
          opt (fun b -> ("balance", balance_json b)) r.balance;
+         opt (fun p -> ("prediction", prediction_json p)) r.prediction;
          (match r.gc with
          | [] -> []
          | gcs ->

@@ -27,10 +27,38 @@ type phase_profile = {
   instances : int;
   units : int;  (** non-empty parallel work units in the phase *)
   seconds : float;
+  busy_seconds : float;
+      (** Σ per-domain execution time of the phase; the gap to
+          [threads × seconds] is barrier idle — also the work-time input
+          {!Runtime.Sim.calibrate} fits [w_iter] from *)
   alloc_words : float;
       (** words allocated across all domains while executing the phase
           (sum of the executor's per-domain {!Runtime.Exec} deltas) *)
 }
+
+type phase_prediction = {
+  p_label : string;
+  predicted_s : float;  (** {!Runtime.Sim.phase_time} before execution *)
+  actual_s : float option;  (** measured phase wall; [None] if not run *)
+  p_rel_error : float option;  (** |predicted − actual| / actual *)
+}
+
+(** The predicted-vs-actual accounting block: what {!Runtime.Sim} said the
+    schedule would cost before execution, against what {!Runtime.Exec}
+    then measured. *)
+type prediction = {
+  cost_source : string;
+      (** ["default"] (uncalibrated {!Runtime.Sim.base_seconds}) or
+          ["calibrated"] (constants fitted from measured runs) *)
+  per_phase : phase_prediction list;
+  total_predicted_s : float;
+  total_actual_s : float option;
+  rel_error : float option;
+}
+
+val rel_error : predicted:float -> actual:float -> float option
+(** |predicted − actual| / actual; [None] when [actual ≤ 0] or the ratio
+    is not finite. *)
 
 type balance = {
   busy : float array;
@@ -51,7 +79,9 @@ val balance_of_phases :
   threads:int -> (string * float array * float) list -> balance option
 (** [balance_of_phases ~threads [(label, busy, wall); …]] aggregates the
     executor's per-phase busy arrays into the load-imbalance breakdown;
-    [None] on an empty list. *)
+    [None] on an empty list.  Idle fractions are clamped to [[0, 1]]:
+    degenerate inputs — zero or non-finite wall times, empty busy
+    arrays — yield 0.0, never [nan]/[inf]. *)
 
 type t = {
   program : string;
@@ -76,6 +106,8 @@ type t = {
       (** instances executed per domain, across phases *)
   phases : phase_profile list;  (** per-phase execution profile *)
   balance : balance option;  (** domain busy/idle breakdown *)
+  prediction : prediction option;
+      (** cost-model accounting; [None] when no schedule was predicted *)
   gc : (string * Obs.Gcstats.t) list;
       (** per-stage GC telemetry ({!Obs.Gcstats.diff} around each pipeline
           stage), in pipeline order; rendered as a ["gc"] object in JSON *)

@@ -138,3 +138,9 @@ let auto prog =
       let simple = Result.to_option (analyze_simple prog) in
       selected (Plan.Pdm_fallback { simple; reason })
   | exception Presburger.Omega.Blowup m -> Error (Diag.Set_blowup m)
+
+(* Cost-model prediction: the strategy layer consults {!Runtime.Sim}
+   before execution so every run carries a predicted-vs-actual account
+   ({!Report.prediction}) regardless of which scheme planned it. *)
+let predict ?(cost = Runtime.Sim.base_seconds) ~threads sched =
+  Runtime.Sim.predict cost ~threads sched

@@ -33,3 +33,14 @@ val analyze_simple :
   Loopir.Ast.program -> (Depend.Solve.simple, Diag.error) result
 (** Result-based wrapper over {!Depend.Solve.analyze_simple} (shared by
     the strategies and the driver). *)
+
+val predict :
+  ?cost:Runtime.Sim.cost ->
+  threads:int ->
+  Runtime.Sched.t ->
+  (string * float) list
+(** Per-phase predicted execution time [(phase label, seconds)] from the
+    {!Runtime.Sim} cost model ([cost] defaults to the uncalibrated
+    {!Runtime.Sim.base_seconds}).  The driver calls this before executing
+    a schedule and folds the result, with the realized error, into
+    {!Report.t.prediction}. *)

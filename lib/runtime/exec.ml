@@ -11,19 +11,24 @@ let doall_buckets threads instances =
       if lo >= hi then [||] else Array.sub instances lo (hi - lo))
   |> List.filter (fun b -> Array.length b > 0)
 
+(* Tasks keep their original index through the length-sorted deal: for a
+   REC schedule the index {e is} the chain id, which the per-task spans
+   carry so barrier stragglers stay attributable to a chain. *)
 let task_buckets threads tasks =
   let threads = max 1 threads in
-  let order = Array.copy tasks in
-  Array.sort (fun a b -> compare (Array.length b) (Array.length a)) order;
+  let order = Array.mapi (fun i t -> (i, t)) tasks in
+  Array.sort
+    (fun (_, a) (_, b) -> compare (Array.length b) (Array.length a))
+    order;
   let buckets = Array.make threads [] in
   let loads = Array.make threads 0 in
   Array.iter
-    (fun task ->
+    (fun ((_, task) as it) ->
       let best = ref 0 in
       for k = 1 to threads - 1 do
         if loads.(k) < loads.(!best) then best := k
       done;
-      buckets.(!best) <- task :: buckets.(!best);
+      buckets.(!best) <- it :: buckets.(!best);
       loads.(!best) <- loads.(!best) + Array.length task)
     order;
   Array.to_list (Array.map List.rev buckets)
@@ -47,30 +52,40 @@ type timed = { store : Arrays.t; seconds : float; phase_stats : phase_stat list 
 let task_len_hist = Obs.Histogram.make "exec.task_len"
 let task_ns_hist = Obs.Histogram.make "exec.task_ns"
 
-(* Executes one bucket (a list of sequential tasks) through the engine's
-   per-instance function and returns the seconds this domain was busy plus
-   the words it allocated (the GC delta is taken inside the executing
-   domain, so on OCaml 5 the word counters are exact for this bucket's
-   work).  With a recording sink, the bucket and each task get their own
-   spans — for REC plans the tasks are the recurrence chains, so the trace
-   shows per-chain durations on the executing domain's row. *)
-let run_bucket ~sink ~label exec tasks =
+(* Executes one bucket (a list of indexed sequential tasks) through the
+   engine's per-instance function and returns the seconds this domain was
+   busy plus the words it allocated (the GC delta is taken inside the
+   executing domain, so on OCaml 5 the word counters are exact for this
+   bucket's work).  With a recording sink, the bucket and each task get
+   their own spans; [kind] names the unit-id arg — ["chain"] for task
+   phases (for REC plans the id is the recurrence-chain index), ["block"]
+   for DOALL blocks — giving {!Obs.Critpath} the per-chunk samples
+   (unit id, point count, duration) it needs to name each barrier's
+   straggler. *)
+let run_bucket ~sink ~label ~kind exec tasks =
   let gc0 = Obs.Gcstats.quick () in
   let t0 = Obs.Clock.now_ns () in
   if not (Obs.Sink.enabled sink) then
-    List.iter (Array.iter (exec : Sched.instance -> unit)) tasks
+    List.iter (fun (_, t) -> Array.iter (exec : Sched.instance -> unit) t) tasks
   else begin
-    let n_inst = List.fold_left (fun acc t -> acc + Array.length t) 0 tasks in
+    let n_inst =
+      List.fold_left (fun acc (_, t) -> acc + Array.length t) 0 tasks
+    in
     Obs.Span.with_ ~sink ~name:("bucket:" ^ label)
       ~args:[ ("instances", string_of_int n_inst) ]
       (fun () ->
         List.iter
-          (fun task ->
+          (fun (id, task) ->
             let len = Array.length task in
             if len > 0 then begin
               let s0 = Obs.Clock.now_ns () in
               Obs.Span.with_ ~sink ~name:"task"
-                ~args:[ ("phase", label); ("len", string_of_int len) ]
+                ~args:
+                  [
+                    ("phase", label);
+                    (kind, string_of_int id);
+                    ("len", string_of_int len);
+                  ]
                 (fun () -> Array.iter exec task);
               Obs.Histogram.observe task_len_hist len;
               Obs.Histogram.observe task_ns_hist
@@ -93,6 +108,9 @@ let run_bucket ~sink ~label exec tasks =
 let run_phase_timed ?(sink = Obs.Sink.null) ~pool exec ~threads phase =
   let threads = max 1 threads in
   let label = Sched.phase_label phase in
+  let kind =
+    match phase with Sched.Doall _ -> "block" | Sched.Tasks _ -> "chain"
+  in
   let n_instances = Sched.phase_size phase in
   let t0 = Obs.Clock.now_ns () in
   let n_units, loads, busy, alloc =
@@ -102,10 +120,11 @@ let run_phase_timed ?(sink = Obs.Sink.null) ~pool exec ~threads phase =
          spans. *)
       let tasks =
         match phase with
-        | Sched.Doall { instances; _ } -> [ instances ]
-        | Sched.Tasks { tasks; _ } -> Array.to_list tasks
+        | Sched.Doall { instances; _ } -> [ (0, instances) ]
+        | Sched.Tasks { tasks; _ } ->
+            Array.to_list (Array.mapi (fun i t -> (i, t)) tasks)
       in
-      let b, w = run_bucket ~sink ~label exec tasks in
+      let b, w = run_bucket ~sink ~label ~kind exec tasks in
       let units =
         match phase with
         | Sched.Doall _ -> if n_instances = 0 then 0 else 1
@@ -120,13 +139,13 @@ let run_phase_timed ?(sink = Obs.Sink.null) ~pool exec ~threads phase =
       let work =
         match phase with
         | Sched.Doall { instances; _ } ->
-            List.map (fun b -> [ b ]) (doall_buckets threads instances)
+            List.mapi (fun i b -> [ (i, b) ]) (doall_buckets threads instances)
         | Sched.Tasks { tasks; _ } -> task_buckets threads tasks
       in
       let loads =
         Array.of_list
           (List.map
-             (List.fold_left (fun acc t -> acc + Array.length t) 0)
+             (List.fold_left (fun acc (_, t) -> acc + Array.length t) 0)
              work)
       in
       let n_units =
@@ -142,7 +161,7 @@ let run_phase_timed ?(sink = Obs.Sink.null) ~pool exec ~threads phase =
       let stats =
         match
           List.filter
-            (fun b -> List.exists (fun t -> Array.length t > 0) b)
+            (fun b -> List.exists (fun (_, t) -> Array.length t > 0) b)
             work
         with
         | [] -> [||]
@@ -155,7 +174,7 @@ let run_phase_timed ?(sink = Obs.Sink.null) ~pool exec ~threads phase =
             Workers.run pool
               (Array.of_list
                  (List.map
-                    (fun b () -> run_bucket ~sink ~label exec b)
+                    (fun b () -> run_bucket ~sink ~label ~kind exec b)
                     buckets))
       in
       (n_units, loads, Array.map fst stats, Array.map snd stats)

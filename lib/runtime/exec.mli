@@ -27,7 +27,11 @@
     {!Obs.Clock} (monotonic).  With a recording {!Obs.Sink.t}, each phase,
     per-domain bucket and sequential task (= recurrence chain for REC
     plans) additionally becomes a span on the executing domain's
-    timeline. *)
+    timeline.  Task spans carry the per-chunk sample {!Obs.Critpath}
+    consumes — [("phase", label)], [("chain", id)] (task phases; the REC
+    chain index) or [("block", id)] (DOALL blocks), and
+    [("len", points)] — so every barrier's straggler is attributable to
+    a concrete chain or block. *)
 
 type engine = [ `Compiled | `Interp ]
 

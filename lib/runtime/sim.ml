@@ -11,6 +11,18 @@ let base =
 
 let with_factor code_factor = { base with code_factor }
 
+(* Time-dimensioned constants scale together; [code_factor] is a ratio. *)
+let scale k c =
+  {
+    c with
+    w_iter = c.w_iter *. k;
+    fork = c.fork *. k;
+    barrier = c.barrier *. k;
+    bound_eval = c.bound_eval *. k;
+  }
+
+let base_seconds = scale 1e-6 base
+
 let lpt_makespan p durations =
   if p <= 0 then invalid_arg "Sim.lpt_makespan: threads";
   let loads = Array.make p 0.0 in
@@ -77,6 +89,74 @@ let time_abstract c ~threads s =
 
 let speedup_abstract c ~threads ~n_seq s =
   seq_time c n_seq /. time_abstract c ~threads s
+
+(* ---- predicted-vs-actual accounting ---------------------------------- *)
+
+(* Naming convention [runtime.sim.*]: one [predictions] tick per schedule
+   predicted before execution, one [calibrations] tick per fitted cost,
+   and the realized |predicted − actual| / actual (in percent) observed
+   into [rel_error_pct] by whoever later measures the run. *)
+let predictions_counter = Obs.Counter.make "runtime.sim.predictions"
+let calibrations_counter = Obs.Counter.make "runtime.sim.calibrations"
+let rel_error_hist = Obs.Histogram.make "runtime.sim.rel_error_pct"
+
+let predict c ~threads (s : Sched.t) =
+  Obs.Counter.incr predictions_counter;
+  List.map (fun p -> (Sched.phase_label p, phase_time c ~threads p)) s.Sched.phases
+
+let observe_rel_error e =
+  if Float.is_finite e && e >= 0.0 then
+    Obs.Histogram.observe rel_error_hist
+      (int_of_float (Float.min 1e6 (e *. 100.0)))
+
+type sample = {
+  s_threads : int;
+  s_shape : aphase;
+  s_busy : float;
+  s_wall : float;
+}
+
+let aphase_size = function
+  | ADoall n -> n
+  | ATasks sizes -> Array.fold_left ( + ) 0 sizes
+
+(* Two-step fit of the cost constants from measured phases, in seconds:
+   [w_iter] from the busy time (which excludes barrier waits, so it is a
+   pure per-iteration execution cost), then the per-phase overhead
+   (fork + barrier) as the mean wall-time residual over the fitted work
+   makespan.  [bound_eval] is folded into that overhead (fitting its
+   per-thread slope would need runs at several thread counts), and
+   [code_factor] stays 1: the fit absorbs the scheme's real generated
+   code into [w_iter]. *)
+let calibrate samples =
+  let iters =
+    List.fold_left (fun acc s -> acc + aphase_size s.s_shape) 0 samples
+  in
+  let busy = List.fold_left (fun acc s -> acc +. s.s_busy) 0.0 samples in
+  if iters <= 0 || busy <= 0.0 then None
+  else begin
+    let w_iter = busy /. float_of_int iters in
+    let work_only =
+      { w_iter; code_factor = 1.0; fork = 0.0; barrier = 0.0; bound_eval = 0.0 }
+    in
+    let residual s =
+      Float.max 0.0
+        (s.s_wall -. aphase_time work_only ~threads:(max 1 s.s_threads) s.s_shape)
+    in
+    let overhead =
+      List.fold_left (fun acc s -> acc +. residual s) 0.0 samples
+      /. float_of_int (List.length samples)
+    in
+    Obs.Counter.incr calibrations_counter;
+    Some
+      {
+        w_iter;
+        code_factor = 1.0;
+        fork = overhead /. 2.0;
+        barrier = overhead /. 2.0;
+        bound_eval = 0.0;
+      }
+  end
 
 let pipeline_time c ~threads ~stages ~stage_work ~delay =
   if stages <= 0 then 0.0

@@ -26,6 +26,16 @@ val base : cost
 val with_factor : float -> cost
 (** [base] with another code factor. *)
 
+val scale : float -> cost -> cost
+(** Multiplies every time-dimensioned constant ([w_iter], [fork],
+    [barrier], [bound_eval]) by a factor; [code_factor] (a ratio) is
+    untouched. *)
+
+val base_seconds : cost
+(** [scale 1e-6 base] — {!base} with its μs-ish units read as
+    microseconds, so uncalibrated predictions are at least dimensionally
+    comparable to measured wall seconds. *)
+
 val phase_time : cost -> threads:int -> Sched.phase -> float
 val time : cost -> threads:int -> Sched.t -> float
 
@@ -54,6 +64,42 @@ type asched = aphase list
 val abstract : Sched.t -> asched
 val time_abstract : cost -> threads:int -> asched -> float
 val speedup_abstract : cost -> threads:int -> n_seq:int -> asched -> float
+
+(** {2 Predicted-vs-actual accounting}
+
+    The cost model is only useful if it is held to account
+    (ROADMAP item 2): {!predict} is called by the pipeline before
+    execution, the realized error is fed back with
+    {!observe_rel_error}, and {!calibrate} fits the constants from
+    measured runs.  Instrumented under the [runtime.sim.*] naming
+    convention: counters ["runtime.sim.predictions"] and
+    ["runtime.sim.calibrations"], histogram
+    ["runtime.sim.rel_error_pct"]. *)
+
+val predict : cost -> threads:int -> Sched.t -> (string * float) list
+(** Per-phase predicted time [(label, phase_time)], in [cost]'s units
+    (seconds for a calibrated cost, see {!calibrate}); increments
+    ["runtime.sim.predictions"]. *)
+
+val observe_rel_error : float -> unit
+(** Feeds a realized relative error (|predicted − actual| / actual) into
+    ["runtime.sim.rel_error_pct"] as an integer percentage; non-finite
+    and negative values are dropped. *)
+
+type sample = {
+  s_threads : int;  (** threads the measured run used *)
+  s_shape : aphase;  (** the phase's size structure *)
+  s_busy : float;  (** Σ per-domain busy seconds of the phase *)
+  s_wall : float;  (** measured phase wall seconds, barrier included *)
+}
+
+val calibrate : sample list -> cost option
+(** Fits cost constants (in seconds) from measured phases: [w_iter] =
+    Σbusy / Σiterations, then fork/barrier split the mean wall-time
+    residual over the fitted work makespan ([bound_eval] is folded in,
+    [code_factor] stays 1).  [None] when the samples carry no work
+    ([Σiterations = 0] or [Σbusy ≤ 0]).  Increments
+    ["runtime.sim.calibrations"]. *)
 
 val pipeline_time :
   cost -> threads:int -> stages:int -> stage_work:float -> delay:float -> float

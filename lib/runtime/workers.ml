@@ -1,6 +1,23 @@
 let spawned_counter = Obs.Counter.make "runtime.workers.spawned"
 let runs_counter = Obs.Counter.make "runtime.workers.runs"
 
+(* Per-domain job accounting: every executed thunk is attributed to
+   exactly one side — [jobs_stolen] when a helper domain popped it,
+   [jobs_caller] when the submitting caller ran it (its own first thunk,
+   or a queued job it drained while waiting) — so
+   jobs = jobs_stolen + jobs_caller holds on a quiescent pool.  The
+   histograms measure scheduling latency: [queue_wait_us] from a job's
+   enqueue to its dequeue, [barrier_wait_us] the time a caller spends
+   blocked at the completion barrier after running out of queued work. *)
+let jobs_counter = Obs.Counter.make "runtime.workers.jobs"
+let stolen_counter = Obs.Counter.make "runtime.workers.jobs_stolen"
+let caller_counter = Obs.Counter.make "runtime.workers.jobs_caller"
+let queue_wait_hist = Obs.Histogram.make "runtime.workers.queue_wait_us"
+let barrier_wait_hist = Obs.Histogram.make "runtime.workers.barrier_wait_us"
+
+let elapsed_us t0 =
+  Int64.to_int (Int64.div (Int64.sub (Obs.Clock.now_ns ()) t0) 1000L)
+
 type t = {
   m : Mutex.t;
   not_empty : Condition.t;
@@ -25,6 +42,7 @@ let rec helper t =
   else begin
     let job = Queue.pop t.q in
     Mutex.unlock t.m;
+    Obs.Counter.incr stolen_counter;
     job ();
     helper t
   end
@@ -51,8 +69,12 @@ let create ~domains =
 let run t thunks =
   Obs.Counter.incr runs_counter;
   let n = Array.length thunks in
+  Obs.Counter.add jobs_counter n;
   if n = 0 then [||]
-  else if n = 1 then [| thunks.(0) () |]
+  else if n = 1 then begin
+    Obs.Counter.incr caller_counter;
+    [| thunks.(0) () |]
+  end
   else begin
     let results = Array.make n None in
     (* Jobs handed to helper domains run under the submitter's request
@@ -74,7 +96,9 @@ let run t thunks =
       if !error = None then error := Some e;
       Mutex.unlock cm
     in
+    let enq_ns = Obs.Clock.now_ns () in
     let job i () =
+      Obs.Histogram.observe queue_wait_hist (elapsed_us enq_ns);
       (match wrap (fun () -> results.(i) <- Some (thunks.(i) ())) with
       | () -> ()
       | exception e -> record_error e);
@@ -91,6 +115,7 @@ let run t thunks =
     Mutex.unlock t.m;
     (* The caller is a worker too: run the first thunk here, then help
        drain the queue until this call's jobs are all accounted for. *)
+    Obs.Counter.incr caller_counter;
     (match thunks.(0) () with
     | v -> results.(0) <- Some v
     | exception e -> record_error e);
@@ -104,15 +129,20 @@ let run t thunks =
         Mutex.unlock t.m;
         match next with
         | Some j ->
+            (* A drained job may belong to a concurrent [run]; it still
+               ran on a submitting caller, not a pool helper. *)
+            Obs.Counter.incr caller_counter;
             j ();
             drain ()
         | None ->
             (* Own jobs are in flight on other domains: wait them out. *)
+            let w0 = Obs.Clock.now_ns () in
             Mutex.lock cm;
             while !remaining > 0 do
               Condition.wait all_done cm
             done;
-            Mutex.unlock cm
+            Mutex.unlock cm;
+            Obs.Histogram.observe barrier_wait_hist (elapsed_us w0)
       end
     in
     drain ();

@@ -14,7 +14,19 @@
 
     {!run} is a barrier: it returns only when all of its thunks have
     finished.  The first exception raised by any thunk is re-raised in the
-    caller after the barrier. *)
+    caller after the barrier.
+
+    The pool is always-on instrumented through the {!Obs.Metrics}
+    registries (naming convention [runtime.workers.*]): counters
+    ["runtime.workers.jobs"] (thunks executed), ["…jobs_stolen"] (popped
+    by a helper domain) and ["…jobs_caller"] (run by the submitting
+    caller — its first thunk plus anything it drained), with
+    [jobs = jobs_stolen + jobs_caller] on a quiescent pool; histograms
+    ["runtime.workers.queue_wait_us"] (enqueue → dequeue latency per
+    queued job) and ["runtime.workers.barrier_wait_us"] (time a caller
+    blocks at the completion barrier per {!run} that had to wait).  Each
+    observation is a few atomic adds, cheap enough for the execution hot
+    path. *)
 
 type t
 

@@ -245,9 +245,24 @@ let done_of_value req v =
 
 let stats_body t =
   let m = Obs.Metrics.snapshot () in
-  let prometheus = Obs.Export.prometheus ~window:t.window m in
+  (* Point-in-time pool state: counters only move forward, but queue depth
+     and domain counts are levels — exported as gauges alongside them. *)
+  let gauges =
+    [
+      ("svc.pool.domains", float_of_int (Pool.domains t.pool));
+      (* "queue_now" not "queue_depth": the per-submit depth histogram
+         already owns that name in the exposition. *)
+      ("svc.pool.queue_now", float_of_int (Pool.queue_length t.pool));
+      ("svc.pool.queue_capacity", float_of_int (Pool.capacity t.pool));
+      ("runtime.workers.domains", float_of_int (Runtime.Workers.domains t.exec));
+      ("runtime.workers.spawned", float_of_int (Runtime.Workers.spawned t.exec));
+    ]
+  in
+  let prometheus = Obs.Export.prometheus ~gauges ~window:t.window m in
   let snapshot =
-    match Pipeline.Json.parse (Obs.Export.json_string ~window:t.window m) with
+    match
+      Pipeline.Json.parse (Obs.Export.json_string ~gauges ~window:t.window m)
+    with
     | Ok j -> j
     | Error _ -> Pipeline.Json.Null
   in

@@ -502,6 +502,97 @@ let test_chrome_trace_from_pipeline_run () =
       | _ -> Alcotest.fail "traceEvents missing")
 
 (* ------------------------------------------------------------------ *)
+(* Critpath: critical path and straggler attribution on hand-built
+   timelines                                                           *)
+
+let mkspan ?(args = []) ?(tid = 0) ~name ~start ~dur () =
+  {
+    Obs.Sink.name;
+    args;
+    tid;
+    start_ns = Int64.of_int start;
+    dur_ns = Int64.of_int dur;
+    depth = 0;
+  }
+
+let mktask ~phase ~chain ~len ~tid ~start ~dur =
+  mkspan ~name:"task"
+    ~args:
+      [
+        ("phase", phase);
+        ("chain", string_of_int chain);
+        ("len", string_of_int len);
+      ]
+    ~tid ~start ~dur ()
+
+let test_critpath_balanced () =
+  let spans =
+    mkspan ~name:"phase:P2-chains" ~start:0 ~dur:100 ()
+    :: List.init 4 (fun i ->
+           mktask ~phase:"P2-chains" ~chain:i ~len:5 ~tid:i ~start:0 ~dur:100)
+  in
+  let cp = Obs.Critpath.of_spans ~threads:4 spans in
+  Alcotest.(check int) "one barrier" 1 (List.length cp.Obs.Critpath.barriers);
+  let b = List.hd cp.Obs.Critpath.barriers in
+  Alcotest.(check int) "all tasks attributed" 4 b.Obs.Critpath.n_tasks;
+  Alcotest.(check int) "all domains seen" 4 b.Obs.Critpath.n_domains;
+  Alcotest.(check (float 1e-9)) "balanced: no idle" 0.0
+    b.Obs.Critpath.idle_fraction;
+  Alcotest.(check bool) "a straggler is named" true
+    (b.Obs.Critpath.straggler <> None);
+  Alcotest.(check (float 1e-9)) "wall is all critical" 1.0
+    cp.Obs.Critpath.critical_fraction;
+  Alcotest.(check (option int)) "longest chain" (Some 5)
+    cp.Obs.Critpath.longest_chain
+
+let test_critpath_straggler () =
+  let spans =
+    mkspan ~name:"phase:P2-chains" ~start:0 ~dur:100 ()
+    :: mktask ~phase:"P2-chains" ~chain:0 ~len:20 ~tid:0 ~start:0 ~dur:100
+    :: List.init 3 (fun i ->
+           mktask ~phase:"P2-chains" ~chain:(i + 1) ~len:2 ~tid:(i + 1)
+             ~start:0 ~dur:10)
+  in
+  let cp = Obs.Critpath.of_spans ~threads:4 spans in
+  let b = List.hd cp.Obs.Critpath.barriers in
+  (match b.Obs.Critpath.straggler with
+  | None -> Alcotest.fail "no straggler named"
+  | Some s ->
+      Alcotest.(check int) "the long chain is the straggler" 0
+        s.Obs.Critpath.id;
+      Alcotest.(check int) "with its length" 20 s.Obs.Critpath.len);
+  (* busy = 100 + 3·10 of 4·100 capacity *)
+  Alcotest.(check (float 1e-9)) "idle fraction" 0.675
+    b.Obs.Critpath.idle_fraction;
+  Alcotest.(check int) "longest_len" 20 b.Obs.Critpath.longest_len;
+  let txt =
+    Obs.Critpath.to_text ~theorem_bound:10 cp
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "text names chain 0" true (contains txt "chain 0");
+  Alcotest.(check bool) "bound exceeded is called out" true
+    (contains txt "EXCEEDS")
+
+let test_critpath_zero_duration () =
+  let spans =
+    [
+      mkspan ~name:"phase:P1" ~start:50 ~dur:0 ();
+      mktask ~phase:"P1" ~chain:0 ~len:1 ~tid:0 ~start:50 ~dur:0;
+    ]
+  in
+  let cp = Obs.Critpath.of_spans ~threads:4 spans in
+  let b = List.hd cp.Obs.Critpath.barriers in
+  Alcotest.(check (float 0.0)) "idle fraction is 0, not nan" 0.0
+    b.Obs.Critpath.idle_fraction;
+  Alcotest.(check (float 0.0)) "critical fraction is 0, not nan" 0.0
+    cp.Obs.Critpath.critical_fraction;
+  Alcotest.(check int) "task still attributed" 1 b.Obs.Critpath.n_tasks
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "obs"
@@ -548,5 +639,13 @@ let () =
           Alcotest.test_case "chrome export of a 4-domain pipeline run"
             `Quick test_chrome_trace_from_pipeline_run;
           Alcotest.test_case "text tree" `Quick test_trace_text;
+        ] );
+      ( "critpath",
+        [
+          Alcotest.test_case "balanced timeline" `Quick
+            test_critpath_balanced;
+          Alcotest.test_case "one straggler" `Quick test_critpath_straggler;
+          Alcotest.test_case "zero-duration phase" `Quick
+            test_critpath_zero_duration;
         ] );
     ]

@@ -320,6 +320,43 @@ let test_json_parse_roundtrip () =
           Alcotest.(check bool) "balance survives" true
             (Json.member "balance" v' <> None))
 
+let test_balance_degenerate_clamps () =
+  (* Zero, negative, or non-finite phase walls must clamp idle fractions
+     to [0, 1] — never nan/inf in the report. *)
+  Alcotest.(check bool) "empty input has no balance" true
+    (Report.balance_of_phases ~threads:4 [] = None);
+  let check_clamped label phases =
+    match Report.balance_of_phases ~threads:4 phases with
+    | None -> Alcotest.failf "%s: expected Some balance" label
+    | Some b ->
+        let ok x = Float.is_finite x && x >= 0.0 && x <= 1.0 in
+        Alcotest.(check bool) (label ^ ": idle_fraction in [0,1]") true
+          (ok b.Report.idle_fraction);
+        List.iter
+          (fun (phase, idle) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: %s idle in [0,1]" label phase)
+              true (ok idle))
+          b.Report.per_phase_idle
+  in
+  check_clamped "zero wall" [ ("P1", [| 0.0; 0.0 |], 0.0) ];
+  check_clamped "nan wall" [ ("P1", [| 1.0 |], Float.nan) ];
+  check_clamped "inf wall" [ ("P1", [| 1.0 |], Float.infinity) ];
+  check_clamped "negative wall" [ ("P1", [| 1.0 |], -1.0) ];
+  check_clamped "empty busy" [ ("P1", [||], 1.0) ];
+  check_clamped "mixed"
+    [
+      ("P1", [| 0.5; 0.5 |], 1.0);
+      ("P2", [| 0.0 |], 0.0);
+      ("P3", [| 1.0 |], Float.nan);
+    ];
+  (* A degenerate-only run reports 0 idle, not nan. *)
+  match Report.balance_of_phases ~threads:4 [ ("P1", [| 0.0 |], 0.0) ] with
+  | Some b ->
+      Alcotest.(check (float 0.0)) "degenerate-only idle is 0.0" 0.0
+        b.Report.idle_fraction
+  | None -> Alcotest.fail "expected Some balance"
+
 let test_json_parse_errors () =
   List.iter
     (fun s ->
@@ -767,6 +804,8 @@ let () =
             test_null_sink_reports_no_balance_gap;
           Alcotest.test_case "GC telemetry round-trips through JSON" `Quick
             test_gc_telemetry_roundtrip;
+          Alcotest.test_case "balance clamps degenerate walls" `Quick
+            test_balance_degenerate_clamps;
         ] );
       ( "provenance",
         [

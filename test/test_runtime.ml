@@ -405,6 +405,41 @@ let test_workers_shutdown_idempotent_and_post_run () =
   Alcotest.(check (array int)) "post-shutdown run" [| 1; 2; 3; 4 |] r;
   Alcotest.(check int) "domains unchanged" 3 (Workers.domains w)
 
+let test_workers_telemetry_consistency () =
+  (* jobs = stolen + caller must hold over the diff of any quiescent
+     window, whatever the 4-domain queue race decided; every queued job
+     contributes one queue-wait observation. *)
+  let before = Obs.Metrics.snapshot () in
+  let w = Workers.create ~domains:4 in
+  let total = Atomic.make 0 in
+  for _ = 1 to 5 do
+    ignore
+      (Workers.run w
+         (Array.init 8 (fun i () -> Atomic.fetch_and_add total i)))
+  done;
+  Workers.shutdown w;
+  let d =
+    Obs.Metrics.diff ~before ~after:(Obs.Metrics.snapshot ())
+  in
+  let c name = Option.value ~default:0 (List.assoc_opt name d.Obs.Metrics.counters) in
+  Alcotest.(check int) "every thunk counted" 40 (c "runtime.workers.jobs");
+  Alcotest.(check int) "jobs = stolen + caller"
+    (c "runtime.workers.jobs")
+    (c "runtime.workers.jobs_stolen" + c "runtime.workers.jobs_caller");
+  Alcotest.(check bool) "caller ran at least its first thunks" true
+    (c "runtime.workers.jobs_caller" >= 5);
+  let queued =
+    List.assoc_opt "runtime.workers.queue_wait_us" d.Obs.Metrics.histograms
+  in
+  (match queued with
+  | None -> Alcotest.fail "no queue-wait observations"
+  | Some h ->
+      (* 5 runs × 7 queued jobs (the first thunk never queues) *)
+      Alcotest.(check int) "one wait per queued job" 35
+        h.Obs.Histogram.count);
+  Alcotest.(check int) "all thunks really ran" (5 * (8 * 7 / 2))
+    (Atomic.get total)
+
 let test_exec_degenerate_threads () =
   (* threads ≤ 0 must clamp to sequential execution, not crash or spawn. *)
   let prog = List.assoc "vecadd" Loopir.Builtin.corpus in
@@ -567,5 +602,7 @@ let () =
             test_workers_exception_propagates;
           Alcotest.test_case "shutdown idempotent, post-shutdown run" `Quick
             test_workers_shutdown_idempotent_and_post_run;
+          Alcotest.test_case "telemetry counters consistent on 4 domains"
+            `Quick test_workers_telemetry_consistency;
         ] );
     ]
