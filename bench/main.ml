@@ -1031,6 +1031,255 @@ let pipeline_json () =
   doc
 
 (* ------------------------------------------------------------------ *)
+(* E15 — socket service under concurrent clients → BENCH_service.json   *)
+
+(* The network front-end end to end: a real server on a Unix socket, 4
+   concurrent pipelined clients replaying a corpus, three phases — cold
+   (fresh process, empty store), memo-warm (same process, replay) and
+   disk-warm (restarted process on the same store directory, primed by
+   one sequential pass over the distinct keys).  Wall times and
+   latencies are machine-dependent plain fields; the deterministic facts
+   — response counts, warm hits, disk-warm hits, store reads, shed = 0
+   at this (nominal) load — are the gated counters. *)
+let socket_bench () =
+  section
+    "E15 / socket service: 4 concurrent clients, cold vs memo-warm vs \
+     disk-warm";
+  let clients = 4 in
+  let reps = if quick then 1 else 3 in
+  (* 33 distinct keys (>= the gate's count floor), duplicated
+     [reps * clients] times across the phase *)
+  let base =
+    List.concat
+      (List.init 11 (fun v ->
+           [
+             Svc.Proto.request
+               ~id:(Printf.sprintf "e1-%d" v)
+               ~name:"example1"
+               ~params:[ ("n1", 8 + v); ("n2", 12 + v) ]
+               (Svc.Proto.Prog Loopir.Builtin.example1);
+             Svc.Proto.request
+               ~id:(Printf.sprintf "e2-%d" v)
+               ~name:"example2"
+               ~params:[ ("n", 10 + v) ]
+               (Svc.Proto.Prog Loopir.Builtin.example2);
+             Svc.Proto.request
+               ~id:(Printf.sprintf "e3-%d" v)
+               ~name:"example3"
+               ~params:[ ("n", 6 + v) ]
+               (Svc.Proto.Prog Loopir.Builtin.example3);
+           ]))
+  in
+  let distinct = List.length base in
+  let corpus = List.concat (List.init reps (fun _ -> base)) in
+  let l = List.length corpus in
+  let to_line r = Pipeline.Json.to_string (Svc.Proto.request_to_json r) in
+  let lines = List.map to_line corpus in
+  let base_lines = List.map to_line base in
+  let tmp = Filename.get_temp_dir_name () in
+  let store_dir =
+    Filename.concat tmp (Printf.sprintf "recpart-bench-store-%d" (Unix.getpid ()))
+  in
+  (* a fresh store: a leftover from an earlier run must not pre-warm the
+     cold phase *)
+  if Sys.file_exists store_dir then begin
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat store_dir f))
+      (Sys.readdir store_dir);
+    Unix.rmdir store_dir
+  end;
+  let sock =
+    Filename.concat tmp (Printf.sprintf "recpart-bench-%d.sock" (Unix.getpid ()))
+  in
+  let addr = Net.Addr.Unix_sock sock in
+  let config =
+    {
+      Svc.Service.default_config with
+      domains = 4;
+      threads = 1;
+      check = false;
+      measure = false;
+      (* nominal load: every pipelined request fits, shed must be 0 *)
+      queue_capacity = (clients * l) + distinct + 8;
+      store_dir = Some store_dir;
+    }
+  in
+  (* one phase: [n] clients, each pipelining [job_lines] and then
+     draining the responses; returns wall seconds and response tallies *)
+  let run_phase ~n job_lines =
+    let oks = Array.make n 0
+    and cached = Array.make n 0
+    and shed = Array.make n 0
+    and errs = Array.make n 0 in
+    let worker i =
+      match Net.Client.connect addr with
+      | Error e -> Printf.eprintf "bench client %d: %s\n" i e
+      | Ok c ->
+          List.iter
+            (fun line ->
+              match Net.Client.send c line with
+              | Ok () -> ()
+              | Error e -> Printf.eprintf "bench client %d: %s\n" i e)
+            job_lines;
+          List.iter
+            (fun _ ->
+              match Net.Client.recv c with
+              | Error e -> Printf.eprintf "bench client %d: %s\n" i e
+              | Ok resp -> (
+                  match Pipeline.Json.parse resp with
+                  | Error _ -> errs.(i) <- errs.(i) + 1
+                  | Ok j ->
+                      let str k =
+                        match Pipeline.Json.member k j with
+                        | Some (Pipeline.Json.Str s) -> s
+                        | _ -> ""
+                      in
+                      let is_cached =
+                        match Pipeline.Json.member "cached" j with
+                        | Some (Pipeline.Json.Bool b) -> b
+                        | _ -> false
+                      in
+                      if str "status" = "ok" then begin
+                        oks.(i) <- oks.(i) + 1;
+                        if is_cached then cached.(i) <- cached.(i) + 1
+                      end
+                      else if str "kind" = "overloaded" then
+                        shed.(i) <- shed.(i) + 1
+                      else errs.(i) <- errs.(i) + 1))
+            job_lines;
+          Net.Client.close c
+    in
+    let t0 = Obs.Clock.now_ns () in
+    let threads = List.init n (fun i -> Thread.create worker i) in
+    List.iter Thread.join threads;
+    let sum a = Array.fold_left ( + ) 0 a in
+    (Obs.Clock.elapsed_s t0, sum oks, sum cached, sum shed, sum errs)
+  in
+  let counter name m =
+    Option.value ~default:0 (List.assoc_opt name m.Obs.Metrics.counters)
+  in
+  let latency ~before ~after =
+    let d = Obs.Metrics.diff ~before ~after in
+    match List.assoc_opt "svc.request.latency_us" d.Obs.Metrics.histograms with
+    | Some h ->
+        (Obs.Histogram.percentile h 0.5, Obs.Histogram.percentile h 0.99)
+    | None -> (0.0, 0.0)
+  in
+  Printf.printf
+    "corpus: %d requests/client (%d distinct keys), %d clients\n" l distinct
+    clients;
+  (* ---- process #1: cold, then memo-warm ---- *)
+  let svc = Svc.Service.create ~config () in
+  let server = Net.Server.start svc addr in
+  let m0 = Obs.Metrics.snapshot () in
+  let cold_s, cold_ok, cold_cached, cold_shed, cold_err =
+    run_phase ~n:clients lines
+  in
+  let m1 = Obs.Metrics.snapshot () in
+  let warm_s, warm_ok, warm_cached, warm_shed, warm_err =
+    run_phase ~n:clients lines
+  in
+  let m2 = Obs.Metrics.snapshot () in
+  Net.Server.stop server;
+  Svc.Service.shutdown svc;
+  (* ---- process #2: same store directory, cold memory ---- *)
+  let svc2 = Svc.Service.create ~config () in
+  let server2 = Net.Server.start svc2 addr in
+  let m3 = Obs.Metrics.snapshot () in
+  let prime_s, prime_ok, prime_cached, prime_shed, prime_err =
+    run_phase ~n:1 base_lines
+  in
+  let m4 = Obs.Metrics.snapshot () in
+  let disk_s, disk_ok, disk_cached, disk_shed, disk_err =
+    run_phase ~n:clients lines
+  in
+  let m5 = Obs.Metrics.snapshot () in
+  Net.Server.stop server2;
+  Svc.Service.shutdown svc2;
+  let store_reads = counter "svc.store.hits" m4 - counter "svc.store.hits" m3 in
+  let cold_p50, cold_p99 = latency ~before:m0 ~after:m1 in
+  let warm_p50, warm_p99 = latency ~before:m1 ~after:m2 in
+  let disk_p50, disk_p99 = latency ~before:m4 ~after:m5 in
+  let expect = clients * l in
+  let report name s ok cached shed err p50 p99 =
+    Printf.printf
+      "%-10s %7.3fs  %8.0f req/s  p50/p99 %5.0f/%5.0f us  ok=%d cached=%d \
+       shed=%d%s\n"
+      name s
+      (float_of_int ok /. s)
+      p50 p99 ok cached shed
+      (if err = 0 then "" else Printf.sprintf "  (%d errors!)" err)
+  in
+  report "cold" cold_s cold_ok cold_cached cold_shed cold_err cold_p50
+    cold_p99;
+  report "memo-warm" warm_s warm_ok warm_cached warm_shed warm_err warm_p50
+    warm_p99;
+  Printf.printf
+    "restart    (same --store-dir: %d keys primed from disk in %.3fs, \
+     cached=%d shed=%d%s)\n"
+    store_reads prime_s prime_cached prime_shed
+    (if prime_err = 0 then "" else Printf.sprintf ", %d errors!" prime_err);
+  report "disk-warm" disk_s disk_ok disk_cached disk_shed disk_err disk_p50
+    disk_p99;
+  if cold_ok <> expect || warm_ok <> expect || disk_ok <> expect then
+    Printf.printf "WARNING: expected %d ok responses per phase\n" expect;
+  let phase name ~seconds ~ok ~shed ~errors ~p50 ~p99 ~counters =
+    Pipeline.Json.Obj
+      [
+        ("program", Pipeline.Json.Str name);
+        ( "runs",
+          Pipeline.Json.List
+            [
+              Pipeline.Json.Obj
+                [
+                  ("threads", Pipeline.Json.Int clients);
+                  ("requests", Pipeline.Json.Int ok);
+                  ("errors", Pipeline.Json.Int errors);
+                  ("seconds", Pipeline.Json.Float seconds);
+                  ( "requests_per_s",
+                    Pipeline.Json.Float (float_of_int ok /. seconds) );
+                  ("latency_p50_us", Pipeline.Json.Float p50);
+                  ("latency_p99_us", Pipeline.Json.Float p99);
+                  ("shed", Pipeline.Json.Int shed);
+                  ( "metrics",
+                    Pipeline.Json.Obj
+                      [
+                        ( "counters",
+                          Pipeline.Json.Obj
+                            (List.map
+                               (fun (k, v) -> (k, Pipeline.Json.Int v))
+                               counters) );
+                      ] );
+                ];
+            ] );
+      ]
+  in
+  [
+    phase "svc-socket-cold" ~seconds:cold_s ~ok:cold_ok ~shed:cold_shed
+      ~errors:cold_err ~p50:cold_p50 ~p99:cold_p99
+      ~counters:[ ("responses", cold_ok); ("shed", cold_shed) ];
+    phase "svc-socket-warm" ~seconds:warm_s ~ok:warm_ok ~shed:warm_shed
+      ~errors:warm_err ~p50:warm_p50 ~p99:warm_p99
+      ~counters:
+        [
+          ("responses", warm_ok);
+          ("warm_hits", warm_cached);
+          ("shed", warm_shed);
+        ];
+    phase "svc-socket-disk" ~seconds:disk_s ~ok:(prime_ok + disk_ok)
+      ~shed:(prime_shed + disk_shed) ~errors:(prime_err + disk_err)
+      ~p50:disk_p50 ~p99:disk_p99
+      ~counters:
+        [
+          ("responses", prime_ok + disk_ok);
+          ("disk_warm_hits", prime_cached);
+          ("store_reads", store_reads);
+          ("warm_hits", disk_cached);
+          ("shed", prime_shed + disk_shed);
+        ];
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* E11 — analysis service throughput → BENCH_service.json               *)
 
 (* Cold vs warm cache over a duplicate-heavy corpus, per domain count.
@@ -1203,19 +1452,22 @@ let service_bench () =
           ])
       [ 1; 2; 4 ]
   in
+  let socket_entries = socket_bench () in
+  (* schema v2: the svc-batch entry plus the E15 socket-service entries
+     (cold / memo-warm / disk-warm phases as separate programs so the
+     gate keys stay unique) *)
   let doc =
     Pipeline.Json.Obj
       [
-        ("schema_version", Pipeline.Json.Int 1);
+        ("schema_version", Pipeline.Json.Int 2);
         ( "entries",
           Pipeline.Json.List
-            [
-              Pipeline.Json.Obj
-                [
-                  ("program", Pipeline.Json.Str "svc-batch");
-                  ("runs", Pipeline.Json.List runs);
-                ];
-            ] );
+            (Pipeline.Json.Obj
+               [
+                 ("program", Pipeline.Json.Str "svc-batch");
+                 ("runs", Pipeline.Json.List runs);
+               ]
+            :: socket_entries) );
       ]
   in
   let oc = open_out "BENCH_service.json" in

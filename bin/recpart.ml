@@ -780,8 +780,8 @@ let flight_dir_arg =
   in
   Arg.(value & opt (some string) None & info [ "flight-dir" ] ~docv:"DIR" ~doc)
 
-let svc_config ~domains ~cache ~threads ~deadline ~no_check ~engine ~sink
-    ~events ~slow_ms ~flight_dir =
+let svc_config ?store_dir ~domains ~cache ~threads ~deadline ~no_check
+    ~engine ~sink ~events ~slow_ms ~flight_dir () =
   {
     Svc.Service.default_config with
     domains;
@@ -795,6 +795,7 @@ let svc_config ~domains ~cache ~threads ~deadline ~no_check ~engine ~sink
     events;
     slow_ms;
     flight_dir;
+    store_dir;
   }
 
 (* One response record per input line, errors as records: an unparsable
@@ -867,7 +868,7 @@ let batch_cmd =
     let sink = if trace = None then Obs.Sink.null else Obs.Sink.make () in
     let config =
       svc_config ~domains ~cache ~threads ~deadline ~no_check ~engine ~sink
-        ~events:Obs.Event.null ~slow_ms ~flight_dir
+        ~events:Obs.Event.null ~slow_ms ~flight_dir ()
     in
     let svc = Svc.Service.create ~config () in
     let ic = open_in file in
@@ -932,34 +933,119 @@ let batch_cmd =
           $ trace_arg $ slow_ms_arg $ flight_dir_arg)
 
 let serve_cmd =
-  let run domains cache threads deadline no_check engine slow_ms flight_dir =
+  let listen_arg =
+    let doc =
+      "Serve over a socket instead of stdin/stdout: $(b,unix:PATH), \
+       $(b,tcp:HOST:PORT) or $(b,HOST:PORT) (TCP port 0 binds an \
+       ephemeral port, reported on stderr).  One accept loop feeds the \
+       shared worker pool; each connection speaks pipelined JSONL."
+    in
+    Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"ADDR" ~doc)
+  in
+  let store_dir_arg =
+    let doc =
+      "Durable result store directory: cached analyses are appended to \
+       checksummed per-shard logs under this directory and reloaded on \
+       the next start, so warm state survives restarts."
+    in
+    Arg.(value & opt (some string) None & info [ "store-dir" ] ~docv:"DIR" ~doc)
+  in
+  let max_conns_arg =
+    let doc = "Maximum concurrent connections (excess are rejected with an \
+               overloaded record)." in
+    Arg.(value & opt int 64 & info [ "max-conns" ] ~docv:"N" ~doc)
+  in
+  let drain_timeout_arg =
+    let doc =
+      "Grace period in seconds for in-flight requests when draining \
+       (SIGTERM/SIGINT)."
+    in
+    Arg.(value & opt float 10.0 & info [ "drain-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let queue_arg =
+    let doc =
+      "Bounded pool queue capacity; when full, socket requests are shed \
+       with a typed overloaded record instead of queueing unboundedly."
+    in
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let run listen store_dir max_conns drain_timeout queue domains cache
+      threads deadline no_check engine slow_ms flight_dir =
     let config =
-      svc_config ~domains ~cache ~threads ~deadline ~no_check ~engine
-        ~sink:Obs.Sink.null ~events:Obs.Event.null ~slow_ms ~flight_dir
+      {
+        (svc_config ?store_dir ~domains ~cache ~threads ~deadline ~no_check
+           ~engine ~sink:Obs.Sink.null ~events:Obs.Event.null ~slow_ms
+           ~flight_dir ())
+        with
+        queue_capacity = queue;
+      }
     in
     let svc = Svc.Service.create ~config () in
-    let lineno = ref 0 in
-    (try
-       while true do
-         let line = input_line stdin in
-         incr lineno;
-         if String.trim line <> "" then begin
-           let r = response_of_line svc ~lineno:!lineno line in
-           print_endline (Svc.Proto.response_to_line r);
-           flush stdout
-         end
-       done
-     with End_of_file -> ());
+    (match listen with
+    | None ->
+        (* legacy stdin/stdout mode *)
+        let lineno = ref 0 in
+        (try
+           while true do
+             let line = input_line stdin in
+             incr lineno;
+             if String.trim line <> "" then begin
+               let r = response_of_line svc ~lineno:!lineno line in
+               print_endline (Svc.Proto.response_to_line r);
+               flush stdout
+             end
+           done
+         with End_of_file -> ())
+    | Some addr_str -> (
+        match Net.Addr.parse addr_str with
+        | Error e ->
+            Printf.eprintf "recpart serve: --listen %s: %s\n" addr_str e;
+            exit 2
+        | Ok addr ->
+            let server_config =
+              {
+                Net.Server.default_config with
+                max_conns;
+                drain_timeout_s = drain_timeout;
+              }
+            in
+            let server = Net.Server.start ~config:server_config svc addr in
+            Printf.eprintf
+              "recpart serve: listening on %s (domains=%d queue=%d \
+               store=%s)\n\
+               %!"
+              (Net.Addr.to_string (Net.Server.addr server))
+              domains queue
+              (Option.value store_dir ~default:"none");
+            let stopped = ref false in
+            let on_signal _ =
+              stopped := true;
+              Net.Server.drain server
+            in
+            Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+            Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+            (* Thread.delay (not a bare join) so pending signals are
+               delivered promptly to this main thread. *)
+            while not !stopped do
+              Thread.delay 0.1
+            done;
+            Net.Server.wait server;
+            Printf.eprintf "recpart serve: drained, shutting down\n%!"));
     Svc.Service.shutdown svc
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Serve analyses over stdin/stdout: read one JSONL request per \
-          line, respond with one JSONL record per line (flushed), sharing \
-          the content-addressed cache across requests until EOF")
-    Term.(const run $ domains_arg $ cache_arg $ threads_arg $ deadline_arg
-          $ no_check_arg $ engine_arg $ slow_ms_arg $ flight_dir_arg)
+         "Serve analyses as a concurrent socket server ($(b,--listen), \
+          pipelined JSONL per connection, graceful drain on \
+          SIGTERM/SIGINT, optional durable result store via \
+          $(b,--store-dir)) or over stdin/stdout (default): one JSONL \
+          request per line, one response record per line, sharing the \
+          content-addressed cache across requests")
+    Term.(const run $ listen_arg $ store_dir_arg $ max_conns_arg
+          $ drain_timeout_arg $ queue_arg $ domains_arg $ cache_arg
+          $ threads_arg $ deadline_arg $ no_check_arg $ engine_arg
+          $ slow_ms_arg $ flight_dir_arg)
 
 (* ---- metrics ----------------------------------------------------------- *)
 
@@ -982,11 +1068,67 @@ let metrics_cmd =
     in
     Arg.(value & flag & info [ "health" ] ~doc)
   in
-  let run corpus json health domains cache threads deadline no_check engine =
+  let connect_arg =
+    let doc =
+      "Query a live server (started with $(b,recpart serve --listen)) at \
+       this address over its socket protocol instead of sampling a fresh \
+       in-process service — the exit-code health probe for liveness \
+       checks ($(b,--health))."
+    in
+    Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"ADDR" ~doc)
+  in
+  (* Remote flavor of the metrics/health op: same protocol records, but
+     over the wire against a running server. *)
+  let run_connect addr_str json health =
+    let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt in
+    match Net.Addr.parse addr_str with
+    | Error e -> fail "recpart metrics: --connect %s: %s" addr_str e
+    | Ok addr -> (
+        match Net.Client.connect addr with
+        | Error e -> fail "recpart metrics: %s" e
+        | Ok client -> (
+            let mode = if health then Svc.Proto.Health else Svc.Proto.Metrics in
+            let req =
+              Svc.Proto.request ~mode ~id:"metrics-cli"
+                ~name:(Svc.Proto.mode_name mode) (Svc.Proto.Src "")
+            in
+            let resp = Net.Client.request client req in
+            Net.Client.close client;
+            match resp with
+            | Error e -> fail "recpart metrics: %s" e
+            | Ok j -> (
+                let member k = Pipeline.Json.member k j in
+                match (health, member "healthy") with
+                | true, Some (Pipeline.Json.Bool ok) ->
+                    let merged =
+                      match member "health" with
+                      | Some (Pipeline.Json.Obj fields) ->
+                          Pipeline.Json.Obj
+                            (("healthy", Pipeline.Json.Bool ok) :: fields)
+                      | _ -> j
+                    in
+                    print_endline (Pipeline.Json.to_string_pretty merged);
+                    if not ok then exit 1
+                | true, _ -> fail "recpart metrics: malformed health response"
+                | false, _ -> (
+                    match (json, member "metrics", member "prometheus") with
+                    | true, Some snapshot, _ ->
+                        print_endline
+                          (Pipeline.Json.to_string_pretty snapshot)
+                    | false, _, Some (Pipeline.Json.Str prom) ->
+                        print_string prom
+                    | _ ->
+                        fail "recpart metrics: malformed metrics response"))))
+  in
+  let run corpus json health connect domains cache threads deadline no_check
+      engine =
+    match connect with
+    | Some addr_str -> run_connect addr_str json health
+    | None ->
     let config =
       svc_config ~domains ~cache ~threads ~deadline ~no_check ~engine
         ~sink:Obs.Sink.null ~events:Obs.Event.null ~slow_ms:None
-        ~flight_dir:None
+        ~flight_dir:None ()
     in
     let svc = Svc.Service.create ~config () in
     (match corpus with
@@ -1039,10 +1181,11 @@ let metrics_cmd =
          "Print the live-telemetry snapshot the service's $(b,metrics) \
           protocol op exposes — Prometheus text (default), the JSON \
           snapshot ($(b,--json)), or the health report ($(b,--health)); \
-          optionally after replaying a request corpus")
-    Term.(const run $ corpus_arg $ json_arg $ health_arg $ domains_arg
-          $ cache_arg $ threads_arg $ deadline_arg $ no_check_arg
-          $ engine_arg)
+          optionally after replaying a request corpus, or against a live \
+          server over its socket ($(b,--connect))")
+    Term.(const run $ corpus_arg $ json_arg $ health_arg $ connect_arg
+          $ domains_arg $ cache_arg $ threads_arg $ deadline_arg
+          $ no_check_arg $ engine_arg)
 
 (* ---- simulate ---------------------------------------------------------- *)
 

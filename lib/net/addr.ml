@@ -1,0 +1,45 @@
+type t = Unix_sock of string | Tcp of { host : string; port : int }
+
+let usage =
+  "expected \"unix:PATH\", \"tcp:HOST:PORT\" or \"HOST:PORT\""
+
+let parse_host_port s =
+  match String.rindex_opt s ':' with
+  | None -> Error usage
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let port_s = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port_s with
+      | Some port when port >= 0 && port < 65536 && host <> "" ->
+          Ok (Tcp { host; port })
+      | _ -> Error usage)
+
+let parse s =
+  let prefixed p =
+    String.length s > String.length p
+    && String.sub s 0 (String.length p) = p
+  in
+  let rest p = String.sub s (String.length p) (String.length s - String.length p) in
+  if prefixed "unix:" then Ok (Unix_sock (rest "unix:"))
+  else if prefixed "tcp:" then parse_host_port (rest "tcp:")
+  else if String.contains s ':' then parse_host_port s
+  else Error usage
+
+let to_string = function
+  | Unix_sock path -> "unix:" ^ path
+  | Tcp { host; port } -> Printf.sprintf "tcp:%s:%d" host port
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+          failwith (Printf.sprintf "cannot resolve host %S" host)
+      | { Unix.h_addr_list; _ } -> h_addr_list.(0))
+
+let to_sockaddr = function
+  | Unix_sock path -> Unix.ADDR_UNIX path
+  | Tcp { host; port } -> Unix.ADDR_INET (resolve host, port)
+
+let domain = function Unix_sock _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET

@@ -1,0 +1,24 @@
+(** Listen/connect addresses for the analysis service.
+
+    Two transports: Unix-domain sockets ([unix:/path/to.sock]) for
+    same-host clients and CI, TCP ([tcp:HOST:PORT], or the [HOST:PORT]
+    shorthand) for everything else.  TCP port [0] binds an ephemeral
+    port — {!Server.addr} reports the one actually bound, which is how
+    tests avoid port races. *)
+
+type t =
+  | Unix_sock of string  (** filesystem path of the socket *)
+  | Tcp of { host : string; port : int }
+
+val parse : string -> (t, string) result
+(** [unix:PATH], [tcp:HOST:PORT] or [HOST:PORT].  The error is a usage
+    message naming the accepted forms. *)
+
+val to_string : t -> string
+(** Round-trips through {!parse} ([unix:…] / [tcp:…] forms). *)
+
+val to_sockaddr : t -> Unix.sockaddr
+(** Resolves the host for TCP addresses (numeric forms preferred,
+    [gethostbyname] fallback).  @raise Failure when resolution fails. *)
+
+val domain : t -> Unix.socket_domain

@@ -1,0 +1,80 @@
+type t = {
+  fd : Unix.file_descr;
+  reader : Frame.reader;
+  mutable closed : bool;
+}
+
+let connect ?(timeout_s = 5.0) addr =
+  match Addr.to_sockaddr addr with
+  | exception Failure m -> Error m
+  | sa -> (
+      let fd = Unix.socket (Addr.domain addr) Unix.SOCK_STREAM 0 in
+      let finish () =
+        Ok { fd; reader = Frame.reader fd; closed = false }
+      in
+      (* bound the connect without leaving the socket non-blocking *)
+      Unix.set_nonblock fd;
+      match Unix.connect fd sa with
+      | () ->
+          Unix.clear_nonblock fd;
+          finish ()
+      | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _)
+        -> (
+          match Unix.select [] [ fd ] [] timeout_s with
+          | _, [ _ ], _ -> (
+              match Unix.getsockopt_error fd with
+              | None ->
+                  Unix.clear_nonblock fd;
+                  finish ()
+              | Some e ->
+                  Unix.close fd;
+                  Error (Unix.error_message e))
+          | _ ->
+              Unix.close fd;
+              Error
+                (Printf.sprintf "connect to %s timed out after %.1fs"
+                   (Addr.to_string addr) timeout_s))
+      | exception Unix.Unix_error (e, _, _) ->
+          Unix.close fd;
+          Error
+            (Printf.sprintf "connect to %s: %s" (Addr.to_string addr)
+               (Unix.error_message e)))
+
+let send t line =
+  if t.closed then Error "connection closed"
+  else
+    match Frame.write_line t.fd line with
+    | Ok () -> Ok ()
+    | Error `Closed -> Error "connection closed by server"
+
+let recv ?(timeout_s = 30.0) t =
+  if t.closed then Error "connection closed"
+  else
+    match Frame.next t.reader ~timeout_s with
+    | Frame.Line l -> Ok l
+    | Frame.Too_long n ->
+        Error (Printf.sprintf "oversized response line (%d bytes)" n)
+    | Frame.Eof -> Error "connection closed by server"
+    | Frame.Aborted -> Error "connection reset"
+    | Frame.Idle_timeout | Frame.Read_timeout ->
+        Error (Printf.sprintf "no response within %.1fs" timeout_s)
+
+let call ?timeout_s t line =
+  match send t line with Error e -> Error e | Ok () -> recv ?timeout_s t
+
+let request ?timeout_s t req =
+  match
+    call ?timeout_s t
+      (Pipeline.Json.to_string (Svc.Proto.request_to_json req))
+  with
+  | Error e -> Error e
+  | Ok line -> (
+      match Pipeline.Json.parse line with
+      | Ok j -> Ok j
+      | Error m -> Error ("response not valid JSON: " ^ m))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,32 @@
+(** Minimal JSONL client for the analysis socket ({!Server}).
+
+    Used by [recpart metrics --connect], the net tests and anything else
+    that wants to speak to a live server without hand-rolling framing.
+    One connection, synchronous line-level API; pipelining is just
+    several {!send}s before the matching {!recv}s. *)
+
+type t
+
+val connect : ?timeout_s:float -> Addr.t -> (t, string) result
+(** Open a connection.  [timeout_s] (default 5 s) bounds the TCP
+    connect; the error is a human-readable reason. *)
+
+val send : t -> string -> (unit, string) result
+(** Write one request line (newline appended). *)
+
+val recv : ?timeout_s:float -> t -> (string, string) result
+(** Read the next response line (default timeout 30 s). *)
+
+val call : ?timeout_s:float -> t -> string -> (string, string) result
+(** [send] + [recv]. *)
+
+val request :
+  ?timeout_s:float ->
+  t ->
+  Svc.Proto.request ->
+  (Pipeline.Json.t, string) result
+(** Typed round-trip: render the request, parse the response line as
+    JSON. *)
+
+val close : t -> unit
+(** Idempotent. *)

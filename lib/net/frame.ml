@@ -1,0 +1,130 @@
+type event =
+  | Line of string
+  | Too_long of int
+  | Eof
+  | Idle_timeout
+  | Read_timeout
+  | Aborted
+
+type reader = {
+  fd : Unix.file_descr;
+  chunk : Bytes.t;
+  partial : Buffer.t;  (* current line, newline not yet seen *)
+  items : event Queue.t;  (* completed lines / markers, in order *)
+  max_line : int;
+  mutable discarding : bool;  (* oversized line: dropping until '\n' *)
+  mutable discarded : int;
+  mutable terminal : event option;  (* Eof or Aborted, sticky *)
+}
+
+let reader ?(max_line = 1024 * 1024) fd =
+  {
+    fd;
+    chunk = Bytes.create 65536;
+    partial = Buffer.create 256;
+    items = Queue.create ();
+    max_line;
+    discarding = false;
+    discarded = 0;
+    terminal = None;
+  }
+
+let finish_line r upto s from =
+  if r.discarding then begin
+    r.discarded <- r.discarded + (upto - from);
+    Queue.push (Too_long r.discarded) r.items;
+    r.discarding <- false;
+    r.discarded <- 0
+  end
+  else begin
+    Buffer.add_substring r.partial s from (upto - from);
+    let line = Buffer.contents r.partial in
+    Buffer.clear r.partial;
+    let line =
+      (* tolerate CRLF clients *)
+      let n = String.length line in
+      if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+    in
+    if String.length line > r.max_line then
+      Queue.push (Too_long (String.length line)) r.items
+    else Queue.push (Line line) r.items
+  end
+
+let ingest r s =
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    match String.index_from_opt s !i '\n' with
+    | Some j ->
+        finish_line r j s !i;
+        i := j + 1
+    | None ->
+        let len = n - !i in
+        if r.discarding then r.discarded <- r.discarded + len
+        else begin
+          Buffer.add_substring r.partial s !i len;
+          if Buffer.length r.partial > r.max_line then begin
+            (* stop buffering: drop what we have and keep dropping until
+               the newline restores framing *)
+            r.discarded <- Buffer.length r.partial;
+            Buffer.clear r.partial;
+            r.discarding <- true
+          end
+        end;
+        i := n
+  done
+
+let rec next r ~timeout_s =
+  if not (Queue.is_empty r.items) then Queue.pop r.items
+  else
+    match r.terminal with
+    | Some e -> e
+    | None -> (
+        let ready =
+          if timeout_s <= 0.0 then true
+          else
+            match Unix.select [ r.fd ] [] [] timeout_s with
+            | [], _, _ -> false
+            | _ -> true
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+        in
+        if not ready then
+          if Buffer.length r.partial = 0 && not r.discarding then Idle_timeout
+          else Read_timeout
+        else
+          match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+          | 0 ->
+              (* clean close; an unterminated tail never became a frame *)
+              r.terminal <- Some Eof;
+              next r ~timeout_s
+          | n ->
+              ingest r (Bytes.sub_string r.chunk 0 n);
+              next r ~timeout_s
+          | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+              next r ~timeout_s
+          | exception
+              Unix.Unix_error
+                ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _) ->
+              r.terminal <- Some Aborted;
+              next r ~timeout_s)
+
+let write_line fd line =
+  let s = line ^ "\n" in
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  match
+    let sent = ref 0 in
+    while !sent < len do
+      match Unix.write fd b !sent (len - !sent) with
+      | n -> sent := !sent + n
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done
+  with
+  | () -> Ok ()
+  | exception
+      Unix.Unix_error
+        ( ( Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF | Unix.ENOTCONN
+          | Unix.ESHUTDOWN ),
+          _,
+          _ ) ->
+      Error `Closed

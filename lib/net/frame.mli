@@ -1,0 +1,37 @@
+(** Bounded-buffer JSONL framing over a socket.
+
+    A {!reader} accumulates raw reads and splits them into
+    newline-terminated lines.  Memory is bounded by [max_line]: once a
+    line under construction exceeds it, its bytes are {e discarded}
+    (not buffered) until the terminating newline, and the reader yields
+    one {!Too_long} event in the line's place — the connection stays
+    framed, the oversized request becomes a typed [bad-request] record
+    instead of an allocation.  A line arriving in many partial reads is
+    reassembled; several lines arriving in one read are yielded one by
+    one (pipelining). *)
+
+type reader
+
+type event =
+  | Line of string  (** one complete request line (["\r"] stripped) *)
+  | Too_long of int
+      (** an oversized line was discarded; the payload is the byte count
+          dropped (order-preserving: yielded in the line's position) *)
+  | Eof  (** peer closed cleanly; any unterminated tail is dropped *)
+  | Idle_timeout  (** no line {e started} within the timeout *)
+  | Read_timeout  (** a partial line stalled past the timeout *)
+  | Aborted  (** connection reset mid-read *)
+
+val reader : ?max_line:int -> Unix.file_descr -> reader
+(** [max_line] defaults to 1 MiB. *)
+
+val next : reader -> timeout_s:float -> event
+(** Block (via [select]) for the next event.  [timeout_s <= 0] waits
+    forever.  After {!Eof}/{!Aborted} every later call returns the same
+    event. *)
+
+val write_line : Unix.file_descr -> string -> (unit, [ `Closed ]) result
+(** Write [line ^ "\n"] fully.  [EPIPE]/[ECONNRESET]-class errors — the
+    peer went away — come back as [Error `Closed] for the caller to
+    count and clean up; they never raise (the process ignores
+    [SIGPIPE]). *)

@@ -14,11 +14,22 @@ type 'v shard = {
   cap : int;
 }
 
+(* Optional durable second tier: a memory miss falls through to the
+   store, a decoded payload is promoted into memory, and every insert is
+   written behind to the log.  The codec lives with the tier because the
+   cache is polymorphic and the store speaks strings. *)
+type 'v tier = {
+  t_store : Store.t;
+  t_encode : 'v -> string;
+  t_decode : string -> 'v option;
+}
+
 type 'v t = {
   shards : 'v shard array;
   hits : Obs.Counter.t;
   misses : Obs.Counter.t;
   evictions : Obs.Counter.t;
+  mutable tier : 'v tier option;
 }
 
 let create ?(shards = 8) ~capacity ~name () =
@@ -39,7 +50,15 @@ let create ?(shards = 8) ~capacity ~name () =
     hits = Obs.Counter.make (Printf.sprintf "svc.cache.%s.hits" name);
     misses = Obs.Counter.make (Printf.sprintf "svc.cache.%s.misses" name);
     evictions = Obs.Counter.make (Printf.sprintf "svc.cache.%s.evictions" name);
+    tier = None;
   }
+
+let attach_store t ~store ~encode ~decode =
+  if Option.is_some t.tier then
+    invalid_arg "Svc.Cache.attach_store: tier already attached";
+  t.tier <- Some { t_store = store; t_encode = encode; t_decode = decode }
+
+let store t = Option.map (fun tier -> tier.t_store) t.tier
 
 let shard_of t k = t.shards.(Key.hash k mod Array.length t.shards)
 
@@ -61,20 +80,10 @@ let locked sh f =
   Mutex.lock sh.m;
   Fun.protect ~finally:(fun () -> Mutex.unlock sh.m) f
 
-let find t k =
-  let sh = shard_of t k in
-  locked sh (fun () ->
-      match Hashtbl.find_opt sh.tbl k with
-      | Some n ->
-          unlink sh n;
-          push_front sh n;
-          Obs.Counter.incr t.hits;
-          Some n.value
-      | None ->
-          Obs.Counter.incr t.misses;
-          None)
-
-let add t k v =
+(* Memory insert without touching the store tier — shared by [add] and
+   the disk-hit promotion path (which must not re-append the record it
+   just read). *)
+let add_mem t k v =
   let sh = shard_of t k in
   locked sh (fun () ->
       match Hashtbl.find_opt sh.tbl k with
@@ -96,6 +105,43 @@ let add t k v =
                 Obs.Counter.incr t.evictions
             | None -> assert false
           end)
+
+let find t k =
+  let sh = shard_of t k in
+  let in_mem =
+    locked sh (fun () ->
+        match Hashtbl.find_opt sh.tbl k with
+        | Some n ->
+            unlink sh n;
+            push_front sh n;
+            Obs.Counter.incr t.hits;
+            Some n.value
+        | None ->
+            Obs.Counter.incr t.misses;
+            None)
+  in
+  match (in_mem, t.tier) with
+  | (Some _ as hit), _ -> hit
+  | None, None -> None
+  | None, Some tier -> (
+      (* Read-through outside the shard lock: the store has its own
+         locks and a disk read must not block the hot memory path. *)
+      match Option.bind (Store.find tier.t_store k) tier.t_decode with
+      | None -> None
+      | Some v as hit ->
+          add_mem t k v;
+          hit)
+
+let add t k v =
+  add_mem t k v;
+  match t.tier with
+  | None -> ()
+  | Some tier ->
+      (* Skip re-appending a key the log already holds (memory eviction
+         followed by recompute would otherwise grow the log forever); a
+         racing duplicate append is harmless — last record wins. *)
+      if not (Store.mem tier.t_store k) then
+        Store.add tier.t_store k (tier.t_encode v)
 
 let length t =
   Array.fold_left

@@ -4,6 +4,7 @@ let equal = String.equal
 let compare = String.compare
 let hash (k : t) = Hashtbl.hash k
 let to_string (k : t) = k
+let of_hex (s : string) : t = s
 
 (* Alpha-rename loop indices to position-derived names ($0, $1, … in
    pre-order), respecting shadowing: an inner loop reusing an outer index

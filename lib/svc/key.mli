@@ -25,6 +25,11 @@ val hash : t -> int
 val to_string : t -> string
 (** 32 lowercase hex digits (a 128-bit FNV-1a digest). *)
 
+val of_hex : string -> t
+(** Inverse of {!to_string} — how {!Store} recovery turns the key bytes
+    persisted in its shard logs back into keys.  No validation: the
+    store's record checksum already vouches for the bytes. *)
+
 val canonical : Loopir.Ast.program -> Loopir.Ast.program
 (** The canonical form hashed by {!of_request}: unit strides, loop
     indices renamed to [$0, $1, …] in pre-order, name dropped.  Exposed

@@ -99,6 +99,27 @@ let submit t job =
           [ ("depth", Obs.Event.Int (Queue.length t.q)) ]);
       Condition.signal t.not_empty)
 
+(* Non-blocking admission for the network path: a full queue is the
+   load-shedding signal, not something to wait out while a socket reader
+   sits blocked.  Returns [false] instead of raising on a closing pool —
+   the server turns both into typed error records. *)
+let try_submit t job =
+  let ctx = Obs.Ctx.current () in
+  Mutex.lock t.m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.m)
+    (fun () ->
+      if t.closing || Queue.length t.q >= t.capacity then false
+      else begin
+        Queue.push (ctx, job) t.q;
+        Obs.Histogram.observe queue_depth (Queue.length t.q);
+        Obs.Event.emit ~log:t.events ~severity:Obs.Event.Debug ~scope:"svc"
+          ~name:"pool.submit" (fun () ->
+            [ ("depth", Obs.Event.Int (Queue.length t.q)) ]);
+        Condition.signal t.not_empty;
+        true
+      end)
+
 let shutdown t =
   Mutex.lock t.m;
   let first = not t.closing in

@@ -31,6 +31,13 @@ val submit : t -> (unit -> unit) -> unit
     the originating request's trace id.  @raise Closed once {!shutdown}
     has been called. *)
 
+val try_submit : t -> (unit -> unit) -> bool
+(** Non-blocking {!submit}: [false] when the queue is at capacity or the
+    pool is shutting down, [true] when the job was enqueued.  The
+    network server's load-shedding primitive — a [false] becomes a typed
+    [overloaded] error record instead of backpressure on the socket
+    reader. *)
+
 val shutdown : t -> unit
 (** Stop accepting jobs, drain the queue, join the workers.  Idempotent;
     concurrent submitters blocked on a full queue are released with

@@ -30,12 +30,16 @@ type failure =
   | Pipeline_error of { stage : string; label : string; message : string }
   | Deadline of { limit_s : float; elapsed_s : float }
   | Panic of string
+  | Overloaded of { queue_depth : int; queue_capacity : int }
+  | Draining
 
 let failure_kind = function
   | Bad_request _ -> "bad-request"
   | Pipeline_error _ -> "pipeline"
   | Deadline _ -> "deadline"
   | Panic _ -> "panic"
+  | Overloaded _ -> "overloaded"
+  | Draining -> "drain"
 
 let failure_message = function
   | Bad_request m | Panic m -> m
@@ -44,6 +48,12 @@ let failure_message = function
   | Deadline { limit_s; elapsed_s } ->
       Printf.sprintf "deadline %.3fs exceeded (elapsed %.3fs)" limit_s
         elapsed_s
+  | Overloaded { queue_depth; queue_capacity } ->
+      Printf.sprintf
+        "server overloaded: request shed (queue %d/%d full); retry with \
+         backoff"
+        queue_depth queue_capacity
+  | Draining -> "server draining: not accepting new requests"
 
 type body =
   | Done of {
@@ -243,6 +253,11 @@ let response_to_json r =
         @ (match f with
           | Pipeline_error { stage; label; _ } ->
               [ ("stage", Json.Str stage); ("label", Json.Str label) ]
+          | Overloaded { queue_depth; queue_capacity } ->
+              [
+                ("queue_depth", Json.Int queue_depth);
+                ("queue_capacity", Json.Int queue_capacity);
+              ]
           | _ -> [])
   in
   Json.Obj (common @ rest)

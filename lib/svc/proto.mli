@@ -76,9 +76,17 @@ type failure =
       (** a pipeline stage failed with a typed {!Diag.error} *)
   | Deadline of { limit_s : float; elapsed_s : float }
   | Panic of string  (** unexpected exception, isolated by the worker *)
+  | Overloaded of { queue_depth : int; queue_capacity : int }
+      (** the bounded pool queue was full and the request was shed
+          (network server load shedding); the record carries the queue
+          state so clients can size their backoff *)
+  | Draining
+      (** the server is in graceful shutdown: in-flight requests finish,
+          new ones get this record *)
 
 val failure_kind : failure -> string
-(** ["bad-request"], ["pipeline"], ["deadline"], ["panic"]. *)
+(** ["bad-request"], ["pipeline"], ["deadline"], ["panic"],
+    ["overloaded"], ["drain"]. *)
 
 val failure_message : failure -> string
 

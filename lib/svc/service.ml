@@ -15,6 +15,8 @@ type config = {
   flight_dir : string option;
   window_s : float;
   windows : int;
+  store_dir : string option;
+  store_flush_every : int;
 }
 
 let default_config =
@@ -35,6 +37,8 @@ let default_config =
     flight_dir = None;
     window_s = 1.0;
     windows = 60;
+    store_dir = None;
+    store_flush_every = 32;
   }
 
 let latency_us = Obs.Histogram.make "svc.request.latency_us"
@@ -58,9 +62,37 @@ type t = {
          service creation, shared across the whole batch/serve lifetime
          (spawn count scales with [threads], not with requests) *)
   window : Obs.Window.t;
+  store : Store.t option;
+  mutable gauge_providers : (unit -> (string * float) list) list;
+      (* extra point-in-time gauges for the metrics op, registered by
+         layers above the service (the network server's connection
+         counts live here — svc cannot depend on net) *)
 }
 
+(* The durable tier speaks strings: values are Marshal'd behind a
+   version tag so a payload written by an incompatible binary decodes as
+   a miss (recomputed and re-written), never a crash.  The store's
+   checksummed records already reject corruption below this layer. *)
+let value_tag = "rpv1:"
+
+let encode_value (v : value) = value_tag ^ Marshal.to_string v []
+
+let decode_value s : value option =
+  let tl = String.length value_tag in
+  if
+    String.length s > tl
+    && String.equal (String.sub s 0 tl) value_tag
+  then try Some (Marshal.from_string s tl) with _ -> None
+  else None
+
 let create ?(config = default_config) () =
+  let store =
+    Option.map
+      (fun dir ->
+        Store.open_dir ~shards:config.cache_shards
+          ~flush_every:config.store_flush_every dir)
+      config.store_dir
+  in
   let t =
     {
       config;
@@ -72,8 +104,15 @@ let create ?(config = default_config) () =
           ~events:config.events ~domains:config.domains ();
       exec = Runtime.Workers.create ~domains:(max 1 config.threads);
       window = Obs.Window.create ~windows:config.windows ~period_s:config.window_s ();
+      store;
+      gauge_providers = [];
     }
   in
+  Option.iter
+    (fun store ->
+      Cache.attach_store t.cache ~store ~encode:encode_value
+        ~decode:decode_value)
+    store;
   (* The exec pool doubles as the presburger layer's DNF-disjunct runner,
      so analysis-side set algebra parallelizes over the same domains. *)
   Runtime.Workers.install_dnf_runner t.exec;
@@ -83,12 +122,21 @@ let create ?(config = default_config) () =
 let cache_stats t = Cache.stats t.cache
 let exec_pool t = t.exec
 let window t = t.window
+let store t = t.store
+let pool_capacity t = Pool.capacity t.pool
+let pool_queue_length t = Pool.queue_length t.pool
+
+let register_gauges t provider =
+  t.gauge_providers <- provider :: t.gauge_providers
+
+let flush_store t = Option.iter Store.flush t.store
 
 let shutdown t =
   Runtime.Workers.uninstall_dnf_runner ();
   if t.config.flight then Obs.Flight.disable ();
   Pool.shutdown t.pool;
-  Runtime.Workers.shutdown t.exec
+  Runtime.Workers.shutdown t.exec;
+  Option.iter Store.close t.store
 
 (* Same exception → Diag mapping as Pipeline.Driver.guarded: the known
    library exceptions become typed errors; anything else escapes to the
@@ -257,6 +305,10 @@ let stats_body t =
       ("runtime.workers.domains", float_of_int (Runtime.Workers.domains t.exec));
       ("runtime.workers.spawned", float_of_int (Runtime.Workers.spawned t.exec));
     ]
+    @ (match t.store with
+      | None -> []
+      | Some s -> [ ("svc.store.entries", float_of_int (Store.entries s)) ])
+    @ List.concat_map (fun provider -> provider ()) t.gauge_providers
   in
   let prometheus = Obs.Export.prometheus ~gauges ~window:t.window m in
   let snapshot =
@@ -280,34 +332,46 @@ let health_body t =
   let ok = alive && qlen < qcap in
   let detail =
     Json.Obj
-      [
-        ( "pool",
-          Json.Obj
-            [
-              ("alive", Json.Bool alive);
-              ("domains", Json.Int (Pool.domains t.pool));
-              ("queue_depth", Json.Int qlen);
-              ("queue_capacity", Json.Int qcap);
-            ] );
-        ( "cache",
-          Json.Obj
-            [
-              ("size", Json.Int cache_size);
-              ("capacity", Json.Int st.Cache.capacity);
-            ] );
-        ( "exec",
-          Json.Obj
-            [
-              ("domains", Json.Int (Runtime.Workers.domains t.exec));
-              ("spawned", Json.Int (Runtime.Workers.spawned t.exec));
-            ] );
-        ( "windows",
-          Json.Obj
-            [
-              ("period_s", Json.Float (Obs.Window.period_s t.window));
-              ("max", Json.Int (Obs.Window.max_windows t.window));
-            ] );
-      ]
+      ([
+         ( "pool",
+           Json.Obj
+             [
+               ("alive", Json.Bool alive);
+               ("domains", Json.Int (Pool.domains t.pool));
+               ("queue_depth", Json.Int qlen);
+               ("queue_capacity", Json.Int qcap);
+             ] );
+         ( "cache",
+           Json.Obj
+             [
+               ("size", Json.Int cache_size);
+               ("capacity", Json.Int st.Cache.capacity);
+             ] );
+         ( "exec",
+           Json.Obj
+             [
+               ("domains", Json.Int (Runtime.Workers.domains t.exec));
+               ("spawned", Json.Int (Runtime.Workers.spawned t.exec));
+             ] );
+         ( "windows",
+           Json.Obj
+             [
+               ("period_s", Json.Float (Obs.Window.period_s t.window));
+               ("max", Json.Int (Obs.Window.max_windows t.window));
+             ] );
+       ]
+      @
+      match t.store with
+      | None -> []
+      | Some s ->
+          [
+            ( "store",
+              Json.Obj
+                [
+                  ("dir", Json.Str (Store.dir s));
+                  ("entries", Json.Int (Store.entries s));
+                ] );
+          ])
   in
   Proto.Healthy { ok; detail }
 
@@ -537,6 +601,48 @@ let run_one t (req : Proto.request) =
   let submitted_ns = Obs.Clock.now_ns () in
   try process t req ~submitted_ns
   with e -> Proto.error_response ~id:req.Proto.id (Proto.Panic (Printexc.to_string e))
+
+type admission =
+  | Accepted
+  | Shed of { queue_depth : int; queue_capacity : int }
+
+(* Asynchronous admission for the network server: one request, one
+   continuation, no blocking.  Introspective ops are answered inline on
+   the caller (they read registries, never the pool); everything else is
+   try-submitted — a full queue sheds the request instead of stalling
+   the socket reader, and the caller renders the typed [overloaded]
+   record itself (it owns the response ordering). *)
+let submit t (req : Proto.request) ~k =
+  if Proto.introspective req.Proto.mode then begin
+    k (run_one t req);
+    Accepted
+  end
+  else begin
+    (* Same trace discipline as [batch]: mint the context at submit so
+       the pool job and every span/event it causes carry it. *)
+    let ctx = Obs.Ctx.make () in
+    Obs.Ctx.with_ctx ctx @@ fun () ->
+    Obs.Event.emit ~log:t.config.events ~severity:Obs.Event.Debug ~scope:"svc"
+      ~name:"request.submit" (fun () ->
+        [ ("id", Obs.Event.Str req.Proto.id) ]);
+    let submitted_ns = Obs.Clock.now_ns () in
+    let job () =
+      let resp =
+        try process t req ~submitted_ns
+        with e ->
+          Proto.error_response ~id:req.Proto.id ~trace:(Obs.Ctx.id ctx)
+            (Proto.Panic (Printexc.to_string e))
+      in
+      k resp
+    in
+    if Pool.try_submit t.pool job then Accepted
+    else
+      Shed
+        {
+          queue_depth = Pool.queue_length t.pool;
+          queue_capacity = Pool.capacity t.pool;
+        }
+  end
 
 let batch t reqs =
   let reqs = Array.of_list reqs in

@@ -45,18 +45,25 @@ type config = {
           flight-recorder JSONL postmortems; [None] = no dumps *)
   window_s : float;  (** aggregation window period (see {!Obs.Window}) *)
   windows : int;  (** retained windows *)
+  store_dir : string option;
+      (** durable second cache tier: a {!Store} opened under this
+          directory at {!create} and attached below the in-memory
+          {!Cache} (read-through / write-behind); [None] = memory only *)
+  store_flush_every : int;
+      (** write-behind threshold forwarded to {!Store.open_dir} *)
 }
 
 val default_config : config
 (** 4 domains, queue 64, cache 512 over 8 shards, 2 threads, check and
     measure on, no deadline, compiled execution, no-op sink and event
     log; flight recorder on (no dump dir), no slow-request log, 60
-    windows of 1s. *)
+    windows of 1s; no store. *)
 
 type t
 
 val create : ?config:config -> unit -> t
-(** Spawns the worker pool; call {!shutdown} when done. *)
+(** Spawns the worker pool (and opens the durable store when
+    [config.store_dir] is set); call {!shutdown} when done. *)
 
 val run_one : t -> Proto.request -> Proto.response
 (** Process one request synchronously on the calling domain, sharing the
@@ -67,7 +74,40 @@ val batch : t -> Proto.request list -> Proto.response list
     request order.  Duplicate (content-equal) requests hit the cache
     after the first completes. *)
 
+type admission =
+  | Accepted
+  | Shed of { queue_depth : int; queue_capacity : int }
+      (** the bounded pool queue was full; the request was {e not}
+          enqueued and [k] will never be called *)
+
+val submit : t -> Proto.request -> k:(Proto.response -> unit) -> admission
+(** Asynchronous single-request admission for the network server.
+    Introspective ops ({!Proto.Metrics}/{!Proto.Health}) are answered
+    inline — [k] runs on the calling thread before [submit] returns.
+    Run/Classify requests are handed to the pool without blocking: [k]
+    fires later on a worker domain (so it must be thread-safe), or the
+    call returns {!Shed} when the queue is at capacity — the server's
+    load-shedding signal, rendered as a typed [overloaded] record.  [k]
+    must not raise; an exception from it is counted as a pool panic. *)
+
 val cache_stats : t -> Cache.stats
+
+val store : t -> Store.t option
+(** The durable tier, when [config.store_dir] was set. *)
+
+val flush_store : t -> unit
+(** Force the store's write-behind buffers to disk (no-op without a
+    store).  The server calls this on graceful drain. *)
+
+val pool_capacity : t -> int
+val pool_queue_length : t -> int
+(** Queue state for rendering {!Shed} into an [overloaded] record and
+    for the health op's headroom signal. *)
+
+val register_gauges : t -> (unit -> (string * float) list) -> unit
+(** Add gauge providers sampled by the [metrics] op's export (the
+    network server registers its connection/in-flight gauges here so
+    [recpart metrics --connect] sees them). *)
 
 val window : t -> Obs.Window.t
 (** The service's rolling aggregation window (rolled from the request
