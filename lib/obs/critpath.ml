@@ -68,7 +68,13 @@ let task_of_span (s : Sink.span) =
 
 let end_ns (t : task) = Int64.add t.start_ns t.dur_ns
 
-let of_spans ?threads spans =
+let chain_ratio_pct = Counter.make "runtime.sched.longest_chain_ratio_pct"
+
+let observe_chain_ratio ~measured ~bound =
+  if measured > 0 && bound > 0 then
+    Counter.add chain_ratio_pct (100 * measured / bound)
+
+let of_spans ?threads ?theorem_bound spans =
   let phases =
     List.filter_map
       (fun s -> Option.map (fun label -> (label, s)) (phase_of_span s))
@@ -169,6 +175,9 @@ let of_spans ?threads spans =
           | _ -> Some t.len)
       None all_tasks
   in
+  (match (longest_chain, theorem_bound) with
+  | Some l, Some b -> observe_chain_ratio ~measured:l ~bound:b
+  | _ -> ());
   { threads; barriers; wall_ns; critical_ns; critical_fraction; longest_chain }
 
 (* ---- text rendering -------------------------------------------------- *)

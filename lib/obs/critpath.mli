@@ -61,13 +61,23 @@ type t = {
           when no chain task was recorded *)
 }
 
-val of_spans : ?threads:int -> Sink.span list -> t
+val of_spans : ?threads:int -> ?theorem_bound:int -> Sink.span list -> t
 (** Builds the analysis from a recorded timeline ({!Sink.spans} order —
     sorted by start time).  [threads] (default: the largest number of
     distinct domains seen in any one phase, at least 1) sets the
     denominator for idle attribution.  Phases with duplicate labels are
     kept separate (tasks attach to the innermost enclosing phase
-    window). *)
+    window).  When [theorem_bound] is given and a chain was measured,
+    {!observe_chain_ratio} is ticked. *)
+
+val observe_chain_ratio : measured:int -> bound:int -> unit
+(** Ticks the gateable counter [runtime.sched.longest_chain_ratio_pct]
+    with [100·measured/bound] — the measured longest chain as a
+    percentage of the Theorem 1 bound [⌈log_a L⌉ + 1].  A rising value
+    across runs of the same experiment means chains are getting longer
+    relative to the bound (a partitioner regression); values above 100
+    mean the bound is violated.  No-op unless both arguments are
+    positive. *)
 
 val to_text : ?theorem_bound:int -> t -> string
 (** Human-readable critical-path summary and per-barrier straggler

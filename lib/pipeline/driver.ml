@@ -169,6 +169,7 @@ type options = {
   strategy : Plan.strategy option;
   engine : [ `Enum | `Scan ];
   exec_engine : Runtime.Exec.engine;
+  chunking : [ `Static | `Cost ];
   workers : Runtime.Workers.t option;
   sim_cost : Runtime.Sim.cost option;
   sink : Obs.Sink.t;
@@ -183,6 +184,7 @@ let default_options =
     strategy = None;
     engine = `Scan;
     exec_engine = `Compiled;
+    chunking = `Cost;
     workers = None;
     sim_cost = None;
     sink = Obs.Sink.null;
@@ -195,6 +197,15 @@ type outcome = {
   sched : Runtime.Sched.t option;
   report : Report.t;
 }
+
+(* The executor's [`Cost] chunking wants concrete cost constants; reuse
+   the prediction's calibrated ones when the caller supplied them so the
+   chunk sizes and the prediction come from the same model. *)
+let exec_chunking options : Runtime.Exec.chunking =
+  match options.chunking with
+  | `Static -> `Static
+  | `Cost ->
+      `Cost (Option.value options.sim_cost ~default:Runtime.Sim.base_seconds)
 
 (* The engine option only affects REC materialization; route it through
    [Core.Partition.materialize] by re-dispatching here. *)
@@ -335,8 +346,10 @@ let run ?(options = default_options) ~name ~params prog =
                      let seq_s = Obs.Clock.elapsed_s t0 in
                      let tmd =
                        Runtime.Exec.run_timed ~sink
-                         ~engine:options.exec_engine ?workers:options.workers
-                         env ~threads:options.threads s
+                         ~engine:options.exec_engine
+                         ~chunking:(exec_chunking options)
+                         ?workers:options.workers env ~threads:options.threads
+                         s
                      in
                      let semantics =
                        if not options.check then Report.Skipped
@@ -433,6 +446,13 @@ let run ?(options = default_options) ~name ~params prog =
               rel_error;
             }
     in
+    let run_stats = stats concrete in
+    (* Tick the gateable chain-vs-bound ratio inside the metrics window so
+       per-run reports (and baseline gates) see it. *)
+    (match (run_stats.Report.longest_chain, run_stats.Report.theorem_bound) with
+    | Some measured, Some bound ->
+        Obs.Critpath.observe_chain_ratio ~measured ~bound
+    | _ -> ());
     let metrics =
       Obs.Metrics.diff ~before:metrics_before ~after:(Obs.Metrics.snapshot ())
     in
@@ -445,13 +465,17 @@ let run ?(options = default_options) ~name ~params prog =
         timings = List.rev !timings;
         n_instances;
         n_phases;
-        stats = Some (stats concrete);
+        stats = Some run_stats;
         threads = options.threads;
         legality;
         semantics;
         exec_engine =
           Option.map
             (fun _ -> Runtime.Exec.engine_name options.exec_engine)
+            par_seconds;
+        chunking =
+          Option.map
+            (fun _ -> Runtime.Exec.chunking_name (exec_chunking options))
             par_seconds;
         seq_seconds;
         par_seconds;

@@ -42,13 +42,16 @@ let of_rec ~stmt (c : Core.Partition.concrete_rec) =
       }
   in
   let ch = c.Core.Partition.chains in
+  let lens = Core.Chain.lengths ch in
   let chains =
     Tasks
       {
         label = "P2-chains";
         tasks =
+          (* Task index = chain id: chunk ids in spans and straggler
+             tables name the paper's chains directly. *)
           Array.init (Core.Chain.n_chains ch) (fun k ->
-              Array.init (Core.Chain.chain_length ch k) (fun i ->
+              Array.init lens.(k) (fun i ->
                   { stmt; iter = Core.Chain.get ch k i }));
       }
   in

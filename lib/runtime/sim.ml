@@ -51,6 +51,24 @@ let phase_time c ~threads phase =
   in
   c.fork +. (c.bound_eval *. float_of_int threads) +. work +. c.barrier
 
+(* How many blocks a DOALL phase of [n] iterations should be split into
+   so that dynamic self-scheduling can absorb wake-up jitter and
+   stragglers: as many as the work can amortize (each chunk must be worth
+   several times the per-phase fork+barrier overhead), floored at
+   [threads] (every domain gets work) and capped at [8 × threads] (queue
+   traffic stays negligible).  Sequential runs get a single block. *)
+let doall_chunk_count c ~threads ~n =
+  if n <= 0 then 0
+  else if threads <= 1 || n = 1 then 1
+  else begin
+    let per_iter = c.w_iter *. c.code_factor in
+    let overhead = Float.max 1e-12 (c.fork +. c.barrier) in
+    let affordable =
+      int_of_float (float_of_int n *. per_iter /. (4.0 *. overhead))
+    in
+    min n (max threads (min (8 * threads) affordable))
+  end
+
 let time c ~threads s =
   List.fold_left (fun acc p -> acc +. phase_time c ~threads p) 0.0 s.Sched.phases
 

@@ -39,6 +39,15 @@ val base_seconds : cost
 val phase_time : cost -> threads:int -> Sched.phase -> float
 val time : cost -> threads:int -> Sched.t -> float
 
+val doall_chunk_count : cost -> threads:int -> n:int -> int
+(** Cost-proportional block count for an [n]-iteration DOALL phase on
+    [threads] domains: as many blocks as the modelled work can amortize
+    against the per-phase fork+barrier overhead (each block ≥ 4× the
+    overhead), floored at [threads], capped at [8 × threads] and at [n].
+    [threads ≤ 1] yields one block ([0] for an empty phase) — sequential
+    execution never splits.  This is what the executor's cost-aware
+    chunking uses in place of equal per-thread index ranges. *)
+
 val seq_time : cost -> int -> float
 (** Sequential execution of [n] iterations of the {e original} code
     ([code_factor] deliberately not applied). *)

@@ -592,6 +592,32 @@ let test_critpath_zero_duration () =
     cp.Obs.Critpath.critical_fraction;
   Alcotest.(check int) "task still attributed" 1 b.Obs.Critpath.n_tasks
 
+let test_critpath_chain_ratio_counter () =
+  let counter_value () =
+    Option.value ~default:0
+      (List.assoc_opt "runtime.sched.longest_chain_ratio_pct"
+         (Obs.Counter.snapshot ()))
+  in
+  let before = counter_value () in
+  Obs.Critpath.observe_chain_ratio ~measured:3 ~bound:5;
+  Alcotest.(check int) "ratio ticked as a percentage" (before + 60)
+    (counter_value ());
+  (* Degenerate inputs must not tick (or divide by zero). *)
+  Obs.Critpath.observe_chain_ratio ~measured:0 ~bound:5;
+  Obs.Critpath.observe_chain_ratio ~measured:3 ~bound:0;
+  Alcotest.(check int) "degenerate inputs ignored" (before + 60)
+    (counter_value ());
+  (* of_spans with a theorem bound ticks it from the measured chain. *)
+  let spans =
+    [
+      mkspan ~name:"phase:P2-chains" ~start:0 ~dur:100 ();
+      mktask ~phase:"P2-chains" ~chain:0 ~len:4 ~tid:0 ~start:0 ~dur:100;
+    ]
+  in
+  ignore (Obs.Critpath.of_spans ~threads:2 ~theorem_bound:4 spans);
+  Alcotest.(check int) "of_spans ticks measured/bound" (before + 160)
+    (counter_value ())
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -647,5 +673,7 @@ let () =
           Alcotest.test_case "one straggler" `Quick test_critpath_straggler;
           Alcotest.test_case "zero-duration phase" `Quick
             test_critpath_zero_duration;
+          Alcotest.test_case "chain-ratio counter" `Quick
+            test_critpath_chain_ratio_counter;
         ] );
     ]

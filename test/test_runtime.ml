@@ -348,6 +348,175 @@ let test_compiled_matches_interp_corpus () =
     Loopir.Builtin.corpus
 
 (* ------------------------------------------------------------------ *)
+(* Bytecode engine                                                      *)
+
+module Bytecode = Runtime.Bytecode
+
+let test_bytecode_matches_interp_examples () =
+  (* The VM must leave bit-for-bit identical stores to both the closure
+     engine and the sequential oracle on every paper example, at 1/2/4
+     domains. *)
+  let cases =
+    [
+      ("example1", Loopir.Builtin.example1, [ ("n1", 10); ("n2", 10) ]);
+      ("fig2", Loopir.Builtin.fig2, []);
+      ("example2", Loopir.Builtin.example2, [ ("n", 12) ]);
+      ( "cholesky",
+        Loopir.Builtin.cholesky,
+        [ ("nmat", 2); ("m", 2); ("n", 5); ("nrhs", 1) ] );
+    ]
+  in
+  List.iter
+    (fun (name, prog, params) ->
+      let sched =
+        match Partition.choose prog with
+        | Partition.Rec_chains rp ->
+            let arr = Array.of_list (List.map snd params) in
+            Sched.of_rec ~stmt:0
+              (Partition.materialize_rec_scan rp ~params:arr)
+        | Partition.Dataflow_const | Partition.Pdm_fallback _ ->
+            Sched.of_fronts (Dataflow.peel_concrete prog ~params)
+      in
+      let env = Interp.prepare prog ~params in
+      let oracle = Interp.run_sequential env in
+      List.iter
+        (fun threads ->
+          let byte = Exec.run ~engine:`Bytecode env ~threads sched in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s bytecode t=%d ≡ sequential" name threads)
+            true
+            (Arrays.equal byte oracle);
+          let compiled = Exec.run ~engine:`Compiled env ~threads sched in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s bytecode t=%d ≡ compiled" name threads)
+            true
+            (Arrays.equal byte compiled))
+        [ 1; 2; 4 ])
+    cases
+
+let test_bytecode_matches_interp_corpus () =
+  (* Every corpus kernel, at 1/2/4 domains: exercises the lowerer's
+     general paths (reductions, powers, parameters in subscripts,
+     multi-statement bodies) and the closure fallback (non-affine
+     subscripts, MOD). *)
+  List.iter
+    (fun (name, prog) ->
+      let params = List.map (fun p -> (p, 8)) prog.Loopir.Ast.params in
+      let tr = Trace.build prog ~params in
+      let sched = Sched.sequential_of_trace tr in
+      let env = Interp.prepare prog ~params in
+      let oracle = Interp.run_sequential env in
+      List.iter
+        (fun threads ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: bytecode t=%d ≡ sequential interp" name
+               threads)
+            true
+            (Arrays.equal (Exec.run ~engine:`Bytecode env ~threads sched) oracle))
+        [ 1; 2; 4 ])
+    Loopir.Builtin.corpus
+
+let test_bytecode_fallback_nonaffine () =
+  (* A quadratic subscript cannot be fused into a linear offset: the
+     statement must take the closure fallback — and still match the
+     oracle exactly. *)
+  let open Loopir.Ast in
+  let sq = Bin (Mul, Var "i", Var "i") in
+  let prog =
+    program ~name:"nonaffine"
+      [
+        Loop
+          {
+            index = "i";
+            lo = Int 1;
+            hi = Int 6;
+            step = 1;
+            body =
+              [ Assign (("a", [ sq ]), Bin (Add, Ref ("a", [ sq ]), Int 1)) ];
+          };
+      ]
+  in
+  let env = Interp.prepare prog ~params:[] in
+  let store = Interp.scan_bounds env in
+  let bc = Bytecode.compile env store in
+  Alcotest.(check bool) "statement fell back" true (Bytecode.n_fallbacks bc > 0);
+  let sched = Sched.sequential_of_trace (Trace.build prog ~params:[]) in
+  Alcotest.(check bool)
+    "fallback path ≡ sequential interp" true
+    (Arrays.equal
+       (Exec.run ~engine:`Bytecode env ~threads:2 sched)
+       (Interp.run_sequential env))
+
+let test_chunking_variants_agree () =
+  (* Static pre-dealt buckets and cost-proportional self-scheduling must
+     produce identical stores for every engine — chunking only moves
+     work between domains, never reorders it within a chain. *)
+  let env, sched =
+    rec_schedule Loopir.Builtin.example1
+      [ ("n1", 16); ("n2", 16) ]
+      [| 16; 16 |]
+  in
+  let oracle = Interp.run_sequential env in
+  List.iter
+    (fun engine ->
+      List.iter
+        (fun chunking ->
+          let got = Exec.run ~engine ~chunking env ~threads:4 sched in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s ≡ sequential"
+               (Exec.engine_name engine)
+               (Exec.chunking_name chunking))
+            true (Arrays.equal got oracle))
+        [ `Static; `Cost Sim.base_seconds ])
+    [ `Compiled; `Bytecode; `Interp ]
+
+let test_doall_chunk_count_bounds () =
+  (* The chunk policy: nothing for empty phases, one chunk sequentially,
+     never fewer chunks than domains (work exists), never more than
+     8×domains or the instance count. *)
+  let c = Sim.base_seconds in
+  Alcotest.(check int) "empty phase" 0 (Sim.doall_chunk_count c ~threads:4 ~n:0);
+  Alcotest.(check int) "sequential" 1
+    (Sim.doall_chunk_count c ~threads:1 ~n:5000);
+  Alcotest.(check int) "capped by n" 2
+    (Sim.doall_chunk_count c ~threads:4 ~n:2);
+  List.iter
+    (fun n ->
+      let k = Sim.doall_chunk_count c ~threads:4 ~n in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d: threads <= k <= 8*threads" n)
+        true
+        (k >= 4 && k <= 32 && k <= n))
+    [ 10; 1000; 100_000; 10_000_000 ];
+  (* Cheap iterations afford fewer chunks than expensive ones. *)
+  let cheap = Sim.doall_chunk_count c ~threads:4 ~n:1000 in
+  let expensive =
+    Sim.doall_chunk_count
+      { c with Sim.w_iter = c.Sim.w_iter *. 100.0 }
+      ~threads:4 ~n:1000
+  in
+  Alcotest.(check bool) "cost-proportional" true (expensive >= cheap)
+
+let test_doall_chunk_ranges () =
+  (* Chunk ranges tile [0, n) exactly, in order, with no empty chunk. *)
+  List.iter
+    (fun (k, n) ->
+      let ranges = Exec.doall_chunks ~chunks:k n in
+      let expected_k = if n = 0 then 0 else min (max 1 k) n in
+      Alcotest.(check int)
+        (Printf.sprintf "k=%d n=%d: chunk count" k n)
+        expected_k (List.length ranges);
+      let pos = ref 0 in
+      List.iter
+        (fun (off, len) ->
+          Alcotest.(check int) "contiguous" !pos off;
+          Alcotest.(check bool) "non-empty" true (len > 0);
+          pos := !pos + len)
+        ranges;
+      Alcotest.(check int) "complete" n !pos)
+    [ (1, 0); (4, 0); (1, 7); (3, 7); (7, 7); (12, 7); (0, 5); (-2, 5); (8, 64) ]
+
+(* ------------------------------------------------------------------ *)
 (* Workers: the persistent executor pool                                *)
 
 module Workers = Runtime.Workers
@@ -583,6 +752,18 @@ let () =
             `Quick test_compiled_matches_interp_examples;
           Alcotest.test_case "compiled ≡ interp (full corpus)" `Quick
             test_compiled_matches_interp_corpus;
+          Alcotest.test_case "bytecode ≡ interp (paper examples, 1/2/4)"
+            `Quick test_bytecode_matches_interp_examples;
+          Alcotest.test_case "bytecode ≡ interp (full corpus, 1/2/4)" `Quick
+            test_bytecode_matches_interp_corpus;
+          Alcotest.test_case "bytecode closure fallback (non-affine)" `Quick
+            test_bytecode_fallback_nonaffine;
+          Alcotest.test_case "chunking variants agree" `Quick
+            test_chunking_variants_agree;
+          Alcotest.test_case "cost-proportional chunk count bounds" `Quick
+            test_doall_chunk_count_bounds;
+          Alcotest.test_case "DOALL chunk ranges tile exactly" `Quick
+            test_doall_chunk_ranges;
           Alcotest.test_case "degenerate thread counts" `Quick
             test_exec_degenerate_threads;
           Alcotest.test_case "thread_loads overflow folding" `Quick
